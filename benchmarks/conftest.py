@@ -1,0 +1,39 @@
+"""Shared benchmark helpers.
+
+Every bench prints a paper-vs-measured table (captured with ``pytest -s``
+or in the benchmark logs) and asserts the *shape* of the result — who
+wins, by roughly what factor — rather than exact silicon numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Print one experiment's comparison table."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(headers[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def paper_clip():
+    """The Fig. 6 case-study clip and bitstream (shared across benches)."""
+    from repro.core.casestudy import paper_clip_stream
+
+    return paper_clip_stream(seed=1)
+
+
+@pytest.fixture(scope="session")
+def mode_power_table(paper_clip):
+    """Measured four-mode power table on the case-study bitstream."""
+    from repro.core import measure_mode_power
+
+    frames, stream = paper_clip
+    return measure_mode_power(stream, frames)

@@ -1,0 +1,119 @@
+"""Ablations for the emotional app manager.
+
+Design choices DESIGN.md calls out: the baseline policy family (FIFO vs
+LRU), the background process limit, and the RAM budget.  The paper only
+reports the FIFO default at 20 processes / 4 GB; these sweeps verify the
+mechanism behind the savings — memory pressure creates reload work, and
+the affect table converts likelihood knowledge into avoided reloads.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.android.app import build_app_catalog
+from repro.android.emulator import AndroidEmulator, EmulatorConfig
+from repro.android.policies import FifoKillPolicy, LruKillPolicy
+from repro.core.appstudy import (
+    PROTECTED_APPS,
+    paper_affect_table,
+    paper_workload,
+    run_case_study,
+)
+from repro.core.app_policy import EmotionalAppPolicy
+
+SEEDS = range(4)
+
+
+def _mean_savings(**kwargs):
+    mems = [run_case_study(seed=s, **kwargs).memory_saving for s in SEEDS]
+    return float(np.mean(mems))
+
+
+def test_ablation_lru_baseline(benchmark):
+    fifo = benchmark.pedantic(_mean_savings, rounds=1, iterations=1)
+    lru = _mean_savings(baseline_policy=LruKillPolicy())
+    report(
+        "Ablation — emotional manager vs FIFO and LRU baselines",
+        ["baseline", "memory saving vs it"],
+        [["FIFO (paper)", f"{fifo * 100:.1f}%"], ["LRU", f"{lru * 100:.1f}%"]],
+    )
+    # The emotional manager must beat both non-affective baselines.
+    assert fifo > 0.03
+    assert lru > 0.0
+
+
+def test_ablation_ram_sweep(benchmark):
+    def sweep():
+        out = {}
+        for ram in (2048, 4096, 8192):
+            config = EmulatorConfig(ram_mb=ram)
+            out[ram] = _mean_savings(config=config)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[ram, f"{saving * 100:.1f}%"] for ram, saving in results.items()]
+    report("Ablation — memory saving vs RAM budget", ["RAM (MB)", "saving"], rows)
+    # With abundant RAM there is little pressure, so little to save; with
+    # extreme scarcity even likely apps cannot be kept.  The advantage
+    # peaks at the paper's moderate-pressure 4 GB point.
+    assert results[4096] >= results[8192]
+    assert results[4096] >= results[2048] - 0.02
+    assert results[8192] <= 0.15
+
+
+def test_ablation_process_limit_sweep(benchmark):
+    def sweep():
+        out = {}
+        for limit in (6, 12, 20):
+            config = EmulatorConfig(process_limit=limit, ram_mb=16384)
+            out[limit] = _mean_savings(config=config)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[limit, f"{saving * 100:.1f}%"] for limit, saving in results.items()]
+    report(
+        "Ablation — memory saving vs background process limit "
+        "(RAM pressure removed)",
+        ["process limit", "saving"],
+        rows,
+    )
+    # A tight process limit is where ranking matters most.
+    assert results[6] >= results[20] - 0.02
+
+
+def test_ablation_online_learning(benchmark):
+    """A table learned online from launches must approach the seeded one."""
+
+    def run():
+        catalog = build_app_catalog(44, seed=0)
+        events = paper_workload(catalog, seed=0)
+        # Start from a uniform (uninformative) table and learn as we go.
+        from repro.core.affect_table import AffectTable
+
+        uniform = AffectTable()
+        for emotion in ("excited", "calm"):
+            uniform.probabilities[emotion] = {
+                app.name: 1.0 / len(catalog) for app in catalog
+            }
+        policy = EmotionalAppPolicy(uniform, learn=True)
+        emulator = AndroidEmulator(
+            catalog=catalog, policy=policy, protected_apps=set(PROTECTED_APPS)
+        )
+        for event in events:
+            policy.observe_launch(event.emotion, event.app)
+        emulator.run(events)
+        learned = uniform
+        seeded = paper_affect_table(catalog)
+        # Correlation between learned and seeded probabilities.
+        names = [app.name for app in catalog]
+        l = np.array([learned.probability("excited", n) for n in names])
+        s = np.array([seeded.probability("excited", n) for n in names])
+        return float(np.corrcoef(l, s)[0, 1])
+
+    correlation = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "Ablation — online-learned affect table vs seeded table",
+        ["metric", "value"],
+        [["correlation (excited)", f"{correlation:.2f}"]],
+    )
+    assert correlation > 0.3

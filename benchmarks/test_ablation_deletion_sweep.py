@@ -1,0 +1,76 @@
+"""Ablation: the Input Selector's S_th x f parameter space.
+
+The paper presents one operating point (S_th = 140, f = 1) and says larger
+S_th / smaller f trade more power for less quality.  This bench sweeps the
+space and checks the claimed monotonicity: power saving grows with S_th
+and shrinks with f, and quality moves the other way.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.core.modes import DecoderMode, DeletionParams, decoder_config_for
+from repro.hw.power import PowerModel
+from repro.video.decoder import Decoder
+from repro.video.quality import sequence_psnr
+
+S_TH_VALUES = (80, 140, 250, 400)
+F_VALUES = (1, 2, 4)
+
+
+def _sweep(paper_clip):
+    frames, stream = paper_clip
+    standard = Decoder(decoder_config_for(DecoderMode.STANDARD)).decode(stream)
+    model = PowerModel.calibrated(standard.counters, len(standard.frames))
+    reference = model.power(standard.counters, len(standard.frames)).total
+    grid = {}
+    for s_th in S_TH_VALUES:
+        for f in F_VALUES:
+            config = decoder_config_for(
+                DecoderMode.DELETION, DeletionParams(s_th=s_th, f=f)
+            )
+            out = Decoder(config).decode(stream)
+            power = model.power(out.counters, len(standard.frames)).total
+            grid[(s_th, f)] = {
+                "saving": 1.0 - power / reference,
+                "psnr": sequence_psnr(frames, out.frames),
+                "deleted": out.counters.selector_units_deleted,
+            }
+    return grid
+
+
+def test_ablation_deletion_parameter_sweep(benchmark, paper_clip):
+    grid = benchmark.pedantic(_sweep, args=(paper_clip,), rounds=1, iterations=1)
+    rows = [
+        [
+            s_th,
+            f,
+            grid[(s_th, f)]["deleted"],
+            f"{grid[(s_th, f)]['saving'] * 100:.1f}%",
+            f"{grid[(s_th, f)]['psnr']:.2f} dB",
+        ]
+        for s_th in S_TH_VALUES
+        for f in F_VALUES
+    ]
+    report(
+        "Ablation — deletion knob sweep (paper point: S_th=140, f=1)",
+        ["S_th", "f", "deleted", "power saving", "PSNR"],
+        rows,
+    )
+    # Monotonicity in S_th at fixed f: larger threshold deletes at least as
+    # many units and saves at least as much power.
+    for f in F_VALUES:
+        deleted = [grid[(s, f)]["deleted"] for s in S_TH_VALUES]
+        savings = [grid[(s, f)]["saving"] for s in S_TH_VALUES]
+        assert deleted == sorted(deleted)
+        assert all(b >= a - 1e-9 for a, b in zip(savings, savings[1:]))
+    # Monotonicity in f at fixed S_th: higher f deletes fewer units.
+    for s_th in S_TH_VALUES:
+        deleted = [grid[(s_th, f)]["deleted"] for f in F_VALUES]
+        assert deleted == sorted(deleted, reverse=True)
+    # Quality/power tradeoff across the sweep: the most aggressive point
+    # must not beat the gentlest point on quality.
+    gentle = grid[(S_TH_VALUES[0], F_VALUES[-1])]
+    aggressive = grid[(S_TH_VALUES[-1], 1)]
+    assert aggressive["saving"] >= gentle["saving"]
+    assert aggressive["psnr"] <= gentle["psnr"] + 0.1

@@ -1,0 +1,60 @@
+"""Fig. 3(b): overall classification accuracy per model and corpus.
+
+Paper shape: accuracies spread roughly 45-90%; the CNN and LSTM
+classifiers outperform the MLP on the overall average; corpus difficulty
+orders CREMA-D hardest and RAVDESS easiest.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.affect import AffectClassifierPipeline, default_training
+from repro.datasets import cremad_like, emovo_like, ravdess_like
+
+N_PER_CLASS = 40
+ARCHS = ("mlp", "cnn", "lstm")
+BUILDERS = {
+    "RAVDESS": ravdess_like,
+    "EMOVO": emovo_like,
+    "CREMA-D": cremad_like,
+}
+
+
+def _run_grid():
+    grid: dict[str, dict[str, float]] = {}
+    for corpus_name, builder in BUILDERS.items():
+        corpus = builder(n_per_class=N_PER_CLASS, seed=0)
+        grid[corpus_name] = {}
+        for arch in ARCHS:
+            epochs, lr = default_training(arch)
+            pipeline = AffectClassifierPipeline(arch, seed=0)
+            metrics = pipeline.train(corpus, epochs=epochs, lr=lr)
+            grid[corpus_name][arch] = metrics["test_accuracy"]
+    return grid
+
+
+def test_fig3b_model_accuracy_grid(benchmark):
+    grid = benchmark.pedantic(_run_grid, rounds=1, iterations=1)
+    rows = [
+        [name] + [f"{grid[name][a] * 100:.1f}%" for a in ARCHS]
+        for name in BUILDERS
+    ]
+    averages = {a: float(np.mean([grid[c][a] for c in BUILDERS])) for a in ARCHS}
+    rows.append(["average"] + [f"{averages[a] * 100:.1f}%" for a in ARCHS])
+    report(
+        "Fig. 3(b) — accuracy by model and corpus (paper: CNN/LSTM > MLP, "
+        "range ~45-90%)",
+        ["corpus", "MLP", "CNN", "LSTM"],
+        rows,
+    )
+    # Shape 1: temporal models beat the MLP on average.
+    assert averages["lstm"] > averages["mlp"]
+    assert averages["cnn"] > averages["mlp"]
+    # Shape 2: corpus difficulty ordering.
+    mean_by_corpus = {c: float(np.mean(list(grid[c].values()))) for c in BUILDERS}
+    assert mean_by_corpus["RAVDESS"] > mean_by_corpus["EMOVO"]
+    assert mean_by_corpus["RAVDESS"] > mean_by_corpus["CREMA-D"]
+    # Shape 3: accuracies live in the paper's plotted range.
+    for corpus_accs in grid.values():
+        for acc in corpus_accs.values():
+            assert 0.35 <= acc <= 0.98

@@ -1,0 +1,53 @@
+"""Fig. 3(c): model weight size, float vs 8-bit quantized.
+
+Paper: MLP 508k / CNN 649k / LSTM 429k trainable parameters; 8-bit
+quantization shrinks weight storage 4x (float32 -> int8).
+"""
+
+from benchmarks.conftest import report
+from repro.affect.model_zoo import PAPER_BUDGETS, build_model, paper_config
+from repro.nn.quantization import model_weight_bytes, quantize_model
+
+INPUT_SHAPE = (56, 18)
+N_CLASSES = 8
+
+
+def _build_and_measure():
+    sizes = {}
+    for arch in ("mlp", "cnn", "lstm"):
+        model = build_model(arch, INPUT_SHAPE, N_CLASSES, config=paper_config())
+        qmodel = quantize_model(model)
+        sizes[arch] = {
+            "params": model.n_params,
+            "float_kb": model_weight_bytes(model, 32) / 1024.0,
+            "int8_kb": qmodel.weight_bytes / 1024.0,
+        }
+    return sizes
+
+
+def test_fig3c_weight_sizes(benchmark):
+    sizes = benchmark.pedantic(_build_and_measure, rounds=1, iterations=1)
+    rows = [
+        [
+            arch.upper(),
+            f"{entry['params']:,}",
+            f"{PAPER_BUDGETS[arch]:,}",
+            f"{entry['float_kb']:.0f} KB",
+            f"{entry['int8_kb']:.0f} KB",
+        ]
+        for arch, entry in sizes.items()
+    ]
+    report(
+        "Fig. 3(c) — weight size float vs int8 (paper budgets: MLP 508k, "
+        "CNN 649k, LSTM 429k)",
+        ["model", "params", "paper params", "float32", "int8"],
+        rows,
+    )
+    for arch, entry in sizes.items():
+        # Parameter budgets within 5% of the paper.
+        budget = PAPER_BUDGETS[arch]
+        assert abs(entry["params"] - budget) / budget < 0.05
+        # Exact 4x storage reduction.
+        assert entry["float_kb"] == 4.0 * entry["int8_kb"]
+    # Size ordering: CNN > MLP > LSTM, as in the paper's bars.
+    assert sizes["cnn"]["params"] > sizes["mlp"]["params"] > sizes["lstm"]["params"]

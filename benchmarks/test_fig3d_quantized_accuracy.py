@@ -1,0 +1,47 @@
+"""Fig. 3(d): float vs 8-bit accuracy on the EMOVO-like corpus.
+
+Paper: quantizing each model's weights to 8 bits costs less than 3%
+accuracy versus the floating-point model.
+"""
+
+from benchmarks.conftest import report
+from repro.affect import AffectClassifierPipeline, default_training
+from repro.datasets import emovo_like
+
+N_PER_CLASS = 40
+MAX_LOSS = 0.03
+
+
+def _run_quantization_study():
+    corpus = emovo_like(n_per_class=N_PER_CLASS, seed=0)
+    _, _, x_test, y_test = corpus.split(seed=0)
+    results = {}
+    for arch in ("mlp", "cnn", "lstm"):
+        epochs, lr = default_training(arch)
+        pipeline = AffectClassifierPipeline(arch, seed=0)
+        pipeline.train(corpus, epochs=epochs, lr=lr)
+        float_acc = pipeline.evaluate(x_test, y_test)
+        int8_acc = pipeline.evaluate_quantized(x_test, y_test)
+        results[arch] = (float_acc, int8_acc)
+    return results
+
+
+def test_fig3d_quantized_accuracy(benchmark):
+    results = benchmark.pedantic(_run_quantization_study, rounds=1, iterations=1)
+    rows = [
+        [
+            arch.upper(),
+            f"{f * 100:.1f}%",
+            f"{q * 100:.1f}%",
+            f"{(f - q) * 100:+.1f}%",
+        ]
+        for arch, (f, q) in results.items()
+    ]
+    report(
+        "Fig. 3(d) — float vs int8 accuracy on EMOVO-like "
+        "(paper: <3% loss)",
+        ["model", "float", "int8", "loss"],
+        rows,
+    )
+    for arch, (float_acc, int8_acc) in results.items():
+        assert float_acc - int8_acc <= MAX_LOSS, arch

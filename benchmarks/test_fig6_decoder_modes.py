@@ -1,0 +1,71 @@
+"""Fig. 6 (middle): the four decoder working modes.
+
+Paper numbers on the 65-nm implementation:
+- deactivating the deblocking filter saves ~31.4% power (fuzzy MB edges);
+- deleting NAL units with S_th = 140, f = 1 saves ~10.6%;
+- both knobs combined save ~36.9% (sub-additive);
+- the pre-store buffer costs 4.23% area.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core import DecoderMode, measure_mode_power
+from repro.hw.cmos import TECH_65NM
+
+PAPER_SAVINGS = {
+    DecoderMode.STANDARD: 0.0,
+    DecoderMode.DF_OFF: 0.314,
+    DecoderMode.DELETION: 0.106,
+    DecoderMode.COMBINED: 0.369,
+}
+
+
+def test_fig6_decoder_mode_power(benchmark, paper_clip):
+    frames, stream = paper_clip
+    table = benchmark.pedantic(
+        measure_mode_power, args=(stream, frames), rounds=1, iterations=1
+    )
+    rows = []
+    for mode in DecoderMode:
+        r = table.results[mode]
+        rows.append(
+            [
+                mode.value,
+                f"{r.power:.3f}",
+                f"{r.saving * 100:.1f}%",
+                f"{PAPER_SAVINGS[mode] * 100:.1f}%",
+                f"{r.psnr_db:.2f} dB",
+                f"{r.blockiness:.2f}",
+                r.deleted_units,
+            ]
+        )
+    report(
+        "Fig. 6 (middle) — decoder working modes",
+        ["mode", "power", "saving", "paper", "PSNR", "blockiness", "deleted"],
+        rows,
+    )
+    print(f"DF share of standard power: {table.df_share_standard * 100:.1f}% "
+          f"(paper 31.4%)  |  pre-store area overhead: "
+          f"{TECH_65NM.area_overhead_percent():.2f}% (paper 4.23%)")
+
+    saving = {m: table.saving(m) for m in DecoderMode}
+    # Shape 1: ordering — combined saves most, then DF-off, then deletion.
+    assert saving[DecoderMode.COMBINED] > saving[DecoderMode.DF_OFF]
+    assert saving[DecoderMode.DF_OFF] > saving[DecoderMode.DELETION]
+    assert saving[DecoderMode.DELETION] > 0.0
+    # Shape 2: rough factors around the paper's numbers.
+    assert saving[DecoderMode.DF_OFF] == pytest.approx(0.314, abs=0.03)
+    assert 0.05 <= saving[DecoderMode.DELETION] <= 0.20
+    assert 0.30 <= saving[DecoderMode.COMBINED] <= 0.50
+    # Shape 3: sub-additive combination (paper: 36.9 < 31.4 + 10.6).
+    assert saving[DecoderMode.COMBINED] < (
+        saving[DecoderMode.DF_OFF] + saving[DecoderMode.DELETION]
+    )
+    # Shape 4: quality cost ordering — combined worst.
+    psnrs = {m: table.results[m].psnr_db for m in DecoderMode}
+    assert psnrs[DecoderMode.COMBINED] <= psnrs[DecoderMode.STANDARD]
+    blk = {m: table.results[m].blockiness for m in DecoderMode}
+    assert blk[DecoderMode.DF_OFF] > blk[DecoderMode.STANDARD]
+    # Area overhead constant matches the paper.
+    assert TECH_65NM.area_overhead_percent() == pytest.approx(4.23)

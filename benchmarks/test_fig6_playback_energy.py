@@ -1,0 +1,64 @@
+"""Fig. 6 (bottom): affect-driven playback over the uulmMAC-like session.
+
+Paper: driving the decoder mode from the skin-conductance-derived
+engagement state over the 40-minute session (distracted 0-14 min ->
+combined mode, concentrated 14-20 -> deletion, tense 20-29 -> standard,
+relaxed 29-40 -> DF off) saves 23.1% energy versus all-standard playback.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.affect import SCEngagementClassifier, segment_engagement
+from repro.core import DecoderMode, simulate_playback
+from repro.datasets import generate_sc_session
+
+
+def _playback(mode_power_table):
+    session = generate_sc_session(seed=0)
+    classifier = SCEngagementClassifier().fit(session)
+    segments = segment_engagement(session, classifier)
+    return (
+        session,
+        classifier,
+        simulate_playback(segments, float(session.time_s[-1]), mode_power_table),
+    )
+
+
+def test_fig6_playback_energy(benchmark, mode_power_table):
+    session, classifier, play = benchmark.pedantic(
+        _playback, args=(mode_power_table,), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            f"{seg.start_s / 60:.1f}-{seg.end_s / 60:.1f} min",
+            seg.state,
+            seg.mode.value,
+            f"{seg.power:.3f}",
+        ]
+        for seg in play.segments
+    ]
+    report(
+        "Fig. 6 (bottom) — affect-driven playback schedule",
+        ["span", "state", "mode", "power"],
+        rows,
+    )
+    print(f"SC window accuracy: {classifier.accuracy(session) * 100:.1f}%")
+    print(f"energy saving: {play.energy_saving * 100:.1f}% (paper: 23.1%)")
+
+    # Shape 1: the schedule follows the paper's state sequence.
+    states = [seg.state for seg in play.segments]
+    assert states == ["distracted", "concentrated", "tense", "relaxed"]
+    modes = [seg.mode for seg in play.segments]
+    assert modes == [
+        DecoderMode.COMBINED,
+        DecoderMode.DELETION,
+        DecoderMode.STANDARD,
+        DecoderMode.DF_OFF,
+    ]
+    # Shape 2: transitions near the paper's 14 / 20 / 29 minute marks.
+    starts = [seg.start_s / 60.0 for seg in play.segments]
+    for got, want in zip(starts, [0.0, 14.0, 20.0, 29.0]):
+        assert abs(got - want) < 2.5
+    # Shape 3: overall saving in the paper's ballpark (23.1%).
+    assert 0.15 <= play.energy_saving <= 0.33

@@ -1,0 +1,85 @@
+"""Fig. 7: app usage patterns by subject (left) and emulator spec (right).
+
+Paper (left): messaging and internet browsing dominate daily usage with
+60-70% combined; the remaining 30-40% varies with personality — subject 1
+(agreeable/trusting) favours radio/cloud/TV apps, subject 3 (cheerful,
+the "excited" proxy) calls and uses shared transportation more.
+Paper (right): Android Studio 2021 emulator, Android 11 API 30, 4 cores,
+4096 MB RAM, 32 GB ROM, 44 apps, 1920x1080.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.android import PAPER_EMULATOR_CONFIG
+from repro.datasets import SUBJECTS, usage_distribution
+from repro.datasets.phone_usage import messaging_browsing_share, sample_app_category
+
+
+def _usage_table():
+    return {s.subject_id: usage_distribution(s) for s in SUBJECTS}
+
+
+def test_fig7_usage_patterns(benchmark):
+    table = benchmark.pedantic(_usage_table, rounds=1, iterations=1)
+    categories = sorted(
+        table[1], key=lambda c: -max(table[s][c] for s in table)
+    )[:8]
+    rows = [
+        [c] + [f"{table[s][c] * 100:.1f}%" for s in sorted(table)]
+        for c in categories
+    ]
+    report(
+        "Fig. 7 (left) — top app-category usage by subject",
+        ["category", "subj 1", "subj 2", "subj 3", "subj 4"],
+        rows,
+    )
+    # Shape 1: messaging + browsing dominate with 60-70% for everyone.
+    for subject in SUBJECTS:
+        assert 0.60 <= messaging_browsing_share(subject) <= 0.70
+    # Shape 2: personality-specific tails.
+    assert table[1]["Music_Audio_Radio"] > table[4]["Music_Audio_Radio"]
+    assert table[1]["Sharing_Cloud"] > table[4]["Sharing_Cloud"]
+    assert table[3]["Calling"] > max(table[1]["Calling"], table[4]["Calling"])
+    assert table[3]["Shared_Transportation"] > table[4]["Shared_Transportation"]
+    # Shape 3: subject 4 is the most even (lowest tail variance).
+    def tail_std(s):
+        tail = [p for c, p in table[s].items()
+                if c not in ("Messaging", "Internet_Browser")]
+        return float(np.std(tail))
+    assert tail_std(4) <= min(tail_std(1), tail_std(3))
+
+
+def test_fig7_sampling_follows_distribution(benchmark):
+    rng = np.random.default_rng(0)
+    draws = benchmark.pedantic(
+        lambda: [sample_app_category(1, rng) for _ in range(4000)],
+        rounds=1,
+        iterations=1,
+    )
+    dist = usage_distribution(1)
+    for category in ("Messaging", "Internet_Browser", "Music_Audio_Radio"):
+        freq = draws.count(category) / len(draws)
+        assert freq == pytest.approx(dist[category], abs=0.03)
+
+
+def test_fig7_emulator_specification(benchmark):
+    cfg = benchmark.pedantic(lambda: PAPER_EMULATOR_CONFIG, rounds=1, iterations=1)
+    rows = [
+        ["Platform", cfg.platform, "Android Studio 2021"],
+        ["Emulator Version", cfg.emulator_version, "Android 11 API 30"],
+        ["CPU CORE", cfg.cpu_cores, 4],
+        ["Ram Allocation", f"{cfg.ram_mb} MB", "4096 MB"],
+        ["Rom Allocation", f"{cfg.rom_gb}GB", "32GB"],
+        ["# of Total Apps", cfg.n_apps, 44],
+        ["Resolution", cfg.resolution, "1920x1080"],
+    ]
+    report("Fig. 7 (right) — emulator specification", ["field", "ours", "paper"], rows)
+    assert cfg.emulator_version == "Android 11 API 30"
+    assert cfg.cpu_cores == 4
+    assert cfg.ram_mb == 4096
+    assert cfg.rom_gb == 32
+    assert cfg.n_apps == 44
+    assert cfg.resolution == "1920x1080"
+    assert cfg.process_limit == 20

@@ -1,0 +1,74 @@
+"""Fig. 9: process lifespan diagram, baseline vs emotion-driven.
+
+Paper: under the default FIFO-like policy, almost every process is killed
+as new apps arrive; under the affect-driven manager the apps likely for
+the current emotion survive, the protected messaging process is never
+killed, and kill priorities re-order when the state flips from excited
+(first 12 min) to calm (last 8 min).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.core.appstudy import run_case_study
+
+SEED = 0
+
+
+def test_fig9_process_lifespans(benchmark):
+    result = benchmark.pedantic(run_case_study, kwargs={"seed": SEED},
+                                rounds=1, iterations=1)
+    base, emo = result.baseline, result.emotion
+
+    def summarize(run):
+        spans = run.lifespans
+        launched = {n for n, s in spans.items() if s}
+        killed = {n for n, p in run.processes.items() if p.kills > 0}
+        return launched, killed
+
+    base_launched, base_killed = summarize(base)
+    emo_launched, emo_killed = summarize(emo)
+    rows = [
+        ["launched apps", len(base_launched), len(emo_launched)],
+        ["apps ever killed", len(base_killed), len(emo_killed)],
+        ["total kills", base.kills, emo.kills],
+        ["cold starts", base.cold_starts, emo.cold_starts],
+        ["warm starts", base.warm_starts, emo.warm_starts],
+    ]
+    report(
+        "Fig. 9 — process lifespans, default (FIFO) vs emotion-driven",
+        ["metric", "baseline", "emotion"],
+        rows,
+    )
+
+    # Render the lifespan diagram for a few busiest apps.
+    busiest = sorted(
+        emo_launched,
+        key=lambda n: -sum(e - s for s, e in emo.lifespans[n]),
+    )[:8]
+    end = max(e.time_s for e in base.tracer.events) + 1.0
+    print("\nemotion-driven lifespans (# alive, . dead), 60 s per column:")
+    for name in busiest:
+        cells = []
+        for minute in range(int(end // 60) + 1):
+            t = minute * 60.0
+            alive = any(s <= t < e for s, e in emo.lifespans[name])
+            cells.append("#" if alive else ".")
+        print(f"  {name:<28} {''.join(cells)}")
+
+    # Shape 1: same workload, fewer kills and fewer cold starts under the
+    # emotional manager.
+    assert emo.kills <= base.kills
+    assert emo.cold_starts <= base.cold_starts
+    # Shape 2: the protected messaging process survives both runs unkilled.
+    assert base.processes["Messaging_1"].kills == 0
+    assert emo.processes["Messaging_1"].kills == 0
+    # Shape 3: under the emotional manager, emotion-likely apps live longer
+    # in total than under the baseline.
+    def total_lifetime(run, names):
+        return sum(
+            e - s for n in names for s, e in run.lifespans.get(n, [])
+        )
+    likely = [n for n in emo_launched if n.startswith(("Calling", "Messaging"))]
+    if likely:
+        assert total_lifetime(emo, likely) >= total_lifetime(base, likely)

@@ -1,0 +1,44 @@
+"""Real-time constraint: per-window classifier inference latency.
+
+Section 2.2 motivates small models with "real-time detection" on
+smartphone/smartwatch hardware.  A classification window here is 0.9 s of
+audio; real-time operation requires feature extraction plus inference to
+finish well inside that window.  This bench times the full path for each
+architecture (this is the one measurement where pytest-benchmark's
+repeated timing is the point).
+"""
+
+import numpy as np
+import pytest
+
+from repro.affect import AffectClassifierPipeline
+from repro.datasets import emovo_like
+from repro.datasets.speech import synthesize_utterance
+
+WINDOW_S = 0.9
+
+_corpus = None
+_pipelines: dict = {}
+
+
+def _get_pipeline(arch):
+    global _corpus
+    if _corpus is None:
+        _corpus = emovo_like(n_per_class=6, seed=0)
+    if arch not in _pipelines:
+        pipeline = AffectClassifierPipeline(arch, seed=0)
+        pipeline.train(_corpus, epochs=3)
+        _pipelines[arch] = pipeline
+    return _pipelines[arch]
+
+
+@pytest.mark.parametrize("arch", ["mlp", "cnn", "lstm"])
+def test_inference_latency_realtime(benchmark, arch):
+    pipeline = _get_pipeline(arch)
+    wave = synthesize_utterance("happy", actor=1, sentence=2, take=0)
+
+    label = benchmark(pipeline.classify_waveform, wave)
+    assert label in _corpus.label_names
+    # Real-time: mean latency must fit in the classification window with
+    # generous margin (interpreted python on a laptop vs a phone NPU).
+    assert benchmark.stats["mean"] < WINDOW_S

@@ -1,0 +1,10 @@
+"""Thin setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail; this enables ``pip install -e . --no-use-pep517``.
+Project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

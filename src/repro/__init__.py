@@ -1,0 +1,27 @@
+"""repro — reproduction of "Human Emotion Based Real-time Memory and
+Computation Management on Resource-Limited Edge Devices" (DAC 2022).
+
+Subpackages
+-----------
+- :mod:`repro.dsp` — audio feature extraction (MFCC, ZCR, RMSE, pitch).
+- :mod:`repro.nn` — from-scratch numpy deep-learning framework + int8 PTQ.
+- :mod:`repro.datasets` — synthetic substitutes for the paper's corpora.
+- :mod:`repro.affect` — emotion models, classifier pipeline, SC inference.
+- :mod:`repro.video` — simplified H.264/AVC codec with the affect knobs.
+- :mod:`repro.hw` — calibrated activity-based power / area models.
+- :mod:`repro.android` — Android-like app & memory management simulator.
+- :mod:`repro.core` — the paper's affect-driven management schemes.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "affect",
+    "android",
+    "core",
+    "datasets",
+    "dsp",
+    "hw",
+    "nn",
+    "video",
+]

@@ -1,0 +1,73 @@
+"""Affect modelling and real-time classification.
+
+Implements the paper's Section 2: the Russell circumplex emotion model
+(valence / arousal / dominance), the speech-feature classification pipeline,
+paper-budget MLP/CNN/LSTM model builders, a smoothed real-time emotion
+stream, and skin-conductance-based engagement inference used by the video
+playback policy (Section 4).
+"""
+
+from repro.affect.emotion import (
+    AffectPoint,
+    EMOTION_COORDINATES,
+    Emotion,
+    mood_angle,
+    nearest_emotion,
+)
+from repro.affect.model_selection import (
+    cross_validate,
+    deployment_ranking,
+    evaluate_speaker_independent,
+    speaker_independent_split,
+)
+from repro.affect.model_zoo import (
+    PAPER_BUDGETS,
+    build_cnn,
+    build_gru,
+    build_lstm,
+    build_mlp,
+    build_model,
+    default_training,
+    fast_config,
+    paper_config,
+)
+from repro.affect.fusion import CardiacAffectClassifier, late_fusion
+from repro.affect.pipeline import AffectClassifierPipeline, TrainedClassifier
+from repro.affect.regression import ValenceArousalRegressor, circumplex_targets
+from repro.affect.stream import EmotionStream
+from repro.affect.sc_inference import (
+    ENGAGEMENT_STATES,
+    SCEngagementClassifier,
+    segment_engagement,
+)
+
+__all__ = [
+    "AffectClassifierPipeline",
+    "AffectPoint",
+    "EMOTION_COORDINATES",
+    "ENGAGEMENT_STATES",
+    "Emotion",
+    "EmotionStream",
+    "PAPER_BUDGETS",
+    "SCEngagementClassifier",
+    "TrainedClassifier",
+    "ValenceArousalRegressor",
+    "circumplex_targets",
+    "cross_validate",
+    "deployment_ranking",
+    "evaluate_speaker_independent",
+    "speaker_independent_split",
+    "CardiacAffectClassifier",
+    "build_cnn",
+    "build_gru",
+    "build_lstm",
+    "build_mlp",
+    "build_model",
+    "default_training",
+    "fast_config",
+    "late_fusion",
+    "mood_angle",
+    "nearest_emotion",
+    "paper_config",
+    "segment_engagement",
+]

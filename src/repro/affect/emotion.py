@@ -1,0 +1,106 @@
+"""Russell circumplex affect model (paper Fig. 1).
+
+Emotions are points in a valence / arousal / dominance space.  Valence is
+the "likeness"/"pleasure" axis, arousal the "activation"/"excitement" axis,
+and dominance the "freedom vs being controlled" axis.  The *mood angle* in
+the valence-arousal plane locates categorical emotions on the circumplex.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Emotion(str, Enum):
+    """Categorical emotions used across the paper's case studies."""
+
+    NEUTRAL = "neutral"
+    CALM = "calm"
+    HAPPY = "happy"
+    SAD = "sad"
+    ANGRY = "angry"
+    FEARFUL = "fearful"
+    DISGUST = "disgust"
+    SURPRISED = "surprised"
+    EXCITED = "excited"
+    RELAXED = "relaxed"
+    BORED = "bored"
+    STRESSED = "stressed"
+    SLEEPY = "sleepy"
+
+
+@dataclass(frozen=True)
+class AffectPoint:
+    """A point in the circumplex: each axis is in [-1, 1]."""
+
+    valence: float
+    arousal: float
+    dominance: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("valence", "arousal", "dominance"):
+            value = getattr(self, name)
+            if not -1.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [-1, 1], got {value}")
+
+    @property
+    def mood_angle_deg(self) -> float:
+        """Angle in the valence-arousal plane, degrees in [0, 360)."""
+        return mood_angle(self.valence, self.arousal)
+
+    @property
+    def intensity(self) -> float:
+        """Radial distance from the neutral origin in the V-A plane."""
+        return math.hypot(self.valence, self.arousal)
+
+    def distance(self, other: "AffectPoint") -> float:
+        """Euclidean distance in the full three-axis space."""
+        return math.sqrt(
+            (self.valence - other.valence) ** 2
+            + (self.arousal - other.arousal) ** 2
+            + (self.dominance - other.dominance) ** 2
+        )
+
+
+# Canonical circumplex coordinates (valence, arousal, dominance).
+EMOTION_COORDINATES: dict[Emotion, AffectPoint] = {
+    Emotion.NEUTRAL: AffectPoint(0.0, 0.0, 0.0),
+    Emotion.CALM: AffectPoint(0.4, -0.5, 0.2),
+    Emotion.HAPPY: AffectPoint(0.8, 0.4, 0.4),
+    Emotion.SAD: AffectPoint(-0.7, -0.4, -0.4),
+    Emotion.ANGRY: AffectPoint(-0.6, 0.8, 0.5),
+    Emotion.FEARFUL: AffectPoint(-0.7, 0.7, -0.6),
+    Emotion.DISGUST: AffectPoint(-0.6, 0.2, 0.1),
+    Emotion.SURPRISED: AffectPoint(0.3, 0.8, -0.1),
+    Emotion.EXCITED: AffectPoint(0.6, 0.8, 0.4),
+    Emotion.RELAXED: AffectPoint(0.6, -0.6, 0.3),
+    Emotion.BORED: AffectPoint(-0.4, -0.7, -0.2),
+    Emotion.STRESSED: AffectPoint(-0.5, 0.6, -0.3),
+    Emotion.SLEEPY: AffectPoint(0.0, -0.9, -0.1),
+}
+
+
+def mood_angle(valence: float, arousal: float) -> float:
+    """Mood angle in degrees, measured counter-clockwise from +valence.
+
+    0 deg = pleasant, 90 deg = activated, 180 deg = unpleasant,
+    270 deg = deactivated.  Returns 0 for the exact origin.
+    """
+    if valence == 0.0 and arousal == 0.0:
+        return 0.0
+    angle = math.degrees(math.atan2(arousal, valence)) % 360.0
+    # A negative angle of vanishing magnitude rounds to exactly 360.0.
+    return 0.0 if angle >= 360.0 else angle
+
+
+def nearest_emotion(
+    point: AffectPoint,
+    candidates: tuple[Emotion, ...] | None = None,
+) -> Emotion:
+    """Closest categorical emotion to a circumplex point."""
+    pool = candidates if candidates is not None else tuple(EMOTION_COORDINATES)
+    if not pool:
+        raise ValueError("candidate pool must be non-empty")
+    return min(pool, key=lambda e: point.distance(EMOTION_COORDINATES[e]))

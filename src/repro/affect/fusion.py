@@ -1,0 +1,114 @@
+"""Multimodal affect classification: cardiac biosignals, optionally fused
+with the speech channel.
+
+The paper's system diagram (Fig. 4) feeds ECG / PPG / SCL alongside voice
+into the phone-side classifier.  This module provides the cardiac
+classifier (an MLP over HRV features) and a late-fusion combiner that
+averages per-class probabilities across modalities — the standard recipe
+when modalities arrive on different clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.dsp.bio import cardiac_feature_vector
+
+if TYPE_CHECKING:  # avoid a circular import: biosignals uses affect.emotion
+    from repro.datasets.biosignals import BiosignalRecord
+from repro.nn.layers import Dense
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Adam
+
+
+@dataclass
+class CardiacAffectClassifier:
+    """MLP over fused ECG+PPG HRV features."""
+
+    hidden: int = 24
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._model: Sequential | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+        self.label_names: tuple[str, ...] = ()
+
+    def _featurize(self, records: list["BiosignalRecord"]) -> np.ndarray:
+        return np.stack(
+            [
+                cardiac_feature_vector(r.ecg, r.ppg, r.sample_rate)
+                for r in records
+            ]
+        )
+
+    def fit(
+        self,
+        records: list["BiosignalRecord"],
+        labels: np.ndarray,
+        label_names: tuple[str, ...],
+        epochs: int = 60,
+        lr: float = 5e-3,
+    ) -> float:
+        """Train on labelled recordings; returns training accuracy."""
+        if len(records) != labels.shape[0]:
+            raise ValueError("records and labels must align")
+        x = self._featurize(records)
+        self._mean = x.mean(axis=0)
+        self._std = x.std(axis=0) + 1e-9
+        xn = (x - self._mean) / self._std
+        self.label_names = tuple(label_names)
+        model = Sequential(
+            [Dense(self.hidden, activation="tanh"), Dense(len(label_names))],
+            seed=self.seed,
+        )
+        model.compile((x.shape[1],), Adam(lr))
+        model.fit(xn, labels, epochs=epochs, batch_size=16, seed=self.seed)
+        self._model = model
+        return model.evaluate(xn, labels)
+
+    def _require(self) -> Sequential:
+        if self._model is None:
+            raise RuntimeError("classifier has not been fit")
+        return self._model
+
+    def predict_proba(self, records: list["BiosignalRecord"]) -> np.ndarray:
+        """Per-class probabilities for a recording batch."""
+        model = self._require()
+        x = (self._featurize(records) - self._mean) / self._std
+        return model.predict_proba(x)
+
+    def predict(self, records: list["BiosignalRecord"]) -> np.ndarray:
+        """Hard emotion labels for a recording batch."""
+        return self.predict_proba(records).argmax(axis=1)
+
+    def evaluate(self, records: list["BiosignalRecord"], labels: np.ndarray) -> float:
+        """Accuracy against integer labels."""
+        return float(np.mean(self.predict(records) == labels))
+
+
+def late_fusion(
+    probabilities: list[np.ndarray], weights: list[float] | None = None
+) -> np.ndarray:
+    """Weighted average of per-modality class probabilities.
+
+    Each array has shape ``(n_samples, n_classes)``; rows of the result
+    sum to one.
+    """
+    if not probabilities:
+        raise ValueError("need at least one modality")
+    shape = probabilities[0].shape
+    for p in probabilities:
+        if p.shape != shape:
+            raise ValueError("modalities must produce matching shapes")
+    if weights is None:
+        weights = [1.0] * len(probabilities)
+    if len(weights) != len(probabilities):
+        raise ValueError("one weight per modality")
+    if any(w < 0 for w in weights) or sum(weights) <= 0:
+        raise ValueError("weights must be non-negative with a positive sum")
+    fused = sum(w * p for w, p in zip(weights, probabilities))
+    return fused / np.array(weights).sum()

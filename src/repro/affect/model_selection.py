@@ -1,0 +1,165 @@
+"""Model-selection utilities for the wearable deployment decision.
+
+Section 2.2's purpose is "to provide guidance on the model choices" for a
+resource-limited device.  These helpers make that evaluation rigorous:
+k-fold cross-validation, *speaker-independent* splits (train and test
+actors disjoint — the deployment reality the single random split hides),
+and a deployment score combining accuracy with the int8 model size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.corpora import Corpus
+from repro.affect.model_zoo import ModelConfig, build_model, fast_config
+from repro.nn.optimizers import Adam
+
+
+def _train_eval(
+    architecture: str,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    n_classes: int,
+    config: ModelConfig | None,
+    epochs: int,
+    lr: float,
+    seed: int,
+) -> float:
+    mean = x_train.mean(axis=(0, 1))
+    std = x_train.std(axis=(0, 1)) + 1e-8
+    model = build_model(
+        architecture,
+        input_shape=x_train.shape[1:],
+        n_classes=n_classes,
+        config=config or fast_config(),
+        seed=seed,
+    )
+    model.optimizer = Adam(lr, clipnorm=5.0)
+    model.fit((x_train - mean) / std, y_train, epochs=epochs, batch_size=32,
+              seed=seed)
+    return model.evaluate((x_test - mean) / std, y_test)
+
+
+def cross_validate(
+    architecture: str,
+    corpus: Corpus,
+    k: int = 3,
+    epochs: int = 20,
+    lr: float = 3e-3,
+    config: ModelConfig | None = None,
+    seed: int = 0,
+) -> list[float]:
+    """Stratified k-fold cross-validation; returns per-fold accuracies."""
+    if k < 2:
+        raise ValueError("need at least two folds")
+    rng = np.random.default_rng(seed)
+    folds: list[list[int]] = [[] for _ in range(k)]
+    for label in range(corpus.n_classes):
+        members = np.flatnonzero(corpus.y == label)
+        rng.shuffle(members)
+        for i, index in enumerate(members):
+            folds[i % k].append(int(index))
+    accuracies = []
+    for fold_index in range(k):
+        test_idx = np.array(sorted(folds[fold_index]))
+        train_idx = np.array(
+            sorted(i for f in range(k) if f != fold_index for i in folds[f])
+        )
+        accuracies.append(
+            _train_eval(
+                architecture,
+                corpus.x[train_idx], corpus.y[train_idx],
+                corpus.x[test_idx], corpus.y[test_idx],
+                corpus.n_classes, config, epochs, lr, seed,
+            )
+        )
+    return accuracies
+
+
+def speaker_independent_split(
+    corpus: Corpus, test_fraction: float = 0.3, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split with disjoint actor sets: ``(x_train, y_train, x_test, y_test)``.
+
+    A deployed affect classifier meets users it never trained on; this
+    split measures that generalization (usually below the random-split
+    accuracy).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    actors = np.unique(corpus.actors)
+    if actors.size < 2:
+        raise ValueError("need at least two distinct actors")
+    rng = np.random.default_rng(seed)
+    shuffled = actors.copy()
+    rng.shuffle(shuffled)
+    n_test = max(1, int(round(test_fraction * actors.size)))
+    test_actors = set(shuffled[:n_test].tolist())
+    test_mask = np.isin(corpus.actors, list(test_actors))
+    if test_mask.all() or not test_mask.any():
+        raise ValueError("degenerate actor split; adjust test_fraction")
+    return (
+        corpus.x[~test_mask],
+        corpus.y[~test_mask],
+        corpus.x[test_mask],
+        corpus.y[test_mask],
+    )
+
+
+def evaluate_speaker_independent(
+    architecture: str,
+    corpus: Corpus,
+    epochs: int = 20,
+    lr: float = 3e-3,
+    config: ModelConfig | None = None,
+    seed: int = 0,
+) -> float:
+    """Accuracy under the speaker-independent split."""
+    x_train, y_train, x_test, y_test = speaker_independent_split(corpus, seed=seed)
+    return _train_eval(
+        architecture, x_train, y_train, x_test, y_test,
+        corpus.n_classes, config, epochs, lr, seed,
+    )
+
+
+@dataclass(frozen=True)
+class DeploymentScore:
+    """Accuracy/size tradeoff for one candidate model."""
+
+    architecture: str
+    accuracy: float
+    int8_kb: float
+    score: float
+
+
+def deployment_ranking(
+    results: dict[str, float],
+    int8_sizes_kb: dict[str, float],
+    size_budget_kb: float = 1024.0,
+) -> list[DeploymentScore]:
+    """Rank candidates by accuracy, penalizing size beyond the budget.
+
+    ``score = accuracy - max(0, size/budget - 1) * 0.25`` — over-budget
+    models lose a quarter point of accuracy per budget multiple, the
+    paper's "considering model size and accuracy" criterion made explicit.
+    """
+    if size_budget_kb <= 0:
+        raise ValueError("budget must be positive")
+    ranking = []
+    for arch, accuracy in results.items():
+        size = int8_sizes_kb[arch]
+        penalty = max(0.0, size / size_budget_kb - 1.0) * 0.25
+        ranking.append(
+            DeploymentScore(
+                architecture=arch,
+                accuracy=accuracy,
+                int8_kb=size,
+                score=accuracy - penalty,
+            )
+        )
+    return sorted(ranking, key=lambda r: r.score, reverse=True)

@@ -1,0 +1,110 @@
+"""Continuous valence/arousal regression on the circumplex.
+
+Categorical labels lose the circumplex geometry the paper's Fig. 1
+motivates.  This module regresses a continuous (valence, arousal) point
+from the same speech features the classifiers use, then snaps it to the
+nearest categorical emotion when a discrete label is needed — the natural
+"mood angle" deployment of the affect table and video policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.affect.emotion import AffectPoint, EMOTION_COORDINATES, Emotion, nearest_emotion
+from repro.datasets.corpora import Corpus
+from repro.nn.layers import Dense
+from repro.nn.lstm import LSTM
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Adam
+
+
+def circumplex_targets(corpus: Corpus) -> np.ndarray:
+    """Map a corpus's categorical labels to (valence, arousal) targets."""
+    coords = []
+    for name in corpus.label_names:
+        point = EMOTION_COORDINATES[Emotion(name)]
+        coords.append((point.valence, point.arousal))
+    table = np.array(coords)
+    return table[corpus.y]
+
+
+@dataclass
+class ValenceArousalRegressor:
+    """LSTM regressor from feature sequences to circumplex coordinates."""
+
+    units: int = 24
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._model: Sequential | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+        self._candidates: tuple[Emotion, ...] = ()
+
+    def fit(
+        self,
+        corpus: Corpus,
+        epochs: int = 40,
+        lr: float = 5e-3,
+        test_fraction: float = 0.3,
+    ) -> dict[str, float]:
+        """Train on a stratified split; returns train/test MSE."""
+        x_train, y_train_labels, x_test, y_test_labels = corpus.split(
+            test_fraction=test_fraction, seed=self.seed
+        )
+        coords = np.array(
+            [
+                (
+                    EMOTION_COORDINATES[Emotion(name)].valence,
+                    EMOTION_COORDINATES[Emotion(name)].arousal,
+                )
+                for name in corpus.label_names
+            ]
+        )
+        y_train = coords[y_train_labels]
+        y_test = coords[y_test_labels]
+        self._mean = x_train.mean(axis=(0, 1))
+        self._std = x_train.std(axis=(0, 1)) + 1e-8
+        self._candidates = tuple(Emotion(name) for name in corpus.label_names)
+        model = Sequential(
+            [LSTM(self.units), Dense(16, activation="tanh"), Dense(2, activation="tanh")],
+            seed=self.seed,
+        )
+        model.compile(x_train.shape[1:], Adam(lr, clipnorm=5.0), loss="mse")
+        model.fit(
+            (x_train - self._mean) / self._std, y_train,
+            epochs=epochs, batch_size=32, seed=self.seed,
+        )
+        self._model = model
+        return {
+            "train_mse": model.evaluate((x_train - self._mean) / self._std, y_train),
+            "test_mse": model.evaluate((x_test - self._mean) / self._std, y_test),
+        }
+
+    def _require(self) -> Sequential:
+        if self._model is None:
+            raise RuntimeError("regressor has not been fit")
+        return self._model
+
+    def predict_points(self, x: np.ndarray) -> list[AffectPoint]:
+        """Predicted circumplex points for a raw feature batch."""
+        model = self._require()
+        outputs = model.predict_values((x - self._mean) / self._std)
+        outputs = np.clip(outputs, -1.0, 1.0)
+        return [AffectPoint(float(v), float(a)) for v, a in outputs]
+
+    def predict_emotions(self, x: np.ndarray) -> list[Emotion]:
+        """Nearest categorical emotion for each predicted point."""
+        return [
+            nearest_emotion(point, candidates=self._candidates)
+            for point in self.predict_points(x)
+        ]
+
+    def label_accuracy(self, x: np.ndarray, y: np.ndarray, label_names) -> float:
+        """Categorical accuracy via the snap-to-nearest decoding."""
+        predictions = self.predict_emotions(x)
+        truth = [Emotion(label_names[label]) for label in y]
+        return float(np.mean([p == t for p, t in zip(predictions, truth)]))

@@ -1,0 +1,166 @@
+"""Engagement-state inference from skin conductance.
+
+The paper's video case study (Section 4) derives the user's state —
+distracted / concentrated / tense / relaxed — from the magnitude of the
+varying skin-conductance (SC) signal of a uulmMAC session.  This module
+implements that derivation: windowed SC features (tonic level, phasic
+variability, SCR rate) feeding a nearest-centroid classifier that can be
+fit on a labelled session and applied to new ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.uulmmac import SCSession
+
+ENGAGEMENT_STATES: tuple[str, ...] = (
+    "distracted",
+    "concentrated",
+    "tense",
+    "relaxed",
+)
+
+
+def sc_window_features(
+    sc: np.ndarray, sample_rate: float, window_s: float = 30.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Windowed SC features.
+
+    Returns ``(centers_s, features)`` where features has columns
+    ``[tonic_level, phasic_std, scr_rate_per_min]`` per window.
+    """
+    n = sc.shape[0]
+    win = max(1, int(window_s * sample_rate))
+    n_windows = max(1, n // win)
+    centers = np.empty(n_windows)
+    feats = np.empty((n_windows, 3))
+    for k in range(n_windows):
+        seg = sc[k * win : (k + 1) * win]
+        centers[k] = (k + 0.5) * win / sample_rate
+        tonic = float(np.median(seg))
+        detrended = seg - tonic
+        phasic_std = float(detrended.std())
+        # SCR proxy: count upward excursions above a small threshold.
+        rises = np.diff(seg)
+        events = int(np.sum((rises[:-1] <= 0.02) & (rises[1:] > 0.02)))
+        scr_rate = events / (win / sample_rate / 60.0)
+        feats[k] = (tonic, phasic_std, scr_rate)
+    return centers, feats
+
+
+@dataclass
+class SCEngagementClassifier:
+    """Nearest-centroid engagement classifier over windowed SC features."""
+
+    window_s: float = 30.0
+    states: tuple[str, ...] = ENGAGEMENT_STATES
+
+    def __post_init__(self) -> None:
+        self._centroids: dict[str, np.ndarray] | None = None
+        self._scale: np.ndarray | None = None
+
+    def fit(self, session: SCSession) -> "SCEngagementClassifier":
+        """Learn per-state feature centroids from a labelled session."""
+        centers, feats = sc_window_features(
+            session.sc, session.sample_rate, self.window_s
+        )
+        idx = np.minimum(
+            (centers * session.sample_rate).astype(int), session.labels.shape[0] - 1
+        )
+        window_labels = session.labels[idx]
+        self._scale = feats.std(axis=0) + 1e-9
+        centroids: dict[str, np.ndarray] = {}
+        for state in self.states:
+            members = feats[window_labels == state]
+            if members.shape[0] == 0:
+                raise ValueError(f"training session has no {state!r} windows")
+            centroids[state] = members.mean(axis=0)
+        self._centroids = centroids
+        return self
+
+    def predict(self, session: SCSession) -> tuple[np.ndarray, np.ndarray]:
+        """Per-window predictions: ``(window_centers_s, state_labels)``."""
+        if self._centroids is None or self._scale is None:
+            raise RuntimeError("classifier has not been fit")
+        centers, feats = sc_window_features(
+            session.sc, session.sample_rate, self.window_s
+        )
+        names = list(self._centroids)
+        stack = np.stack([self._centroids[s] for s in names])
+        dists = np.linalg.norm(
+            (feats[:, None, :] - stack[None, :, :]) / self._scale, axis=2
+        )
+        picks = dists.argmin(axis=1)
+        return centers, np.array([names[i] for i in picks])
+
+    def accuracy(self, session: SCSession) -> float:
+        """Window-level accuracy against the session's ground truth."""
+        centers, preds = self.predict(session)
+        idx = np.minimum(
+            (centers * session.sample_rate).astype(int), session.labels.shape[0] - 1
+        )
+        return float(np.mean(preds == session.labels[idx]))
+
+
+def _majority_smooth(labels: np.ndarray, radius: int) -> np.ndarray:
+    """Sliding majority vote with the given one-sided radius."""
+    if radius < 1:
+        return labels
+    smoothed = labels.copy()
+    n = labels.shape[0]
+    for i in range(n):
+        lo = max(0, i - radius)
+        hi = min(n, i + radius + 1)
+        window = labels[lo:hi]
+        values, counts = np.unique(window, return_counts=True)
+        smoothed[i] = values[counts.argmax()]
+    return smoothed
+
+
+def segment_engagement(
+    session: SCSession,
+    classifier: SCEngagementClassifier | None = None,
+    smooth_radius: int = 3,
+    min_dwell_s: float = 120.0,
+) -> list[tuple[float, str]]:
+    """Collapse per-window predictions into ``(start_s, state)`` change points.
+
+    When no classifier is given, one is fit on the session itself (the
+    paper's single-subject case study does exactly this).  ``smooth_radius``
+    majority-votes neighbouring windows and ``min_dwell_s`` drops changes
+    that last less than that many seconds, so momentary SC excursions don't
+    thrash the downstream decoder mode.
+    """
+    if classifier is None:
+        classifier = SCEngagementClassifier().fit(session)
+    centers, preds = classifier.predict(session)
+    preds = _majority_smooth(preds, smooth_radius)
+    changes: list[tuple[float, str]] = []
+    previous: str | None = None
+    for center, state in zip(centers, preds):
+        if state != previous:
+            start = max(0.0, center - classifier.window_s / 2.0)
+            changes.append((float(start), str(state)))
+            previous = state
+    if min_dwell_s > 0.0 and len(changes) > 1:
+        changes = _merge_short_segments(changes, session, min_dwell_s)
+    return changes
+
+
+def _merge_short_segments(
+    changes: list[tuple[float, str]], session: SCSession, min_dwell_s: float
+) -> list[tuple[float, str]]:
+    """Drop state changes that last less than ``min_dwell_s``."""
+    total_s = float(session.time_s[-1]) if session.time_s.size else 0.0
+    merged: list[tuple[float, str]] = [changes[0]]
+    for i in range(1, len(changes)):
+        start, state = changes[i]
+        end = changes[i + 1][0] if i + 1 < len(changes) else total_s
+        if end - start < min_dwell_s:
+            continue
+        if state != merged[-1][1]:
+            merged.append((start, state))
+    return merged

@@ -1,0 +1,76 @@
+"""Real-time emotion stream with flicker suppression.
+
+A deployed affect classifier emits a label every window; raw labels flicker.
+The system-management policies (Sections 4-5) want a stable state, so the
+stream applies a sliding majority vote with hysteresis before reporting
+"mood swings" downstream.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EmotionEvent:
+    """A committed emotion change."""
+
+    timestamp: float
+    emotion: str
+
+
+@dataclass
+class EmotionStream:
+    """Sliding-majority smoothing over raw classifier outputs.
+
+    Parameters
+    ----------
+    window:
+        Number of recent raw labels participating in the vote.
+    min_votes:
+        Minimum count the winning label needs before a switch commits
+        (hysteresis; defaults to a strict majority of the window).
+    """
+
+    window: int = 5
+    min_votes: int | None = None
+    _history: deque = field(default_factory=deque, repr=False)
+    _current: str | None = field(default=None, repr=False)
+    _events: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.min_votes is None:
+            self.min_votes = self.window // 2 + 1
+        if not 1 <= self.min_votes <= self.window:
+            raise ValueError("min_votes must be in [1, window]")
+
+    @property
+    def current(self) -> str | None:
+        """The committed emotion state (None before the first commit)."""
+        return self._current
+
+    @property
+    def events(self) -> list[EmotionEvent]:
+        """All committed state changes, in order."""
+        return list(self._events)
+
+    def push(self, label: str, timestamp: float = 0.0) -> str | None:
+        """Feed one raw classifier label; returns the committed state."""
+        self._history.append(label)
+        while len(self._history) > self.window:
+            self._history.popleft()
+        winner, votes = Counter(self._history).most_common(1)[0]
+        assert self.min_votes is not None
+        if votes >= self.min_votes and winner != self._current:
+            self._current = winner
+            self._events.append(EmotionEvent(timestamp=timestamp, emotion=winner))
+        return self._current
+
+    def reset(self) -> None:
+        """Clear history, state, and events."""
+        self._history.clear()
+        self._current = None
+        self._events.clear()

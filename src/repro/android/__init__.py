@@ -1,0 +1,40 @@
+"""Android-like application and memory management simulator.
+
+Substitute for the paper's Android-11 emulator case study (Section 5): a
+catalog of 44 apps across the study's categories, a RAM + flash model, a
+process lifecycle with foreground/background services and a background
+process limit of 20, pluggable background-kill policies (the FIFO-like
+system default, LRU, and the paper's emotional manager from
+:mod:`repro.core.app_policy`), a monkey-script workload generator driven by
+the personality usage distributions, and a Perfetto-like tracer that
+records the process lifespans and loading activity behind Figs. 9 and 10.
+"""
+
+from repro.android.app import AppSpec, build_app_catalog
+from repro.android.energy import LoadingEnergyModel
+from repro.android.memory import FlashModel, MemoryModel
+from repro.android.process import ProcessRecord, ProcessState
+from repro.android.policies import FifoKillPolicy, KillPolicy, LruKillPolicy
+from repro.android.monkey import LaunchEvent, MonkeyScript
+from repro.android.tracer import TraceEvent, Tracer
+from repro.android.emulator import AndroidEmulator, EmulatorConfig, PAPER_EMULATOR_CONFIG
+
+__all__ = [
+    "AndroidEmulator",
+    "AppSpec",
+    "EmulatorConfig",
+    "FifoKillPolicy",
+    "FlashModel",
+    "LoadingEnergyModel",
+    "KillPolicy",
+    "LaunchEvent",
+    "LruKillPolicy",
+    "MemoryModel",
+    "MonkeyScript",
+    "PAPER_EMULATOR_CONFIG",
+    "ProcessRecord",
+    "ProcessState",
+    "TraceEvent",
+    "Tracer",
+    "build_app_catalog",
+]

@@ -1,0 +1,103 @@
+"""Application catalog.
+
+The paper installs 44 apps covering the usage study's categories on its
+emulator.  Each synthetic app carries the two quantities the memory
+experiment needs: its resident RAM footprint and the bytes it loads from
+flash at a cold start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.phone_usage import APP_CATEGORIES
+
+# Typical (ram_mb, flash_load_mb) per category, loosely following profiler
+# numbers for common Android apps of each kind.
+_CATEGORY_FOOTPRINTS: dict[str, tuple[float, float]] = {
+    "Messaging": (190.0, 120.0),
+    "Internet_Browser": (340.0, 210.0),
+    "Social_Networks": (300.0, 260.0),
+    "E_Mail": (160.0, 110.0),
+    "Calling": (120.0, 70.0),
+    "Music_Audio_Radio": (180.0, 140.0),
+    "Sharing_Cloud": (170.0, 130.0),
+    "TV_Video_Apps": (320.0, 290.0),
+    "Video": (280.0, 240.0),
+    "Camera": (230.0, 150.0),
+    "Foto": (200.0, 160.0),
+    "Gallery": (190.0, 140.0),
+    "Shopping": (240.0, 200.0),
+    "Shared_Transportation": (180.0, 150.0),
+    "Calculator": (60.0, 30.0),
+    "Timer_Clocks": (70.0, 35.0),
+    "Calendar_Apps": (110.0, 70.0),
+    "Settings": (90.0, 40.0),
+    "System_App": (80.0, 30.0),
+    "Games": (450.0, 380.0),
+}
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One installed application."""
+
+    name: str
+    category: str
+    ram_mb: float
+    flash_load_mb: float
+    is_system: bool = False
+
+    @property
+    def flash_load_bytes(self) -> int:
+        """Cold-start flash traffic in bytes."""
+        return int(self.flash_load_mb * 1024 * 1024)
+
+
+def build_app_catalog(
+    n_apps: int = 44, seed: int = 0
+) -> list[AppSpec]:
+    """Build the emulator's app catalog.
+
+    Every category gets at least one app; remaining slots are spread round
+    robin so popular categories hold several apps (several messengers,
+    browsers, ...), matching the study's per-category inventories.
+    """
+    if n_apps < len(APP_CATEGORIES):
+        raise ValueError(
+            f"need at least {len(APP_CATEGORIES)} apps to cover every category"
+        )
+    rng = np.random.default_rng(seed)
+    counts = {category: 1 for category in APP_CATEGORIES}
+    remaining = n_apps - len(APP_CATEGORIES)
+    cycle = 0
+    while remaining > 0:
+        category = APP_CATEGORIES[cycle % len(APP_CATEGORIES)]
+        counts[category] += 1
+        cycle += 1
+        remaining -= 1
+    catalog: list[AppSpec] = []
+    for category in APP_CATEGORIES:
+        ram_base, flash_base = _CATEGORY_FOOTPRINTS[category]
+        for k in range(counts[category]):
+            scale = float(rng.uniform(0.8, 1.25))
+            catalog.append(
+                AppSpec(
+                    name=f"{category}_{k + 1}",
+                    category=category,
+                    ram_mb=round(ram_base * scale, 1),
+                    flash_load_mb=round(flash_base * scale, 1),
+                    is_system=category in ("Settings", "System_App"),
+                )
+            )
+    return catalog
+
+
+def apps_by_category(catalog: list[AppSpec]) -> dict[str, list[AppSpec]]:
+    """Group a catalog by category."""
+    grouped: dict[str, list[AppSpec]] = {}
+    for app in catalog:
+        grouped.setdefault(app.category, []).append(app)
+    return grouped

@@ -1,0 +1,89 @@
+"""Monkey-script workload generator.
+
+The paper drives its emulator with a monkey script that opens apps with
+frequency and duration matching each subject's daily usage statistics and
+injects random touches.  This generator produces the launch sequence: app
+launches sampled from the subject's category distribution, with dwell times
+between launches and per-category app preferences (within a category the
+first app is the user's favourite, as in real usage)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.android.app import AppSpec, apps_by_category
+from repro.datasets.phone_usage import Subject, usage_distribution
+
+
+@dataclass(frozen=True)
+class LaunchEvent:
+    """One app launch at ``time_s``; the emotion label is the workload's
+    ground-truth user state at that moment."""
+
+    time_s: float
+    app: str
+    emotion: str
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """A span of the workload driven by one subject / emotional state."""
+
+    subject: Subject
+    duration_s: float
+    emotion: str
+
+
+class MonkeyScript:
+    """Generate launch sequences from personality usage distributions."""
+
+    def __init__(
+        self,
+        catalog: list[AppSpec],
+        mean_dwell_s: float = 18.0,
+        favourite_weight: float = 2.5,
+        seed: int = 0,
+    ) -> None:
+        if mean_dwell_s <= 0:
+            raise ValueError("mean dwell must be positive")
+        self.catalog = catalog
+        self.by_category = apps_by_category(catalog)
+        self.mean_dwell_s = mean_dwell_s
+        self.favourite_weight = favourite_weight
+        self._rng = np.random.default_rng(seed)
+
+    def _pick_app(self, category: str) -> AppSpec:
+        apps = self.by_category.get(category)
+        if not apps:
+            raise KeyError(f"no apps installed for category {category!r}")
+        weights = np.ones(len(apps))
+        weights[0] = self.favourite_weight
+        idx = int(self._rng.choice(len(apps), p=weights / weights.sum()))
+        return apps[idx]
+
+    def generate(self, phases: list[WorkloadPhase]) -> list[LaunchEvent]:
+        """Produce the launch sequence over consecutive phases.
+
+        Dwell times are exponential with the configured mean (idle time is
+        compressed out, as the paper does to shorten simulation)."""
+        events: list[LaunchEvent] = []
+        now = 0.0
+        for phase in phases:
+            if phase.duration_s <= 0:
+                raise ValueError("phase duration must be positive")
+            dist = usage_distribution(phase.subject)
+            categories = list(dist)
+            probs = np.array([dist[c] for c in categories])
+            probs = probs / probs.sum()
+            end = now + phase.duration_s
+            while now < end:
+                category = categories[int(self._rng.choice(len(categories), p=probs))]
+                app = self._pick_app(category)
+                events.append(
+                    LaunchEvent(time_s=now, app=app.name, emotion=phase.emotion)
+                )
+                now += float(self._rng.exponential(self.mean_dwell_s))
+            now = end
+        return events

@@ -1,0 +1,55 @@
+"""Background-kill policies.
+
+The emulator asks its policy for a victim whenever the background process
+count exceeds the limit or RAM runs out.  The system default behaves
+FIFO-like (paper Section 5.2); LRU is provided as an ablation baseline.
+The paper's emotional policy lives in :mod:`repro.core.app_policy`.
+"""
+
+from __future__ import annotations
+
+from repro.android.process import ProcessRecord
+
+
+class KillPolicy:
+    """Chooses which background process to kill."""
+
+    name = "base"
+
+    def choose_victim(
+        self, background: list[ProcessRecord], emotion: str | None = None
+    ) -> ProcessRecord:
+        """Pick one victim from non-empty ``background``.
+
+        ``emotion`` is the currently detected user state (ignored by
+        non-affective policies).
+        """
+        raise NotImplementedError
+
+
+class FifoKillPolicy(KillPolicy):
+    """Kill the process that has been alive longest (the system default)."""
+
+    name = "fifo"
+
+    def choose_victim(
+        self, background: list[ProcessRecord], emotion: str | None = None
+    ) -> ProcessRecord:
+        """Pick the background process to kill (see :class:`KillPolicy`)."""
+        if not background:
+            raise ValueError("no background processes to kill")
+        return min(background, key=lambda p: p.started_at)
+
+
+class LruKillPolicy(KillPolicy):
+    """Kill the least-recently-used process (ablation baseline)."""
+
+    name = "lru"
+
+    def choose_victim(
+        self, background: list[ProcessRecord], emotion: str | None = None
+    ) -> ProcessRecord:
+        """Pick the background process to kill (see :class:`KillPolicy`)."""
+        if not background:
+            raise ValueError("no background processes to kill")
+        return min(background, key=lambda p: p.last_used)

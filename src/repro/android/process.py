@@ -1,0 +1,80 @@
+"""Process lifecycle records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.android.app import AppSpec
+
+
+class ProcessState(str, Enum):
+    """Lifecycle states tracked by the emulator."""
+
+    FOREGROUND = "foreground"
+    BACKGROUND = "background"
+    DEAD = "dead"
+
+
+@dataclass
+class ProcessRecord:
+    """One app process and its history.
+
+    ``spans`` holds closed ``(start_s, end_s)`` life intervals; an open
+    interval is tracked by ``alive_since``.  Fig. 9's lifespan diagram is
+    rendered directly from these.
+    """
+
+    app: AppSpec
+    state: ProcessState = ProcessState.DEAD
+    alive_since: float | None = None
+    last_used: float = 0.0
+    started_at: float = 0.0
+    spans: list[tuple[float, float]] = field(default_factory=list)
+    cold_starts: int = 0
+    kills: int = 0
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the process currently exists."""
+        return self.state != ProcessState.DEAD
+
+    def start(self, now: float) -> None:
+        """Cold start: transition dead -> foreground."""
+        if self.is_alive:
+            raise RuntimeError(f"{self.app.name} is already running")
+        self.state = ProcessState.FOREGROUND
+        self.alive_since = now
+        self.started_at = now
+        self.last_used = now
+        self.cold_starts += 1
+
+    def to_foreground(self, now: float) -> None:
+        """Warm start: background -> foreground."""
+        if not self.is_alive:
+            raise RuntimeError(f"{self.app.name} is not running")
+        self.state = ProcessState.FOREGROUND
+        self.last_used = now
+
+    def to_background(self, now: float) -> None:
+        """Demote foreground -> background."""
+        if not self.is_alive:
+            raise RuntimeError(f"{self.app.name} is not running")
+        self.state = ProcessState.BACKGROUND
+
+    def kill(self, now: float) -> None:
+        """Terminate the process, closing its lifespan interval."""
+        if not self.is_alive:
+            raise RuntimeError(f"{self.app.name} is not running")
+        assert self.alive_since is not None
+        self.spans.append((self.alive_since, now))
+        self.alive_since = None
+        self.state = ProcessState.DEAD
+        self.kills += 1
+
+    def close(self, now: float) -> None:
+        """End-of-simulation: close an open lifespan without a kill."""
+        if self.is_alive and self.alive_since is not None:
+            self.spans.append((self.alive_since, now))
+            self.alive_since = None
+            self.state = ProcessState.DEAD

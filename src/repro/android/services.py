@@ -1,0 +1,55 @@
+"""Foreground / background service views (paper Fig. 8).
+
+In Android, the foreground service runs the app with user-noticeable
+operations while the background service manages background app activity.
+These classes are read-only views over an :class:`AndroidEmulator` used by
+the top-level affect controller and the examples; the kill/keep mechanics
+themselves live in the emulator loop and its policy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.android.emulator import AndroidEmulator
+from repro.android.process import ProcessRecord, ProcessState
+
+
+@dataclass
+class ForegroundService:
+    """View of the currently foregrounded app."""
+
+    emulator: AndroidEmulator
+
+    @property
+    def current_app(self) -> str | None:
+        """Name of the foregrounded app, if any."""
+        for name, proc in self.emulator.processes.items():
+            if proc.state == ProcessState.FOREGROUND:
+                return name
+        return None
+
+
+@dataclass
+class BackgroundService:
+    """View of background processes and the process-limit headroom."""
+
+    emulator: AndroidEmulator
+
+    @property
+    def processes(self) -> list[ProcessRecord]:
+        """Live background processes."""
+        return self.emulator.background_processes()
+
+    @property
+    def count(self) -> int:
+        """Number of background processes."""
+        return len(self.processes)
+
+    @property
+    def headroom(self) -> int:
+        """Background slots left before the policy must kill."""
+        return self.emulator.config.process_limit - self.count
+
+    def over_limit(self) -> bool:
+        """Whether the background count exceeds the process limit."""
+        return self.headroom < 0

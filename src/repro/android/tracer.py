@@ -1,0 +1,98 @@
+"""Perfetto-like event tracer.
+
+Records launches, cold/warm starts and kills with timestamps, and exposes
+the aggregates behind Fig. 9 (per-process lifespan spans) and Fig. 10
+(total memory loaded at app start, total loading time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced event."""
+
+    time_s: float
+    kind: str  # "cold_start" | "warm_start" | "kill" | "background"
+    app: str
+    detail: float = 0.0  # bytes for cold_start, 0 otherwise
+
+
+@dataclass
+class Tracer:
+    """Accumulates trace events and aggregates."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, time_s: float, kind: str, app: str, detail: float = 0.0) -> None:
+        """Append one event."""
+        self.events.append(TraceEvent(time_s=time_s, kind=kind, app=app, detail=detail))
+
+    def count(self, kind: str) -> int:
+        """Number of events of one kind."""
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def cold_start_bytes(self) -> float:
+        """Total bytes loaded from flash at app starts."""
+        return sum(e.detail for e in self.events if e.kind == "cold_start")
+
+    def kills_of(self, app: str) -> int:
+        """How many times one app was killed."""
+        return sum(1 for e in self.events if e.kind == "kill" and e.app == app)
+
+    def timeline(self, app: str) -> list[TraceEvent]:
+        """All events of one app, in order."""
+        return [e for e in self.events if e.app == app]
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Export as Chrome trace-event JSON (loadable in Perfetto).
+
+        Cold/warm starts and kills become instant events ("i"); each
+        process lifespan between a start and its kill becomes a duration
+        pair ("B"/"E") on that app's track.
+        """
+        trace: list[dict] = []
+        open_since: dict[str, float] = {}
+        for event in sorted(self.events, key=lambda e: e.time_s):
+            ts_us = event.time_s * 1e6
+            trace.append(
+                {
+                    "name": event.kind,
+                    "ph": "i",
+                    "ts": ts_us,
+                    "pid": 1,
+                    "tid": event.app,
+                    "s": "t",
+                    "args": {"bytes": event.detail} if event.detail else {},
+                }
+            )
+            if event.kind == "cold_start":
+                open_since[event.app] = event.time_s
+                trace.append(
+                    {"name": "alive", "ph": "B", "ts": ts_us, "pid": 1,
+                     "tid": event.app}
+                )
+            elif event.kind == "kill" and event.app in open_since:
+                del open_since[event.app]
+                trace.append(
+                    {"name": "alive", "ph": "E", "ts": ts_us, "pid": 1,
+                     "tid": event.app}
+                )
+        # Close spans still open at the last event.
+        if self.events:
+            end_us = max(e.time_s for e in self.events) * 1e6
+            for app in open_since:
+                trace.append(
+                    {"name": "alive", "ph": "E", "ts": end_us, "pid": 1,
+                     "tid": app}
+                )
+        return trace
+
+    def save_chrome_trace(self, path) -> None:
+        """Write the Chrome trace JSON to ``path``."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_chrome_trace()))

@@ -1,0 +1,186 @@
+"""Command-line experiment runner.
+
+``repro <experiment>`` regenerates a paper figure's numbers from the
+terminal::
+
+    repro fig6-modes        # four decoder working modes (Fig. 6 middle)
+    repro fig6-playback     # affect-driven playback energy (Fig. 6 bottom)
+    repro fig7-usage        # app usage patterns by subject (Fig. 7 left)
+    repro fig7-emulator     # emulator specification (Fig. 7 right)
+    repro fig10-memory      # memory / loading-time savings (Fig. 10)
+    repro fig3-models       # classifier study (Fig. 3; slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _fig6_modes(args: argparse.Namespace) -> None:
+    from repro.core import DecoderMode, measure_mode_power
+    from repro.core.casestudy import paper_clip_stream
+
+    frames, stream = paper_clip_stream(seed=args.seed)
+    table = measure_mode_power(stream, frames)
+    print(f"DF share of standard-mode power: {table.df_share_standard * 100:.1f}% "
+          "(paper: 31.4%)")
+    print(f"{'mode':<10} {'power':>6} {'saving':>7} {'PSNR dB':>8} {'blockiness':>10}")
+    for mode in DecoderMode:
+        r = table.results[mode]
+        print(
+            f"{mode.value:<10} {r.power:6.3f} {r.saving * 100:6.1f}% "
+            f"{r.psnr_db:8.2f} {r.blockiness:10.2f}"
+        )
+
+
+def _fig6_playback(args: argparse.Namespace) -> None:
+    from repro.affect import segment_engagement
+    from repro.core import measure_mode_power, simulate_playback
+    from repro.core.casestudy import paper_clip_stream
+    from repro.datasets import generate_sc_session
+
+    frames, stream = paper_clip_stream(seed=args.seed)
+    table = measure_mode_power(stream, frames)
+    session = generate_sc_session(seed=args.seed)
+    segments = segment_engagement(session)
+    report = simulate_playback(segments, float(session.time_s[-1]), table)
+    for seg in report.segments:
+        print(
+            f"{seg.start_s / 60:5.1f}-{seg.end_s / 60:5.1f} min  "
+            f"{seg.state:<13} {seg.mode.value:<9} P={seg.power:.3f}"
+        )
+    print(f"energy saving vs standard: {report.energy_saving * 100:.1f}% "
+          "(paper: 23.1%)")
+
+
+def _fig7_usage(args: argparse.Namespace) -> None:
+    from repro.datasets import SUBJECTS, usage_distribution
+
+    for subject in SUBJECTS:
+        dist = usage_distribution(subject)
+        top = sorted(dist.items(), key=lambda kv: kv[1], reverse=True)[:6]
+        share = dist["Messaging"] + dist["Internet_Browser"]
+        print(f"Subject {subject.subject_id} ({subject.description}); "
+              f"messaging+browsing = {share * 100:.0f}%")
+        for category, p in top:
+            print(f"    {category:<22} {p * 100:5.1f}%")
+
+
+def _fig7_emulator(args: argparse.Namespace) -> None:
+    from repro.android import PAPER_EMULATOR_CONFIG as cfg
+
+    rows = [
+        ("Platform", cfg.platform),
+        ("Emulator Version", cfg.emulator_version),
+        ("CPU CORE", cfg.cpu_cores),
+        ("Ram Allocation", f"{cfg.ram_mb} MB"),
+        ("Rom Allocation", f"{cfg.rom_gb}GB"),
+        ("# of Total Apps", cfg.n_apps),
+        ("Resolution", cfg.resolution),
+    ]
+    for key, value in rows:
+        print(f"{key:<18} {value}")
+
+
+def _fig10_memory(args: argparse.Namespace) -> None:
+    from repro.core.appstudy import run_case_study
+
+    result = run_case_study(seed=args.seed)
+    base, emo = result.baseline, result.emotion
+    print(f"{'':<18} {'emotion-driven':>16} {'baseline':>12}")
+    print(f"{'loaded bytes':<18} {emo.total_loaded_bytes:>16,} "
+          f"{base.total_loaded_bytes:>12,}")
+    print(f"{'loading time (s)':<18} {emo.total_load_time_s:>16.1f} "
+          f"{base.total_load_time_s:>12.1f}")
+    print(f"memory saving: {result.memory_saving * 100:.1f}% (paper: 17%)")
+    print(f"time saving:   {result.time_saving * 100:.1f}% (paper: 12%)")
+
+
+def _fig3_models(args: argparse.Namespace) -> None:
+    from repro.affect import AffectClassifierPipeline, default_training
+    from repro.datasets import cremad_like, emovo_like, ravdess_like
+
+    builders = {
+        "RAVDESS": ravdess_like,
+        "EMOVO": emovo_like,
+        "CREMA-D": cremad_like,
+    }
+    print(f"{'corpus':<10} {'MLP':>6} {'CNN':>6} {'LSTM':>6}")
+    for name, builder in builders.items():
+        corpus = builder(n_per_class=args.per_class, seed=args.seed)
+        row = []
+        for arch in ("mlp", "cnn", "lstm"):
+            epochs, lr = default_training(arch)
+            pipeline = AffectClassifierPipeline(arch, seed=args.seed)
+            metrics = pipeline.train(corpus, epochs=epochs, lr=lr)
+            row.append(metrics["test_accuracy"])
+        print(f"{name:<10} " + " ".join(f"{a * 100:5.1f}%" for a in row))
+
+
+def _entropy(args: argparse.Namespace) -> None:
+    from dataclasses import replace
+
+    from repro.core.casestudy import PAPER_CLIP_ENCODER, paper_clip_frames
+    from repro.video import Decoder, Encoder
+    from repro.video.quality import sequence_psnr
+
+    frames = paper_clip_frames(seed=args.seed)
+    sizes = {}
+    for mode in ("eg", "cavlc"):
+        stream = Encoder(replace(PAPER_CLIP_ENCODER, entropy=mode)).encode(frames)
+        decoded = Decoder().decode(stream)
+        sizes[mode] = len(stream)
+        print(f"{mode:<6} {len(stream):>7,} bytes  "
+              f"PSNR {sequence_psnr(frames, decoded.frames):.2f} dB")
+    saving = 1.0 - sizes["cavlc"] / sizes["eg"]
+    print(f"CAVLC saves {saving * 100:.1f}% of the bitstream")
+
+
+def _export_trace(args: argparse.Namespace) -> None:
+    from repro.core.appstudy import run_case_study
+
+    result = run_case_study(seed=args.seed)
+    path = args.output or "emotion_trace.json"
+    result.emotion.tracer.save_chrome_trace(path)
+    print(f"wrote {len(result.emotion.tracer.events)} events to {path}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+
+
+_COMMANDS = {
+    "fig6-modes": _fig6_modes,
+    "fig6-playback": _fig6_playback,
+    "fig7-usage": _fig7_usage,
+    "fig7-emulator": _fig7_emulator,
+    "fig10-memory": _fig10_memory,
+    "fig3-models": _fig3_models,
+    "entropy": _entropy,
+    "export-trace": _export_trace,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse the experiment name and run it."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Regenerate the paper's experiments."
+    )
+    parser.add_argument("experiment", choices=sorted(_COMMANDS))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--per-class", type=int, default=40,
+        help="samples per emotion class for fig3-models",
+    )
+    parser.add_argument(
+        "--output", type=str, default=None,
+        help="output path for export-trace",
+    )
+    args = parser.parse_args(argv)
+    try:
+        _COMMANDS[args.experiment](args)
+    except BrokenPipeError:  # e.g. piped into `head`
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""The paper's primary contribution: affect-driven system management.
+
+Ties the affect classification stack (:mod:`repro.affect`) to the two
+hardware management schemes:
+
+- :mod:`repro.core.modes` / :mod:`repro.core.video_policy` /
+  :mod:`repro.core.playback` — the affect-adaptive H.264 decoder modes and
+  the emotion-to-mode playback controller (Section 4);
+- :mod:`repro.core.affect_table` / :mod:`repro.core.app_policy` — the
+  Background App Affect Table and emotional app manager (Section 5);
+- :mod:`repro.core.controller` — the top-level manager wiring an emotion
+  stream into both policies (Fig. 4).
+"""
+
+from repro.core.modes import DEFAULT_DELETION_PARAMS, DecoderMode, decoder_config_for
+from repro.core.video_policy import PAPER_MODE_TABLE, VideoModePolicy
+from repro.core.playback import (
+    ModePowerTable,
+    PlaybackReport,
+    PlaybackSegment,
+    measure_mode_power,
+    simulate_playback,
+)
+from repro.core.affect_table import AffectTable, AppRankGenerator
+from repro.core.casestudy import paper_clip_frames, paper_clip_stream
+from repro.core.app_policy import EmotionalAppPolicy
+from repro.core.controller import AffectDrivenSystemManager
+from repro.core.personalization import MODE_LADDER, PolicyPersonalizer
+
+__all__ = [
+    "AffectDrivenSystemManager",
+    "AffectTable",
+    "AppRankGenerator",
+    "DEFAULT_DELETION_PARAMS",
+    "DecoderMode",
+    "EmotionalAppPolicy",
+    "MODE_LADDER",
+    "PolicyPersonalizer",
+    "ModePowerTable",
+    "PAPER_MODE_TABLE",
+    "PlaybackReport",
+    "PlaybackSegment",
+    "VideoModePolicy",
+    "decoder_config_for",
+    "paper_clip_frames",
+    "paper_clip_stream",
+    "measure_mode_power",
+    "simulate_playback",
+]

@@ -1,0 +1,107 @@
+"""The Background App Affect Table and app rank generator (paper Fig. 8).
+
+The affect table stores, per emotional state, the user's app usage pattern
+— the probability that each installed app is the next one activated.  The
+rank generator orders background apps by that probability so the emotional
+app manager can keep likely apps resident and kill unlikely ones.  The
+table can be seeded from the personality study's distributions and then
+updated online from observed launches (the "App Running Record with
+Emotion Conditions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.android.app import AppSpec, apps_by_category
+from repro.datasets.phone_usage import Subject, usage_distribution
+
+
+@dataclass
+class AffectTable:
+    """Per-emotion app activation probabilities.
+
+    ``probabilities[emotion][app_name]`` sums to 1 over the catalog for
+    each emotion.  Unknown emotions fall back to the mean over known ones.
+    """
+
+    probabilities: dict[str, dict[str, float]] = field(default_factory=dict)
+    favourite_weight: float = 2.5
+
+    @classmethod
+    def from_subjects(
+        cls,
+        catalog: list[AppSpec],
+        subjects: list[Subject],
+        favourite_weight: float = 2.5,
+    ) -> "AffectTable":
+        """Seed the table: one emotion entry per subject's emotion proxy.
+
+        A category's probability is split over its installed apps with the
+        first app ("the favourite") weighted higher, matching the monkey
+        workload's preference model.
+        """
+        table = cls(favourite_weight=favourite_weight)
+        grouped = apps_by_category(catalog)
+        for subject in subjects:
+            dist = usage_distribution(subject)
+            per_app: dict[str, float] = {}
+            for category, cat_prob in dist.items():
+                apps = grouped.get(category, [])
+                if not apps:
+                    continue
+                weights = [favourite_weight] + [1.0] * (len(apps) - 1)
+                total = sum(weights)
+                for app, weight in zip(apps, weights):
+                    per_app[app.name] = cat_prob * weight / total
+            norm = sum(per_app.values())
+            table.probabilities[subject.emotion_proxy] = {
+                name: p / norm for name, p in per_app.items()
+            }
+        return table
+
+    def emotions(self) -> list[str]:
+        """Emotion labels the table has entries for."""
+        return list(self.probabilities)
+
+    def probability(self, emotion: str, app_name: str) -> float:
+        """Activation probability of an app under an emotion."""
+        entry = self.probabilities.get(emotion)
+        if entry is None:
+            known = list(self.probabilities.values())
+            if not known:
+                return 0.0
+            return sum(e.get(app_name, 0.0) for e in known) / len(known)
+        return entry.get(app_name, 0.0)
+
+    def record_usage(self, emotion: str, app_name: str, weight: float = 0.02) -> None:
+        """Online update: blend an observed launch into the table."""
+        if not 0.0 < weight <= 1.0:
+            raise ValueError("weight must be in (0, 1]")
+        entry = self.probabilities.setdefault(emotion, {})
+        for name in list(entry):
+            entry[name] *= 1.0 - weight
+        entry[app_name] = entry.get(app_name, 0.0) + weight
+
+
+@dataclass
+class AppRankGenerator:
+    """Orders apps by activation likelihood under the current emotion."""
+
+    table: AffectTable
+
+    def rank(self, emotion: str, app_names: list[str]) -> list[str]:
+        """App names sorted most-likely first (rank #1 first)."""
+        return sorted(
+            app_names,
+            key=lambda name: self.table.probability(emotion, name),
+            reverse=True,
+        )
+
+    def least_likely(self, emotion: str, app_names: list[str]) -> str:
+        """The lowest-priority app — the next kill victim."""
+        if not app_names:
+            raise ValueError("no apps to rank")
+        return min(
+            app_names, key=lambda name: self.table.probability(emotion, name)
+        )

@@ -1,0 +1,55 @@
+"""The emotional app manager's kill policy (paper Section 5.1).
+
+Where the system default kills background processes FIFO, the emotional
+manager kills the app *least likely to be activated under the user's
+current emotion*, as ranked by the Background App Affect Table.  When the
+emotion changes, preferred apps of the new state automatically rise in
+priority and the rest become kill candidates.
+"""
+
+from __future__ import annotations
+
+from repro.android.policies import KillPolicy
+from repro.android.process import ProcessRecord
+from repro.core.affect_table import AffectTable, AppRankGenerator
+
+
+class EmotionalAppPolicy(KillPolicy):
+    """Affect-table-ranked background kill policy."""
+
+    name = "emotion"
+
+    def __init__(
+        self,
+        table: AffectTable,
+        fallback_emotion: str = "neutral",
+        learn: bool = False,
+    ) -> None:
+        self.table = table
+        self.ranker = AppRankGenerator(table)
+        self.fallback_emotion = fallback_emotion
+        self.learn = learn
+        self.current_emotion: str | None = None
+
+    def set_emotion(self, emotion: str) -> None:
+        """Update the detected user state (from the affect classifier)."""
+        self.current_emotion = emotion
+
+    def observe_launch(self, emotion: str, app_name: str) -> None:
+        """Feed an observed launch into the table (online learning)."""
+        if self.learn:
+            self.table.record_usage(emotion, app_name)
+
+    def choose_victim(
+        self, background: list[ProcessRecord], emotion: str | None = None
+    ) -> ProcessRecord:
+        """Pick the background process to kill (see :class:`KillPolicy`)."""
+        if not background:
+            raise ValueError("no background processes to kill")
+        state = emotion or self.current_emotion or self.fallback_emotion
+        names = [p.app.name for p in background]
+        victim_name = self.ranker.least_likely(state, names)
+        for process in background:
+            if process.app.name == victim_name:
+                return process
+        raise RuntimeError("rank generator returned an unknown app")

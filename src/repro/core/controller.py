@@ -1,0 +1,56 @@
+"""Top-level affect-driven system manager (paper Fig. 4).
+
+Wires the pieces together: raw labels from the affect classifier flow
+through a smoothed :class:`EmotionStream`; the committed state drives both
+the video decoder mode (via :class:`VideoModePolicy`) and the emotional
+app manager (via :class:`EmotionalAppPolicy`).  This is the object an
+application embeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.affect.stream import EmotionStream
+from repro.core.app_policy import EmotionalAppPolicy
+from repro.core.modes import DecoderMode
+from repro.core.video_policy import VideoModePolicy
+
+
+@dataclass
+class AffectDrivenSystemManager:
+    """Routes a smoothed emotion stream into the two management policies."""
+
+    video_policy: VideoModePolicy = field(default_factory=VideoModePolicy)
+    app_policy: EmotionalAppPolicy | None = None
+    stream: EmotionStream = field(default_factory=lambda: EmotionStream(window=5))
+
+    def observe(self, raw_label: str, timestamp: float = 0.0) -> str | None:
+        """Feed one raw classifier output; returns the committed state."""
+        state = self.stream.push(raw_label, timestamp)
+        if state is not None and self.app_policy is not None:
+            self.app_policy.set_emotion(state)
+        return state
+
+    @property
+    def current_emotion(self) -> str | None:
+        """The committed (smoothed) emotion state."""
+        return self.stream.current
+
+    def decoder_mode(self) -> DecoderMode:
+        """Decoder mode for the current committed state."""
+        state = self.stream.current
+        if state is None:
+            return self.video_policy.fallback
+        return self.video_policy.mode_for(state)
+
+    def mode_changes(self) -> list[tuple[float, DecoderMode]]:
+        """Timestamped decoder-mode changes implied by the emotion events."""
+        changes: list[tuple[float, DecoderMode]] = []
+        previous: DecoderMode | None = None
+        for event in self.stream.events:
+            mode = self.video_policy.mode_for(event.emotion)
+            if mode != previous:
+                changes.append((event.timestamp, mode))
+                previous = mode
+        return changes

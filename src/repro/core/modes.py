@@ -1,0 +1,61 @@
+"""The four affect-adaptive decoder working modes (paper Fig. 6, middle).
+
+- ``STANDARD``: all NAL units processed, deblocking filter active — best
+  quality, highest power.
+- ``DF_OFF``: deblocking filter deactivated (paper: ~31.4% power saving,
+  fuzzy macroblock edges).
+- ``DELETION``: Input Selector deletes small P/B NAL units with
+  ``S_th = 140`` bytes, ``f = 1`` (paper: ~10.6% saving).
+- ``COMBINED``: both knobs (paper: ~36.9% saving, highest quality loss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.video.buffers import SelectorConfig
+from repro.video.decoder import DecoderConfig
+
+
+@dataclass(frozen=True)
+class DeletionParams:
+    """Input Selector parameters (paper defaults: S_th = 140, f = 1)."""
+
+    s_th: int = 140
+    f: int = 1
+
+
+DEFAULT_DELETION_PARAMS = DeletionParams()
+
+
+class DecoderMode(str, Enum):
+    """Operating modes of the affect-adaptive decoder."""
+
+    STANDARD = "standard"
+    DF_OFF = "df_off"
+    DELETION = "deletion"
+    COMBINED = "combined"
+
+    @property
+    def deletes_nal_units(self) -> bool:
+        """Whether the Input Selector is active in this mode."""
+        return self in (DecoderMode.DELETION, DecoderMode.COMBINED)
+
+    @property
+    def deblocking_enabled(self) -> bool:
+        """Whether the deblocking filter runs in this mode."""
+        return self in (DecoderMode.STANDARD, DecoderMode.DELETION)
+
+
+def decoder_config_for(
+    mode: DecoderMode, deletion: DeletionParams | None = None
+) -> DecoderConfig:
+    """Decoder configuration implementing one working mode."""
+    deletion = deletion or DEFAULT_DELETION_PARAMS
+    return DecoderConfig(
+        deblock_enabled=mode.deblocking_enabled,
+        selector=SelectorConfig(
+            enabled=mode.deletes_nal_units, s_th=deletion.s_th, f=deletion.f
+        ),
+    )

@@ -1,0 +1,71 @@
+"""Policy personalization from user feedback (the paper's future work).
+
+Section 4 closes: "The power adjustment strategy is subjective to the user
+and hence is expected to be personalized and reprogrammed with the
+hardware capability provided in this work."  This module implements that
+loop: the user occasionally reacts to playback quality ("too blurry") or
+battery drain ("too hungry"); the tuner accumulates per-state feedback and
+walks each state's mode along the power/quality ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.modes import DecoderMode
+from repro.core.video_policy import VideoModePolicy
+
+# Power/quality ladder: left = best quality, right = most power saving.
+MODE_LADDER: tuple[DecoderMode, ...] = (
+    DecoderMode.STANDARD,
+    DecoderMode.DELETION,
+    DecoderMode.DF_OFF,
+    DecoderMode.COMBINED,
+)
+
+QUALITY_COMPLAINT = "too_blurry"
+BATTERY_COMPLAINT = "too_hungry"
+FEEDBACK_KINDS = (QUALITY_COMPLAINT, BATTERY_COMPLAINT)
+
+
+@dataclass
+class PolicyPersonalizer:
+    """Accumulate feedback and reprogram a :class:`VideoModePolicy`.
+
+    ``threshold`` complaints of the same kind about one state move that
+    state's mode one rung along the ladder (toward quality for blur
+    complaints, toward saving for battery complaints), then the counter
+    resets.  Opposite feedback cancels.
+    """
+
+    policy: VideoModePolicy
+    threshold: int = 2
+    _pressure: dict[str, int] = field(default_factory=dict)
+    history: list[tuple[str, str, DecoderMode]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError("threshold must be >= 1")
+
+    def feedback(self, state: str, kind: str) -> DecoderMode:
+        """Register one user complaint; returns the state's (new) mode."""
+        if kind not in FEEDBACK_KINDS:
+            raise ValueError(f"unknown feedback kind {kind!r}")
+        delta = -1 if kind == QUALITY_COMPLAINT else 1
+        pressure = self._pressure.get(state, 0) + delta
+        current = self.policy.mode_for(state)
+        if abs(pressure) >= self.threshold:
+            index = MODE_LADDER.index(current)
+            step = 1 if pressure > 0 else -1
+            new_index = min(len(MODE_LADDER) - 1, max(0, index + step))
+            new_mode = MODE_LADDER[new_index]
+            if new_mode != current:
+                self.policy.reprogram(state, new_mode)
+                self.history.append((state, kind, new_mode))
+            pressure = 0
+        self._pressure[state] = pressure
+        return self.policy.mode_for(state)
+
+    def pressure(self, state: str) -> int:
+        """Unresolved feedback pressure for a state (signed)."""
+        return self._pressure.get(state, 0)

@@ -1,0 +1,62 @@
+"""Emotion-to-decoder-mode policy.
+
+The paper's case study (Section 4): when the user is distracted, video
+quality is not critical, so the decoder runs in its most power-saving mode;
+as the user concentrates the deblocking filter is re-enabled; at full
+concentration ("tense") the standard mode provides best quality; when
+relaxed the filter is deactivated again.  The mapping is explicitly
+"subjective to the user ... personalized and reprogrammed", so the policy
+accepts arbitrary state -> mode tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.modes import DecoderMode
+
+# The paper's Fig. 6 configuration.
+PAPER_MODE_TABLE: dict[str, DecoderMode] = {
+    "distracted": DecoderMode.COMBINED,
+    "concentrated": DecoderMode.DELETION,
+    "tense": DecoderMode.STANDARD,
+    "relaxed": DecoderMode.DF_OFF,
+}
+
+
+@dataclass
+class VideoModePolicy:
+    """Programmable mapping from engagement/emotion state to decoder mode."""
+
+    table: dict[str, DecoderMode] = field(
+        default_factory=lambda: dict(PAPER_MODE_TABLE)
+    )
+    fallback: DecoderMode = DecoderMode.STANDARD
+
+    def mode_for(self, state: str) -> DecoderMode:
+        """Decoder mode for a state; unknown states get the fallback."""
+        return self.table.get(state, self.fallback)
+
+    def reprogram(self, state: str, mode: DecoderMode) -> None:
+        """Override one state's mode (user personalization)."""
+        self.table[state] = mode
+
+    def schedule(
+        self, segments: list[tuple[float, str]], total_s: float
+    ) -> list[tuple[float, float, str, DecoderMode]]:
+        """Turn ``(start_s, state)`` change points into timed mode spans.
+
+        Returns ``(start_s, end_s, state, mode)`` tuples covering
+        ``[0, total_s]``.
+        """
+        if not segments:
+            raise ValueError("need at least one state segment")
+        if total_s <= segments[0][0]:
+            raise ValueError("total duration must exceed the first change point")
+        spans: list[tuple[float, float, str, DecoderMode]] = []
+        for i, (start, state) in enumerate(segments):
+            end = segments[i + 1][0] if i + 1 < len(segments) else total_s
+            if end <= start:
+                continue
+            spans.append((start, min(end, total_s), state, self.mode_for(state)))
+        return spans

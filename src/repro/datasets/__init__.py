@@ -1,0 +1,72 @@
+"""Synthetic data substrates replacing the paper's gated datasets.
+
+The paper uses three emotional-speech corpora (RAVDESS, EMOVO, CREMA-D), the
+uulmMAC skin-conductance corpus, and a personality/phone-usage study — none
+redistributable offline.  Each generator here produces a synthetic
+equivalent that exercises the same code paths; DESIGN.md documents each
+substitution.
+"""
+
+from repro.datasets.speech import (
+    EMOTION_PROFILES,
+    EmotionProfile,
+    SpeechSynthesizer,
+    synthesize_utterance,
+)
+from repro.datasets.biosignals import (
+    BiosignalRecord,
+    CardiacProfile,
+    biosignal_corpus,
+    cardiac_profile_for,
+    synthesize_biosignals,
+)
+from repro.datasets.corpora import (
+    CORPORA,
+    Corpus,
+    CorpusSpec,
+    build_corpus,
+    cremad_like,
+    emovo_like,
+    ravdess_like,
+)
+from repro.datasets.uulmmac import (
+    SCSession,
+    Segment,
+    UULMMAC_TIMELINE,
+    generate_sc_session,
+)
+from repro.datasets.phone_usage import (
+    APP_CATEGORIES,
+    PersonalityProfile,
+    Subject,
+    SUBJECTS,
+    usage_distribution,
+)
+
+__all__ = [
+    "APP_CATEGORIES",
+    "BiosignalRecord",
+    "CardiacProfile",
+    "biosignal_corpus",
+    "cardiac_profile_for",
+    "synthesize_biosignals",
+    "CORPORA",
+    "Corpus",
+    "CorpusSpec",
+    "EMOTION_PROFILES",
+    "EmotionProfile",
+    "PersonalityProfile",
+    "SCSession",
+    "Segment",
+    "SpeechSynthesizer",
+    "Subject",
+    "SUBJECTS",
+    "UULMMAC_TIMELINE",
+    "build_corpus",
+    "cremad_like",
+    "emovo_like",
+    "generate_sc_session",
+    "ravdess_like",
+    "synthesize_utterance",
+    "usage_distribution",
+]

@@ -1,0 +1,218 @@
+"""RAVDESS / EMOVO / CREMA-D-like corpus builders.
+
+Each corpus spec mirrors the paper's description (Section 2.2): RAVDESS has
+7356 clips from 24 actors, EMOVO has 14 sentences from 6 actors in Italian,
+CREMA-D has 7442 clips from 91 actors over 12 sentences.  The synthetic
+builders keep the class inventories, actor/sentence rosters, and a
+per-corpus recording-noise level that reproduces the papers' relative
+difficulty ordering (CREMA-D hardest, RAVDESS easiest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.speech import SpeechSynthesizer
+from repro.dsp.features import FeatureConfig, extract_feature_matrix
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Static description of an emotional-speech corpus."""
+
+    name: str
+    emotions: tuple[str, ...]
+    n_actors: int
+    n_sentences: int
+    paper_size: int
+    noise_level: float
+    language: str = "English"
+    profile_blend: float = 0.0
+
+
+RAVDESS_SPEC = CorpusSpec(
+    name="RAVDESS",
+    emotions=(
+        "neutral",
+        "calm",
+        "happy",
+        "sad",
+        "angry",
+        "fearful",
+        "disgust",
+        "surprised",
+    ),
+    n_actors=24,
+    n_sentences=2,
+    paper_size=7356,
+    noise_level=0.015,
+)
+
+EMOVO_SPEC = CorpusSpec(
+    name="EMOVO",
+    emotions=("neutral", "disgust", "fearful", "angry", "happy", "surprised", "sad"),
+    n_actors=6,
+    n_sentences=14,
+    paper_size=588,
+    noise_level=0.03,
+    profile_blend=0.15,
+    language="Italian",
+)
+
+CREMAD_SPEC = CorpusSpec(
+    name="CREMA-D",
+    emotions=("angry", "disgust", "fearful", "happy", "neutral", "sad"),
+    n_actors=91,
+    n_sentences=12,
+    paper_size=7442,
+    noise_level=0.10,
+    profile_blend=0.35,
+)
+
+CORPORA: dict[str, CorpusSpec] = {
+    spec.name: spec for spec in (RAVDESS_SPEC, EMOVO_SPEC, CREMAD_SPEC)
+}
+
+
+@dataclass
+class Corpus:
+    """A realized feature corpus.
+
+    Attributes
+    ----------
+    spec:
+        The corpus description this corpus was built from.
+    x:
+        Feature tensor of shape ``(n_samples, n_frames, n_features)``.
+    y:
+        Integer emotion labels aligned with ``spec.emotions``.
+    actors:
+        Actor index per sample (used for speaker-independent splits).
+    """
+
+    spec: CorpusSpec
+    x: np.ndarray
+    y: np.ndarray
+    actors: np.ndarray
+    feature_config: FeatureConfig = field(default_factory=FeatureConfig)
+
+    @property
+    def n_classes(self) -> int:
+        """Number of emotion classes."""
+        return len(self.spec.emotions)
+
+    @property
+    def label_names(self) -> tuple[str, ...]:
+        """Emotion label strings, index-aligned with ``y``."""
+        return self.spec.emotions
+
+    def normalized(self) -> "Corpus":
+        """Per-feature z-scored copy (statistics over all samples/frames)."""
+        mean = self.x.mean(axis=(0, 1), keepdims=True)
+        std = self.x.std(axis=(0, 1), keepdims=True) + 1e-8
+        return Corpus(
+            spec=self.spec,
+            x=(self.x - mean) / std,
+            y=self.y.copy(),
+            actors=self.actors.copy(),
+            feature_config=self.feature_config,
+        )
+
+    def split(
+        self, test_fraction: float = 0.3, seed: int = 0
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Stratified train/test split: ``(x_train, y_train, x_test, y_test)``."""
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError("test_fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        train_idx: list[int] = []
+        test_idx: list[int] = []
+        for label in range(self.n_classes):
+            members = np.flatnonzero(self.y == label)
+            rng.shuffle(members)
+            n_test = max(1, int(round(test_fraction * members.size)))
+            test_idx.extend(members[:n_test].tolist())
+            train_idx.extend(members[n_test:].tolist())
+        train = np.array(sorted(train_idx))
+        test = np.array(sorted(test_idx))
+        return self.x[train], self.y[train], self.x[test], self.y[test]
+
+
+def build_corpus(
+    spec: CorpusSpec,
+    n_per_class: int = 40,
+    seed: int = 0,
+    duration: float = 0.9,
+    feature_config: FeatureConfig | None = None,
+    time_jitter: float = 0.25,
+) -> Corpus:
+    """Synthesize a corpus and extract the paper's feature tensor.
+
+    ``n_per_class`` controls the realized corpus size (the paper-scale
+    counts are impractically slow for CI; ``spec.paper_size`` records the
+    original).  ``time_jitter`` randomly delays utterance onsets by up to
+    that fraction of the duration, which penalizes position-locked (MLP)
+    models the way natural alignment variation does.
+    """
+    if n_per_class < 1:
+        raise ValueError("n_per_class must be >= 1")
+    if feature_config is None:
+        feature_config = FeatureConfig()
+    synth = SpeechSynthesizer(
+        sample_rate=feature_config.sample_rate, duration=duration, seed=seed
+    )
+    rng = np.random.default_rng((seed, 2_147_483_647))
+    samples: list[np.ndarray] = []
+    labels: list[int] = []
+    actor_ids: list[int] = []
+    pad = int(time_jitter * duration * feature_config.sample_rate)
+    for label, emotion in enumerate(spec.emotions):
+        for k in range(n_per_class):
+            actor = int(rng.integers(spec.n_actors))
+            sentence = int(rng.integers(spec.n_sentences))
+            wave = synth.synthesize(
+                emotion,
+                actor=actor,
+                sentence=sentence,
+                take=k,
+                noise_level=spec.noise_level,
+                profile_blend=spec.profile_blend,
+            )
+            if pad > 0:
+                offset = int(rng.integers(pad + 1))
+                wave = np.concatenate(
+                    [
+                        spec.noise_level * rng.standard_normal(offset),
+                        wave[: wave.shape[0] - (pad - offset)],
+                        spec.noise_level * rng.standard_normal(pad - offset),
+                    ]
+                )
+            samples.append(extract_feature_matrix(wave, feature_config))
+            labels.append(label)
+            actor_ids.append(actor)
+    n_frames = min(s.shape[0] for s in samples)
+    x = np.stack([s[:n_frames] for s in samples])
+    return Corpus(
+        spec=spec,
+        x=x,
+        y=np.array(labels, dtype=int),
+        actors=np.array(actor_ids, dtype=int),
+        feature_config=feature_config,
+    )
+
+
+def ravdess_like(n_per_class: int = 40, seed: int = 0, **kwargs) -> Corpus:
+    """Build a RAVDESS-like corpus (8 emotions, 24 actors)."""
+    return build_corpus(RAVDESS_SPEC, n_per_class=n_per_class, seed=seed, **kwargs)
+
+
+def emovo_like(n_per_class: int = 40, seed: int = 0, **kwargs) -> Corpus:
+    """Build an EMOVO-like corpus (7 emotions, 6 actors, Italian)."""
+    return build_corpus(EMOVO_SPEC, n_per_class=n_per_class, seed=seed, **kwargs)
+
+
+def cremad_like(n_per_class: int = 40, seed: int = 0, **kwargs) -> Corpus:
+    """Build a CREMA-D-like corpus (6 emotions, 91 actors)."""
+    return build_corpus(CREMAD_SPEC, n_per_class=n_per_class, seed=seed, **kwargs)

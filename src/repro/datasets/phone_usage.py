@@ -1,0 +1,191 @@
+"""Personality-based smartphone usage distributions.
+
+Substitute for the Stachl et al. (PNAS 2020) phone-usage study the paper
+samples four subjects from (Section 5.1, Fig. 7).  Each synthetic subject
+carries a Big-Five personality profile and a top-20 app-category usage
+distribution matching the paper's qualitative description:
+
+- messaging plus internet browsing dominate with ~60-70% of daily usage;
+- subject 1 (high agreeableness / willingness to trust) favours radio,
+  sharing-cloud and TV-video apps;
+- subject 2 (median profile) spreads usage evenly over sharing clouds,
+  browsing and TV-video;
+- subject 3 (high cheerfulness / positive mood — the paper's "excited"
+  proxy) calls and uses shared transportation more;
+- subject 4 (median profile — the "calm" proxy) has an even pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+# The top-20 categories shown in Fig. 7 (left).
+APP_CATEGORIES: tuple[str, ...] = (
+    "Messaging",
+    "Internet_Browser",
+    "Social_Networks",
+    "E_Mail",
+    "Calling",
+    "Music_Audio_Radio",
+    "Sharing_Cloud",
+    "TV_Video_Apps",
+    "Video",
+    "Camera",
+    "Foto",
+    "Gallery",
+    "Shopping",
+    "Shared_Transportation",
+    "Calculator",
+    "Timer_Clocks",
+    "Calendar_Apps",
+    "Settings",
+    "System_App",
+    "Games",
+)
+
+
+@dataclass(frozen=True)
+class PersonalityProfile:
+    """Big-Five scores on a 1-5 scale."""
+
+    openness: float
+    conscientiousness: float
+    extraversion: float
+    agreeableness: float
+    emotional_stability: float
+
+    def as_vector(self) -> np.ndarray:
+        """Scores as a numpy vector (O, C, E, A, ES)."""
+        return np.array(
+            [
+                self.openness,
+                self.conscientiousness,
+                self.extraversion,
+                self.agreeableness,
+                self.emotional_stability,
+            ]
+        )
+
+
+@dataclass(frozen=True)
+class Subject:
+    """One synthetic study subject."""
+
+    subject_id: int
+    description: str
+    personality: PersonalityProfile
+    emotion_proxy: str
+    category_weights: dict[str, float]
+
+
+def _weights(base: dict[str, float]) -> dict[str, float]:
+    """Fill unlisted categories with a small floor and normalize to 1."""
+    floor = 1.0
+    filled = {cat: base.get(cat, floor) for cat in APP_CATEGORIES}
+    total = sum(filled.values())
+    return {cat: w / total for cat, w in filled.items()}
+
+
+SUBJECTS: tuple[Subject, ...] = (
+    Subject(
+        subject_id=1,
+        description="high agreeableness and willingness to trust",
+        personality=PersonalityProfile(3.2, 3.0, 3.1, 4.6, 3.4),
+        emotion_proxy="trusting",
+        category_weights=_weights(
+            {
+                "Messaging": 38.0,
+                "Internet_Browser": 26.0,
+                "Music_Audio_Radio": 6.5,
+                "Sharing_Cloud": 6.0,
+                "TV_Video_Apps": 5.5,
+                "Social_Networks": 3.0,
+                "E_Mail": 2.0,
+            }
+        ),
+    ),
+    Subject(
+        subject_id=2,
+        description="moderate personality with median scores",
+        personality=PersonalityProfile(3.0, 3.0, 3.0, 3.0, 3.0),
+        emotion_proxy="neutral",
+        category_weights=_weights(
+            {
+                "Messaging": 36.0,
+                "Internet_Browser": 28.0,
+                "Sharing_Cloud": 4.5,
+                "TV_Video_Apps": 4.5,
+                "Social_Networks": 3.5,
+                "E_Mail": 3.0,
+                "Calling": 2.5,
+            }
+        ),
+    ),
+    Subject(
+        subject_id=3,
+        description="high cheerfulness and positive mood",
+        personality=PersonalityProfile(3.6, 2.8, 4.4, 3.5, 4.2),
+        emotion_proxy="excited",
+        category_weights=_weights(
+            {
+                "Messaging": 34.0,
+                "Internet_Browser": 26.0,
+                "Calling": 8.0,
+                "Shared_Transportation": 6.5,
+                "Social_Networks": 5.0,
+                "Music_Audio_Radio": 3.0,
+                "Camera": 2.5,
+            }
+        ),
+    ),
+    Subject(
+        subject_id=4,
+        description="median scores with very even app usage",
+        personality=PersonalityProfile(3.1, 3.2, 2.9, 3.1, 3.0),
+        emotion_proxy="calm",
+        category_weights=_weights(
+            {
+                "Messaging": 35.0,
+                "Internet_Browser": 27.0,
+                "E_Mail": 3.2,
+                "Social_Networks": 3.0,
+                "Gallery": 2.8,
+                "Calendar_Apps": 2.6,
+                "Timer_Clocks": 2.4,
+            }
+        ),
+    ),
+)
+
+
+def get_subject(subject_id: int) -> Subject:
+    """Look up a subject by its 1-based id."""
+    for subject in SUBJECTS:
+        if subject.subject_id == subject_id:
+            return subject
+    raise KeyError(f"no subject with id {subject_id}")
+
+
+def usage_distribution(subject: Subject | int) -> dict[str, float]:
+    """Category usage probabilities for a subject (sums to 1)."""
+    if isinstance(subject, int):
+        subject = get_subject(subject)
+    return dict(subject.category_weights)
+
+
+def messaging_browsing_share(subject: Subject | int) -> float:
+    """Combined share of messaging + browsing (paper: ~60-70%)."""
+    dist = usage_distribution(subject)
+    return dist["Messaging"] + dist["Internet_Browser"]
+
+
+def sample_app_category(
+    subject: Subject | int, rng: np.random.Generator
+) -> str:
+    """Draw one app-category launch according to the subject's pattern."""
+    dist = usage_distribution(subject)
+    categories = list(dist)
+    probs = np.array([dist[c] for c in categories])
+    return categories[int(rng.choice(len(categories), p=probs / probs.sum()))]

@@ -1,0 +1,299 @@
+"""Parametric emotional-speech synthesizer.
+
+Substitute for the RAVDESS / EMOVO / CREMA-D corpora (see DESIGN.md).  Each
+utterance is produced by a source-filter voice model whose prosody —
+fundamental frequency level and contour, energy envelope, speaking rate,
+jitter/tremor, and spectral tilt — follows the acoustic correlates the
+affective-speech literature attributes to each emotion.  The affect
+classifiers never see the waveform directly; they see exactly the feature
+tensor (MFCC + ZCR + RMSE + pitch + magnitude) the paper extracts, so the
+relative behaviour of the models is preserved.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EmotionProfile:
+    """Prosodic fingerprint of one emotion category.
+
+    Attributes
+    ----------
+    f0_base:
+        Mean fundamental frequency in Hz (for a reference speaker).
+    f0_slope:
+        Pitch-contour slope over the utterance, in octaves (positive rises).
+    f0_var:
+        Random pitch wander magnitude as a fraction of ``f0_base``.
+    energy:
+        Overall loudness scale.
+    energy_burstiness:
+        Depth of syllabic energy modulation (0 = flat, 1 = fully gated).
+    rate_hz:
+        Syllable rate in Hz (speaking speed proxy).
+    jitter:
+        Cycle-to-cycle pitch perturbation (vocal roughness).
+    tremor_hz:
+        Slow pitch tremor frequency in Hz (0 disables).
+    tremor_depth:
+        Tremor excursion as a fraction of ``f0_base``.
+    tilt:
+        Spectral tilt control; higher values put more energy in high
+        harmonics (tense/angry voices), lower values sound darker.
+    breathiness:
+        Aspiration-noise mix (0 = fully voiced).
+    """
+
+    f0_base: float
+    f0_slope: float
+    f0_var: float
+    energy: float
+    energy_burstiness: float
+    rate_hz: float
+    jitter: float
+    tremor_hz: float
+    tremor_depth: float
+    tilt: float
+    breathiness: float
+
+
+# Prosody profiles follow Scherer-style acoustic correlates of emotion.
+EMOTION_PROFILES: dict[str, EmotionProfile] = {
+    "neutral": EmotionProfile(120.0, 0.00, 0.04, 0.50, 0.35, 3.5, 0.010, 0.0, 0.00, 0.9, 0.15),
+    "calm": EmotionProfile(110.0, -0.05, 0.03, 0.40, 0.25, 3.0, 0.008, 0.0, 0.00, 0.8, 0.20),
+    "happy": EmotionProfile(190.0, 0.25, 0.10, 0.75, 0.50, 4.8, 0.015, 0.0, 0.00, 1.2, 0.10),
+    "sad": EmotionProfile(100.0, -0.20, 0.04, 0.30, 0.20, 2.4, 0.012, 0.0, 0.00, 0.6, 0.35),
+    "angry": EmotionProfile(175.0, 0.05, 0.16, 0.95, 0.70, 5.2, 0.030, 0.0, 0.00, 1.6, 0.05),
+    "fearful": EmotionProfile(230.0, 0.15, 0.12, 0.55, 0.55, 5.6, 0.025, 7.0, 0.06, 1.3, 0.25),
+    "disgust": EmotionProfile(115.0, -0.10, 0.08, 0.45, 0.45, 2.8, 0.040, 0.0, 0.00, 0.7, 0.30),
+    "surprised": EmotionProfile(210.0, 0.45, 0.12, 0.70, 0.55, 4.2, 0.015, 0.0, 0.00, 1.3, 0.12),
+}
+
+def blend_profiles(
+    profile: EmotionProfile, toward: EmotionProfile, fraction: float
+) -> EmotionProfile:
+    """Linearly interpolate every prosody field of two profiles."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("blend fraction must be in [0, 1]")
+    if fraction == 0.0:
+        return profile
+    fields = {
+        name: (1.0 - fraction) * getattr(profile, name)
+        + fraction * getattr(toward, name)
+        for name in EmotionProfile.__dataclass_fields__
+    }
+    return EmotionProfile(**fields)
+
+
+# Formant targets (F1, F2, F3 in Hz) for a small vowel inventory; a
+# "sentence" is a pseudo-random vowel sequence keyed by sentence id.
+_VOWELS = {
+    "a": (800.0, 1200.0, 2500.0),
+    "e": (500.0, 1800.0, 2500.0),
+    "i": (300.0, 2300.0, 3000.0),
+    "o": (500.0, 900.0, 2400.0),
+    "u": (350.0, 800.0, 2250.0),
+}
+_VOWEL_NAMES = sorted(_VOWELS)
+
+
+def _formant_filter(
+    excitation: np.ndarray,
+    formants: tuple[float, float, float],
+    sample_rate: float,
+) -> np.ndarray:
+    """Cascade of three two-pole resonators approximating a vocal tract."""
+    out = excitation
+    for freq, bandwidth in zip(formants, (80.0, 120.0, 180.0)):
+        r = np.exp(-np.pi * bandwidth / sample_rate)
+        theta = 2.0 * np.pi * freq / sample_rate
+        a1 = -2.0 * r * np.cos(theta)
+        a2 = r * r
+        filtered = np.empty_like(out)
+        y1 = 0.0
+        y2 = 0.0
+        gain = 1.0 - r
+        for n in range(out.shape[0]):
+            y = gain * out[n] - a1 * y1 - a2 * y2
+            filtered[n] = y
+            y2 = y1
+            y1 = y
+        out = filtered
+    return out
+
+
+def _formant_filter_fft(
+    excitation: np.ndarray,
+    formants: tuple[float, float, float],
+    sample_rate: float,
+) -> np.ndarray:
+    """Frequency-domain equivalent of :func:`_formant_filter` (fast path)."""
+    n = excitation.shape[0]
+    n_fft = int(2 ** np.ceil(np.log2(2 * n)))
+    freqs = np.fft.rfftfreq(n_fft, d=1.0 / sample_rate)
+    z = np.exp(-2j * np.pi * freqs / sample_rate)
+    response = np.ones_like(z)
+    for freq, bandwidth in zip(formants, (80.0, 120.0, 180.0)):
+        r = np.exp(-np.pi * bandwidth / sample_rate)
+        theta = 2.0 * np.pi * freq / sample_rate
+        a1 = -2.0 * r * np.cos(theta)
+        a2 = r * r
+        response *= (1.0 - r) / (1.0 + a1 * z + a2 * z**2)
+    spec = np.fft.rfft(excitation, n=n_fft) * response
+    return np.fft.irfft(spec, n=n_fft)[:n]
+
+
+class SpeechSynthesizer:
+    """Generate emotional utterances for a roster of synthetic actors."""
+
+    def __init__(
+        self,
+        sample_rate: float = 16000.0,
+        duration: float = 0.9,
+        seed: int = 0,
+    ) -> None:
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.sample_rate = sample_rate
+        self.duration = duration
+        self._seed = seed
+
+    def actor_f0_scale(self, actor: int) -> float:
+        """Speaker-specific pitch scale; alternating male/female roster."""
+        rng = np.random.default_rng((self._seed, 7919, actor))
+        gender_scale = 1.0 if actor % 2 == 0 else 1.6
+        return gender_scale * float(rng.uniform(0.78, 1.28))
+
+    def sentence_vowels(self, sentence: int, n_syllables: int) -> list[str]:
+        """Deterministic vowel sequence for a sentence id."""
+        rng = np.random.default_rng((self._seed, 104729, sentence))
+        return [
+            _VOWEL_NAMES[int(rng.integers(len(_VOWEL_NAMES)))]
+            for _ in range(n_syllables)
+        ]
+
+    def synthesize(
+        self,
+        emotion: str,
+        actor: int = 0,
+        sentence: int = 0,
+        take: int = 0,
+        noise_level: float = 0.02,
+        profile_blend: float = 0.0,
+    ) -> np.ndarray:
+        """Render one utterance waveform.
+
+        Parameters
+        ----------
+        emotion:
+            Key of :data:`EMOTION_PROFILES`.
+        actor, sentence, take:
+            Identity indices — the same triple renders reproducibly.
+        noise_level:
+            Additive recording-noise standard deviation (corpus difficulty
+            knob).
+        profile_blend:
+            Fraction in [0, 1] by which the emotion's prosody is pulled
+            toward neutral — models corpora whose actors portray emotions
+            less distinctly (the second difficulty knob).
+        """
+        if emotion not in EMOTION_PROFILES:
+            raise KeyError(f"unknown emotion: {emotion!r}")
+        profile = blend_profiles(
+            EMOTION_PROFILES[emotion], EMOTION_PROFILES["neutral"], profile_blend
+        )
+        # zlib.crc32 is deterministic across processes (the builtin string
+        # hash is salted per interpreter run and would break reproducibility).
+        emotion_key = zlib.crc32(emotion.encode())
+        rng = np.random.default_rng((self._seed, 15485863, actor, sentence, take,
+                                     emotion_key))
+        sr = self.sample_rate
+        n = int(self.duration * sr)
+        t = np.arange(n) / sr
+
+        # --- Fundamental-frequency contour -------------------------------
+        f0_base = profile.f0_base * self.actor_f0_scale(actor)
+        contour = 2.0 ** (profile.f0_slope * (t / t[-1]))
+        wander = 1.0 + profile.f0_var * _smooth_noise(rng, n, sr, cutoff_hz=4.0)
+        tremor = 1.0
+        if profile.tremor_hz > 0:
+            tremor = 1.0 + profile.tremor_depth * np.sin(
+                2.0 * np.pi * profile.tremor_hz * t + rng.uniform(0, 2 * np.pi)
+            )
+        jitter = 1.0 + profile.jitter * rng.standard_normal(n)
+        f0 = f0_base * contour * wander * tremor * jitter
+        f0 = np.clip(f0, 50.0, 500.0)
+
+        # --- Glottal source -----------------------------------------------
+        phase = 2.0 * np.pi * np.cumsum(f0) / sr
+        # A few harmonics with tilt-controlled rolloff approximate a
+        # glottal pulse train.
+        source = np.zeros(n)
+        for harmonic in range(1, 7):
+            amp = harmonic ** (-2.0 / max(profile.tilt, 0.1))
+            source += amp * np.sin(harmonic * phase)
+        aspiration = rng.standard_normal(n)
+        source = (1.0 - profile.breathiness) * source + profile.breathiness * aspiration
+
+        # --- Syllabic articulation ----------------------------------------
+        n_syllables = max(1, int(round(profile.rate_hz * self.duration)))
+        vowels = self.sentence_vowels(sentence, n_syllables)
+        boundaries = np.linspace(0, n, n_syllables + 1).astype(int)
+        voiced = np.zeros(n)
+        for k, vowel in enumerate(vowels):
+            lo, hi = boundaries[k], boundaries[k + 1]
+            segment = _formant_filter_fft(source[lo:hi], _VOWELS[vowel], sr)
+            voiced[lo:hi] = segment
+
+        # --- Energy envelope ----------------------------------------------
+        syllable_lfo = 0.5 * (
+            1.0 + np.sin(2.0 * np.pi * profile.rate_hz * t + rng.uniform(0, 2 * np.pi))
+        )
+        envelope = (1.0 - profile.energy_burstiness) + profile.energy_burstiness * syllable_lfo
+        fade = np.minimum(1.0, np.minimum(t, t[-1] - t) / 0.05)
+        signal = voiced * envelope * fade
+
+        rms = np.sqrt(np.mean(signal**2)) + 1e-12
+        # Recording-level variation: microphone distance / gain differs per
+        # take, so absolute loudness is a weak cue (as in real corpora).
+        gain = float(rng.uniform(0.7, 1.4))
+        signal = gain * profile.energy * signal / rms
+        signal += noise_level * rng.standard_normal(n)
+        return signal
+
+
+def _smooth_noise(
+    rng: np.random.Generator, n: int, sample_rate: float, cutoff_hz: float
+) -> np.ndarray:
+    """Unit-variance low-pass noise for slow prosodic wander."""
+    raw = rng.standard_normal(n)
+    spectrum = np.fft.rfft(raw)
+    freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate)
+    spectrum[freqs > cutoff_hz] = 0.0
+    smooth = np.fft.irfft(spectrum, n=n)
+    std = smooth.std()
+    if std < 1e-12:
+        return np.zeros(n)
+    return smooth / std
+
+
+def synthesize_utterance(
+    emotion: str,
+    actor: int = 0,
+    sentence: int = 0,
+    take: int = 0,
+    sample_rate: float = 16000.0,
+    duration: float = 0.9,
+    noise_level: float = 0.02,
+    seed: int = 0,
+) -> np.ndarray:
+    """Convenience one-shot wrapper around :class:`SpeechSynthesizer`."""
+    synth = SpeechSynthesizer(sample_rate=sample_rate, duration=duration, seed=seed)
+    return synth.synthesize(
+        emotion, actor=actor, sentence=sentence, take=take, noise_level=noise_level
+    )

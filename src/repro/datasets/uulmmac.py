@@ -1,0 +1,151 @@
+"""Synthetic uulmMAC-like skin-conductance sessions.
+
+The paper (Fig. 6, bottom) drives its affect-adaptive video playback from a
+40-minute skin-conductance (SC) recording of the uulmMAC corpus labelled
+"distracted" (0-14 min), "concentrated" (14-20 min), "tense" (20-29 min) and
+"relaxed" (29-40 min).  This module generates SC sessions with the standard
+electrodermal decomposition — a slowly drifting tonic skin-conductance level
+(SCL) plus phasic skin-conductance responses (SCRs, exponentially decaying
+impulses) whose rate and amplitude scale with arousal — over an arbitrary
+labelled segment timeline, defaulting to the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One labelled span of a session, in minutes."""
+
+    label: str
+    start_min: float
+    end_min: float
+
+    @property
+    def duration_min(self) -> float:
+        """Length in minutes."""
+        return self.end_min - self.start_min
+
+
+# The paper's Fig. 6 timeline.
+UULMMAC_TIMELINE: tuple[Segment, ...] = (
+    Segment("distracted", 0.0, 14.0),
+    Segment("concentrated", 14.0, 20.0),
+    Segment("tense", 20.0, 29.0),
+    Segment("relaxed", 29.0, 40.0),
+)
+
+# Electrodermal arousal parameters per labelled state:
+# (tonic SCL in microsiemens, SCR rate per minute, SCR amplitude in uS).
+_STATE_PARAMS: dict[str, tuple[float, float, float]] = {
+    "distracted": (2.0, 1.0, 0.15),
+    "concentrated": (3.2, 6.0, 0.45),
+    "tense": (4.2, 9.0, 0.60),
+    "relaxed": (1.6, 0.5, 0.10),
+}
+
+
+@dataclass
+class SCSession:
+    """A realized skin-conductance session.
+
+    Attributes
+    ----------
+    time_s:
+        Sample timestamps in seconds.
+    sc:
+        Skin conductance in microsiemens.
+    labels:
+        Per-sample ground-truth state label (string).
+    segments:
+        The generating timeline.
+    sample_rate:
+        Samples per second.
+    """
+
+    time_s: np.ndarray
+    sc: np.ndarray
+    labels: np.ndarray
+    segments: tuple[Segment, ...]
+    sample_rate: float
+
+    @property
+    def duration_min(self) -> float:
+        """Length in minutes."""
+        return float(self.time_s[-1]) / 60.0 if self.time_s.size else 0.0
+
+    def segment_slice(self, segment: Segment) -> slice:
+        """Index slice covering one segment."""
+        lo = int(segment.start_min * 60.0 * self.sample_rate)
+        hi = int(segment.end_min * 60.0 * self.sample_rate)
+        return slice(lo, min(hi, self.sc.shape[0]))
+
+
+def _scr_kernel(sample_rate: float, rise_s: float = 1.0, decay_s: float = 4.0) -> np.ndarray:
+    """Canonical skin-conductance-response impulse shape (bi-exponential)."""
+    t = np.arange(0, int(8.0 * decay_s * sample_rate)) / sample_rate
+    kernel = np.exp(-t / decay_s) - np.exp(-t / rise_s)
+    peak = kernel.max()
+    return kernel / peak if peak > 0 else kernel
+
+
+def generate_sc_session(
+    segments: tuple[Segment, ...] = UULMMAC_TIMELINE,
+    sample_rate: float = 4.0,
+    seed: int = 0,
+    state_params: dict[str, tuple[float, float, float]] | None = None,
+    noise_us: float = 0.02,
+) -> SCSession:
+    """Generate a labelled SC session over the given timeline.
+
+    Unknown segment labels fall back to mid-arousal parameters so custom
+    timelines (tests, user policies) always render.
+    """
+    if not segments:
+        raise ValueError("need at least one segment")
+    for seg in segments:
+        if seg.end_min <= seg.start_min:
+            raise ValueError(f"segment {seg.label!r} has non-positive duration")
+    params = dict(_STATE_PARAMS)
+    if state_params:
+        params.update(state_params)
+    rng = np.random.default_rng(seed)
+    total_s = segments[-1].end_min * 60.0
+    n = int(total_s * sample_rate)
+    time_s = np.arange(n) / sample_rate
+    tonic_target = np.zeros(n)
+    labels = np.empty(n, dtype=object)
+    scr_events = np.zeros(n)
+    for seg in segments:
+        scl, rate_per_min, amp = params.get(seg.label, (2.5, 3.0, 0.3))
+        lo = int(seg.start_min * 60.0 * sample_rate)
+        hi = min(int(seg.end_min * 60.0 * sample_rate), n)
+        tonic_target[lo:hi] = scl
+        labels[lo:hi] = seg.label
+        expected = rate_per_min * seg.duration_min
+        n_events = rng.poisson(expected)
+        if n_events > 0:
+            positions = rng.integers(lo, max(hi, lo + 1), size=n_events)
+            amplitudes = amp * rng.lognormal(mean=0.0, sigma=0.4, size=n_events)
+            np.add.at(scr_events, positions, amplitudes)
+    # Tonic level follows the target with a ~30 s first-order lag.
+    alpha = 1.0 / (30.0 * sample_rate)
+    tonic = np.empty(n)
+    level = tonic_target[0]
+    for i in range(n):
+        level += alpha * (tonic_target[i] - level)
+        tonic[i] = level
+    phasic = np.convolve(scr_events, _scr_kernel(sample_rate))[:n]
+    sc = tonic + phasic + noise_us * rng.standard_normal(n)
+    sc = np.maximum(sc, 0.05)
+    return SCSession(
+        time_s=time_s,
+        sc=sc,
+        labels=labels.astype(str),
+        segments=tuple(segments),
+        sample_rate=sample_rate,
+    )

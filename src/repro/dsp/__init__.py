@@ -1,0 +1,51 @@
+"""Audio digital-signal-processing substrate.
+
+This subpackage implements the feature-extraction front end the paper feeds
+to its affect classifiers (Section 2.2): framing/windowing, short-time
+spectra, MFCCs, zero-crossing rate, RMS energy, pitch, and spectral
+magnitude statistics.
+"""
+
+from repro.dsp.windows import frame_signal, hamming_window, hann_window
+from repro.dsp.spectral import magnitude_spectrogram, power_spectrogram, stft
+from repro.dsp.mel import dct_ii, hz_to_mel, mel_filterbank, mel_to_hz, mfcc
+from repro.dsp.bio import (
+    FEATURE_NAMES as HRV_FEATURE_NAMES,
+    HrvFeatures,
+    cardiac_feature_vector,
+    detect_r_peaks,
+    hrv_features,
+)
+from repro.dsp.features import (
+    FeatureConfig,
+    extract_feature_matrix,
+    pitch_track,
+    rms_energy,
+    spectral_magnitude_stats,
+    zero_crossing_rate,
+)
+
+__all__ = [
+    "FeatureConfig",
+    "HRV_FEATURE_NAMES",
+    "HrvFeatures",
+    "cardiac_feature_vector",
+    "detect_r_peaks",
+    "hrv_features",
+    "dct_ii",
+    "extract_feature_matrix",
+    "frame_signal",
+    "hamming_window",
+    "hann_window",
+    "hz_to_mel",
+    "magnitude_spectrogram",
+    "mel_filterbank",
+    "mel_to_hz",
+    "mfcc",
+    "pitch_track",
+    "power_spectrogram",
+    "rms_energy",
+    "spectral_magnitude_stats",
+    "stft",
+    "zero_crossing_rate",
+]

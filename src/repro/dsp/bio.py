@@ -1,0 +1,133 @@
+"""Cardiac biosignal processing: R-peak detection and HRV features.
+
+Implements the feature path the paper's smartwatch side needs for its
+PPG/ECG channels: band-limited peak detection, inter-beat intervals, and
+the standard heart-rate-variability statistics (mean HR, SDNN, RMSSD,
+pNN50) plus respiratory-band power — the features affect classifiers use
+on cardiac data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def detect_r_peaks(
+    signal: np.ndarray,
+    sample_rate: float,
+    min_distance_s: float = 0.35,
+    threshold_quantile: float = 0.90,
+) -> np.ndarray:
+    """Detect beat peaks in an ECG or PPG channel.
+
+    A simple but robust detector: the signal is detrended with a moving
+    median, thresholded at a high quantile of the positive excursions,
+    and local maxima closer than ``min_distance_s`` are merged keeping
+    the taller one.  Returns peak times in seconds.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.ndim != 1:
+        raise ValueError("signal must be one-dimensional")
+    if signal.size < 3:
+        return np.zeros(0)
+    window = max(3, int(0.8 * sample_rate) | 1)
+    padded = np.pad(signal, window // 2, mode="edge")
+    medians = np.empty_like(signal)
+    for i in range(signal.size):
+        medians[i] = np.median(padded[i : i + window])
+    detrended = signal - medians
+    positive = detrended[detrended > 0]
+    if positive.size == 0:
+        return np.zeros(0)
+    threshold = np.quantile(positive, threshold_quantile) * 0.5
+    above = detrended > threshold
+    is_peak = np.zeros(signal.size, dtype=bool)
+    is_peak[1:-1] = (
+        above[1:-1]
+        & (detrended[1:-1] >= detrended[:-2])
+        & (detrended[1:-1] > detrended[2:])
+    )
+    candidates = np.flatnonzero(is_peak)
+    if candidates.size == 0:
+        return np.zeros(0)
+    min_gap = int(min_distance_s * sample_rate)
+    kept: list[int] = []
+    for idx in candidates:
+        if kept and idx - kept[-1] < min_gap:
+            if detrended[idx] > detrended[kept[-1]]:
+                kept[-1] = idx
+        else:
+            kept.append(idx)
+    return np.array(kept) / sample_rate
+
+
+@dataclass(frozen=True)
+class HrvFeatures:
+    """Standard heart-rate-variability statistics."""
+
+    mean_hr_bpm: float
+    sdnn_ms: float
+    rmssd_ms: float
+    pnn50: float
+    resp_power: float
+
+    def as_vector(self) -> np.ndarray:
+        """Features as a numpy vector (see FEATURE_NAMES)."""
+        return np.array(
+            [self.mean_hr_bpm, self.sdnn_ms, self.rmssd_ms, self.pnn50,
+             self.resp_power]
+        )
+
+
+FEATURE_NAMES = ("mean_hr_bpm", "sdnn_ms", "rmssd_ms", "pnn50", "resp_power")
+
+
+def hrv_features(peak_times: np.ndarray, signal: np.ndarray | None = None,
+                 sample_rate: float | None = None) -> HrvFeatures:
+    """HRV statistics from beat times (and optional raw signal).
+
+    Requires at least three beats.  ``resp_power`` is the fraction of the
+    raw signal's power in the 0.15-0.5 Hz respiratory band (0 when no raw
+    signal is supplied).
+    """
+    peak_times = np.asarray(peak_times, dtype=np.float64)
+    if peak_times.size < 3:
+        raise ValueError("need at least three beats for HRV features")
+    rr = np.diff(peak_times)
+    rr_ms = rr * 1000.0
+    diffs = np.diff(rr_ms)
+    mean_hr = 60.0 / rr.mean()
+    sdnn = float(rr_ms.std())
+    rmssd = float(np.sqrt(np.mean(diffs**2))) if diffs.size else 0.0
+    pnn50 = float(np.mean(np.abs(diffs) > 50.0)) if diffs.size else 0.0
+    resp_power = 0.0
+    if signal is not None and sample_rate is not None and signal.size > 16:
+        spectrum = np.abs(np.fft.rfft(signal - signal.mean())) ** 2
+        freqs = np.fft.rfftfreq(signal.size, d=1.0 / sample_rate)
+        band = (freqs >= 0.15) & (freqs <= 0.5)
+        total = spectrum.sum()
+        resp_power = float(spectrum[band].sum() / total) if total > 0 else 0.0
+    return HrvFeatures(
+        mean_hr_bpm=float(mean_hr),
+        sdnn_ms=sdnn,
+        rmssd_ms=rmssd,
+        pnn50=pnn50,
+        resp_power=resp_power,
+    )
+
+
+def cardiac_feature_vector(
+    ecg: np.ndarray, ppg: np.ndarray, sample_rate: float
+) -> np.ndarray:
+    """Fused ECG+PPG feature vector for the affect classifier.
+
+    Concatenates the HRV statistics of both channels (ECG beats from the
+    electrical channel, pulse-rate features from the optical one)."""
+    ecg_peaks = detect_r_peaks(ecg, sample_rate)
+    ppg_peaks = detect_r_peaks(ppg, sample_rate, min_distance_s=0.4,
+                               threshold_quantile=0.8)
+    ecg_feats = hrv_features(ecg_peaks, ecg, sample_rate)
+    ppg_feats = hrv_features(ppg_peaks, ppg, sample_rate)
+    return np.concatenate([ecg_feats.as_vector(), ppg_feats.as_vector()])

@@ -1,0 +1,180 @@
+"""Classifier input features.
+
+The paper (Section 2.2) feeds its classifiers "Mel-frequency cepstral
+coefficients (MFCC), zero crossing, root-mean-square deviation (rmse), sound
+pitch, and magnitude".  :func:`extract_feature_matrix` assembles exactly that
+per-frame feature tensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.mel import mfcc
+from repro.dsp.spectral import magnitude_spectrogram
+from repro.dsp.windows import frame_signal
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Configuration of the affect feature front end.
+
+    ``deltas`` appends first-order temporal differences of the MFCCs
+    (standard delta coefficients) — they encode the local prosodic
+    dynamics the circumplex arousal axis rides on.
+    """
+
+    sample_rate: float = 16000.0
+    n_fft: int = 512
+    hop_length: int = 256
+    n_mfcc: int = 13
+    n_mels: int = 26
+    pitch_fmin: float = 60.0
+    pitch_fmax: float = 420.0
+    deltas: bool = False
+
+    @property
+    def n_features(self) -> int:
+        """Per-frame feature dimensionality (MFCC [+deltas] + ZCR + RMSE + pitch + 2 magnitude stats)."""
+        base = self.n_mfcc + 4 + 1
+        return base + (self.n_mfcc if self.deltas else 0)
+
+
+def zero_crossing_rate(
+    signal: np.ndarray, frame_length: int, hop_length: int
+) -> np.ndarray:
+    """Per-frame zero-crossing rate in [0, 1]."""
+    frames = frame_signal(signal, frame_length, hop_length)
+    if frames.shape[0] == 0:
+        return np.zeros(0)
+    signs = np.sign(frames)
+    signs[signs == 0] = 1
+    crossings = np.abs(np.diff(signs, axis=1)) / 2.0
+    return crossings.sum(axis=1) / (frames.shape[1] - 1)
+
+
+def rms_energy(
+    signal: np.ndarray, frame_length: int, hop_length: int
+) -> np.ndarray:
+    """Per-frame root-mean-square energy."""
+    frames = frame_signal(signal, frame_length, hop_length)
+    if frames.shape[0] == 0:
+        return np.zeros(0)
+    return np.sqrt(np.mean(frames**2, axis=1))
+
+
+def pitch_track(
+    signal: np.ndarray,
+    sample_rate: float,
+    frame_length: int,
+    hop_length: int,
+    fmin: float = 60.0,
+    fmax: float = 420.0,
+) -> np.ndarray:
+    """Per-frame fundamental frequency via autocorrelation peak picking.
+
+    Unvoiced / silent frames report 0 Hz.
+    """
+    frames = frame_signal(signal, frame_length, hop_length)
+    n_frames = frames.shape[0]
+    if n_frames == 0:
+        return np.zeros(0)
+    lag_min = max(1, int(sample_rate / fmax))
+    lag_max = min(frame_length - 1, int(sample_rate / fmin))
+    if lag_max <= lag_min:
+        return np.zeros(n_frames)
+    windowed = frames - frames.mean(axis=1, keepdims=True)
+    # Autocorrelation of every frame at once via FFT.
+    n_pad = 2 * frame_length
+    spectrum = np.fft.rfft(windowed, n=n_pad, axis=1)
+    acf = np.fft.irfft(np.abs(spectrum) ** 2, n=n_pad, axis=1)[:, :frame_length]
+    energy = acf[:, 0]
+    pitches = np.zeros(n_frames)
+    valid = energy > 1e-12
+    if not np.any(valid):
+        return pitches
+    search = acf[:, lag_min : lag_max + 1]
+    best_lag = np.argmax(search, axis=1) + lag_min
+    best_val = search[np.arange(n_frames), best_lag - lag_min]
+    voiced = valid & (best_val / np.maximum(energy, 1e-12) > 0.25)
+    pitches[voiced] = sample_rate / best_lag[voiced]
+    return pitches
+
+
+def spectral_magnitude_stats(
+    signal: np.ndarray, n_fft: int, hop_length: int
+) -> np.ndarray:
+    """Per-frame mean and standard deviation of the magnitude spectrum.
+
+    Returns an array of shape ``(n_frames, 2)``.
+    """
+    mag = magnitude_spectrogram(signal, n_fft=n_fft, hop_length=hop_length)
+    if mag.shape[0] == 0:
+        return np.zeros((0, 2))
+    return np.stack([mag.mean(axis=1), mag.std(axis=1)], axis=1)
+
+
+def extract_feature_matrix(
+    signal: np.ndarray,
+    config: FeatureConfig | None = None,
+) -> np.ndarray:
+    """Assemble the paper's per-frame feature matrix.
+
+    Columns are ``[mfcc_0..mfcc_{k-1}, zcr, rmse, pitch_hz/100, mag_mean,
+    mag_std]`` — MFCCs plus zero crossing, RMS deviation, sound pitch and
+    spectral magnitude, matching Section 2.2.
+
+    Returns
+    -------
+    Array of shape ``(n_frames, config.n_features)``.
+    """
+    if config is None:
+        config = FeatureConfig()
+    signal = np.asarray(signal, dtype=np.float64)
+    cepstra = mfcc(
+        signal,
+        config.sample_rate,
+        n_mfcc=config.n_mfcc,
+        n_mels=config.n_mels,
+        n_fft=config.n_fft,
+        hop_length=config.hop_length,
+    )
+    zcr = zero_crossing_rate(signal, config.n_fft, config.hop_length)
+    rmse = rms_energy(signal, config.n_fft, config.hop_length)
+    pitch = pitch_track(
+        signal,
+        config.sample_rate,
+        config.n_fft,
+        config.hop_length,
+        fmin=config.pitch_fmin,
+        fmax=config.pitch_fmax,
+    )
+    mag = spectral_magnitude_stats(signal, config.n_fft, config.hop_length)
+    n = min(cepstra.shape[0], zcr.shape[0], rmse.shape[0], pitch.shape[0], mag.shape[0])
+    columns = [
+        cepstra[:n],
+        zcr[:n, None],
+        rmse[:n, None],
+        pitch[:n, None] / 100.0,
+        mag[:n],
+    ]
+    if config.deltas:
+        columns.append(delta_features(cepstra[:n]))
+    return np.concatenate(columns, axis=1)
+
+
+def delta_features(features: np.ndarray) -> np.ndarray:
+    """First-order temporal differences with a same-length output.
+
+    ``delta[t] = features[t] - features[t - 1]``; the first frame's delta
+    is zero.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError("expected a (frames, features) matrix")
+    deltas = np.zeros_like(features)
+    if features.shape[0] > 1:
+        deltas[1:] = np.diff(features, axis=0)
+    return deltas

@@ -1,0 +1,44 @@
+"""Short-time spectral analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.windows import frame_signal, hann_window
+
+
+def stft(
+    signal: np.ndarray,
+    n_fft: int = 512,
+    hop_length: int = 160,
+    window: np.ndarray | None = None,
+) -> np.ndarray:
+    """Short-time Fourier transform.
+
+    Returns a complex array of shape ``(n_frames, n_fft // 2 + 1)``.
+    """
+    if window is None:
+        window = hann_window(n_fft)
+    if window.shape[0] != n_fft:
+        raise ValueError("window length must equal n_fft")
+    frames = frame_signal(signal, n_fft, hop_length)
+    return np.fft.rfft(frames * window[None, :], n=n_fft, axis=1)
+
+
+def magnitude_spectrogram(
+    signal: np.ndarray,
+    n_fft: int = 512,
+    hop_length: int = 160,
+) -> np.ndarray:
+    """Magnitude of the STFT, shape ``(n_frames, n_fft // 2 + 1)``."""
+    return np.abs(stft(signal, n_fft=n_fft, hop_length=hop_length))
+
+
+def power_spectrogram(
+    signal: np.ndarray,
+    n_fft: int = 512,
+    hop_length: int = 160,
+) -> np.ndarray:
+    """Power of the STFT, shape ``(n_frames, n_fft // 2 + 1)``."""
+    mag = magnitude_spectrogram(signal, n_fft=n_fft, hop_length=hop_length)
+    return mag**2

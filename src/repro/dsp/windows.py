@@ -1,0 +1,73 @@
+"""Frame segmentation and analysis windows."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hann_window(length: int) -> np.ndarray:
+    """Return a periodic Hann window of ``length`` samples."""
+    if length < 1:
+        raise ValueError("window length must be >= 1")
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length)
+    return 0.5 - 0.5 * np.cos(2.0 * np.pi * n / length)
+
+
+def hamming_window(length: int) -> np.ndarray:
+    """Return a periodic Hamming window of ``length`` samples."""
+    if length < 1:
+        raise ValueError("window length must be >= 1")
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length)
+    return 0.54 - 0.46 * np.cos(2.0 * np.pi * n / length)
+
+
+def frame_signal(
+    signal: np.ndarray,
+    frame_length: int,
+    hop_length: int,
+    pad: bool = True,
+) -> np.ndarray:
+    """Slice a 1-D signal into overlapping frames.
+
+    Parameters
+    ----------
+    signal:
+        One-dimensional sample array.
+    frame_length:
+        Samples per frame.
+    hop_length:
+        Samples between successive frame starts.
+    pad:
+        When true, zero-pad the tail so every sample lands in some frame;
+        otherwise drop the incomplete tail frame.
+
+    Returns
+    -------
+    Array of shape ``(n_frames, frame_length)``.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.ndim != 1:
+        raise ValueError("signal must be one-dimensional")
+    if frame_length < 1 or hop_length < 1:
+        raise ValueError("frame_length and hop_length must be >= 1")
+    n = signal.shape[0]
+    if n == 0:
+        return np.zeros((0, frame_length))
+    if pad:
+        n_frames = max(1, int(np.ceil(max(n - frame_length, 0) / hop_length)) + 1)
+        needed = (n_frames - 1) * hop_length + frame_length
+        if needed > n:
+            signal = np.concatenate([signal, np.zeros(needed - n)])
+    else:
+        if n < frame_length:
+            return np.zeros((0, frame_length))
+        n_frames = 1 + (n - frame_length) // hop_length
+    idx = (
+        np.arange(frame_length)[None, :]
+        + hop_length * np.arange(n_frames)[:, None]
+    )
+    return signal[idx]

@@ -1,0 +1,67 @@
+"""A from-scratch numpy deep-learning framework.
+
+The paper builds its affect classifiers with TensorFlow/Keras; that stack is
+unavailable offline, so this subpackage provides an equivalent substrate:
+dense / 1-D convolutional / LSTM layers with full backpropagation, softmax
+cross-entropy, SGD and Adam optimizers, a Keras-like :class:`Sequential`
+model with ``fit``/``evaluate``/``predict``, and int8 post-training
+quantization (:mod:`repro.nn.quantization`).
+"""
+
+from repro.nn.initializers import glorot_uniform, he_uniform, orthogonal
+from repro.nn.layers import (
+    Conv1D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAveragePooling1D,
+    Layer,
+    MaxPool1D,
+    ReLU,
+    Tanh,
+)
+from repro.nn.gru import GRU
+from repro.nn.lstm import LSTM
+from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy
+from repro.nn.metrics import accuracy, confusion_matrix, macro_f1
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.quantization import (
+    QuantizationSpec,
+    QuantizedModel,
+    dequantize_tensor,
+    model_weight_bytes,
+    quantize_model,
+    quantize_tensor,
+)
+
+__all__ = [
+    "Adam",
+    "Conv1D",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "GRU",
+    "GlobalAveragePooling1D",
+    "LSTM",
+    "Layer",
+    "MaxPool1D",
+    "MeanSquaredError",
+    "QuantizationSpec",
+    "QuantizedModel",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "SoftmaxCrossEntropy",
+    "Tanh",
+    "accuracy",
+    "confusion_matrix",
+    "dequantize_tensor",
+    "glorot_uniform",
+    "he_uniform",
+    "macro_f1",
+    "model_weight_bytes",
+    "orthogonal",
+    "quantize_model",
+    "quantize_tensor",
+]

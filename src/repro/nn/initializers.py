@@ -1,0 +1,43 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    fan_in: int | None = None,
+    fan_out: int | None = None,
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    if fan_in is None:
+        fan_in = int(np.prod(shape[:-1])) if len(shape) > 1 else shape[0]
+    if fan_out is None:
+        fan_out = shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_uniform(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    fan_in: int | None = None,
+) -> np.ndarray:
+    """He uniform initialization for ReLU networks."""
+    if fan_in is None:
+        fan_in = int(np.prod(shape[:-1])) if len(shape) > 1 else shape[0]
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def orthogonal(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal initialization (used for LSTM recurrent kernels)."""
+    rows, cols = shape
+    flat = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return q[:rows, :cols]

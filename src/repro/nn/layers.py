@@ -1,0 +1,363 @@
+"""Feed-forward layers with backpropagation.
+
+Shape conventions:
+
+- Dense consumes ``(batch, features)``.
+- 1-D sequence layers (Conv1D, MaxPool1D, GlobalAveragePooling1D, LSTM)
+  consume ``(batch, time, channels)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform, he_uniform
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses implement :meth:`forward` / :meth:`backward` and, when they
+    carry weights, populate ``self.params`` / ``self.grads`` in
+    :meth:`build`.
+    """
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+        self.built = False
+
+    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> None:
+        """Allocate weights for the given per-sample input shape."""
+        self.built = True
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Per-sample output shape for a per-sample input shape."""
+        return input_shape
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output, caching what backward() needs."""
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Given dL/d(output), fill self.grads and return dL/d(input)."""
+        raise NotImplementedError
+
+    @property
+    def n_params(self) -> int:
+        """Number of trainable scalars in this layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x W + b``."""
+
+    def __init__(self, units: int, activation: str | None = None) -> None:
+        super().__init__()
+        if units < 1:
+            raise ValueError("units must be >= 1")
+        self.units = units
+        if activation not in (None, "relu", "tanh", "linear"):
+            raise ValueError(f"unsupported activation: {activation!r}")
+        self.activation = None if activation == "linear" else activation
+        self._x: np.ndarray | None = None
+        self._pre: np.ndarray | None = None
+
+    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> None:
+        """Allocate weights (see :class:`Layer`)."""
+        if len(input_shape) != 1:
+            raise ValueError(f"Dense expects flat inputs, got shape {input_shape}")
+        fan_in = input_shape[0]
+        if self.activation == "relu":
+            w = he_uniform((fan_in, self.units), rng, fan_in=fan_in)
+        else:
+            w = glorot_uniform((fan_in, self.units), rng, fan_in=fan_in, fan_out=self.units)
+        self.params = {"W": w, "b": np.zeros(self.units)}
+        self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self.built = True
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Per-sample output shape (see :class:`Layer`)."""
+        return (self.units,)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output (see :class:`Layer`)."""
+        self._x = x
+        pre = x @ self.params["W"] + self.params["b"]
+        self._pre = pre
+        if self.activation == "relu":
+            return np.maximum(pre, 0.0)
+        if self.activation == "tanh":
+            return np.tanh(pre)
+        return pre
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate (see :class:`Layer`)."""
+        assert self._x is not None and self._pre is not None
+        if self.activation == "relu":
+            grad = grad * (self._pre > 0)
+        elif self.activation == "tanh":
+            grad = grad * (1.0 - np.tanh(self._pre) ** 2)
+        self.grads["W"] = self._x.T @ grad
+        self.grads["b"] = grad.sum(axis=0)
+        return grad @ self.params["W"].T
+
+
+class ReLU(Layer):
+    """Standalone rectified-linear activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output (see :class:`Layer`)."""
+        self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate (see :class:`Layer`)."""
+        assert self._mask is not None
+        return grad * self._mask
+
+
+class Tanh(Layer):
+    """Standalone hyperbolic-tangent activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output (see :class:`Layer`)."""
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate (see :class:`Layer`)."""
+        assert self._out is not None
+        return grad * (1.0 - self._out**2)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output (see :class:`Layer`)."""
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate (see :class:`Layer`)."""
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class Flatten(Layer):
+    """Collapse all per-sample axes into one feature axis."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Per-sample output shape (see :class:`Layer`)."""
+        return (int(np.prod(input_shape)),)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output (see :class:`Layer`)."""
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate (see :class:`Layer`)."""
+        assert self._shape is not None
+        return grad.reshape(self._shape)
+
+
+def _sliding_patches(x: np.ndarray, kernel: int) -> np.ndarray:
+    """View ``(batch, time, ch)`` as ``(batch, time - kernel + 1, kernel, ch)``."""
+    batch, time, ch = x.shape
+    out_t = time - kernel + 1
+    s0, s1, s2 = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x,
+        shape=(batch, out_t, kernel, ch),
+        strides=(s0, s1, s1, s2),
+        writeable=False,
+    )
+
+
+class Conv1D(Layer):
+    """1-D convolution over ``(batch, time, channels)`` with stride 1."""
+
+    def __init__(
+        self,
+        filters: int,
+        kernel_size: int,
+        activation: str | None = None,
+        padding: str = "same",
+    ) -> None:
+        super().__init__()
+        if filters < 1 or kernel_size < 1:
+            raise ValueError("filters and kernel_size must be >= 1")
+        if padding not in ("same", "valid"):
+            raise ValueError("padding must be 'same' or 'valid'")
+        if activation not in (None, "relu", "tanh", "linear"):
+            raise ValueError(f"unsupported activation: {activation!r}")
+        self.filters = filters
+        self.kernel_size = kernel_size
+        self.padding = padding
+        self.activation = None if activation == "linear" else activation
+        self._x_padded: np.ndarray | None = None
+        self._pre: np.ndarray | None = None
+
+    def _pad_amounts(self) -> tuple[int, int]:
+        if self.padding == "valid":
+            return 0, 0
+        total = self.kernel_size - 1
+        return total // 2, total - total // 2
+
+    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> None:
+        """Allocate weights (see :class:`Layer`)."""
+        if len(input_shape) != 2:
+            raise ValueError(f"Conv1D expects (time, channels) inputs, got {input_shape}")
+        _, ch = input_shape
+        fan_in = self.kernel_size * ch
+        if self.activation == "relu":
+            w = he_uniform((self.kernel_size, ch, self.filters), rng, fan_in=fan_in)
+        else:
+            w = glorot_uniform(
+                (self.kernel_size, ch, self.filters),
+                rng,
+                fan_in=fan_in,
+                fan_out=self.filters,
+            )
+        self.params = {"W": w, "b": np.zeros(self.filters)}
+        self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self.built = True
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Per-sample output shape (see :class:`Layer`)."""
+        time, _ = input_shape
+        if self.padding == "same":
+            return (time, self.filters)
+        return (time - self.kernel_size + 1, self.filters)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output (see :class:`Layer`)."""
+        left, right = self._pad_amounts()
+        xp = np.pad(x, ((0, 0), (left, right), (0, 0))) if (left or right) else x
+        self._x_padded = xp
+        patches = _sliding_patches(xp, self.kernel_size)
+        pre = np.einsum("btkc,kcf->btf", patches, self.params["W"]) + self.params["b"]
+        self._pre = pre
+        if self.activation == "relu":
+            return np.maximum(pre, 0.0)
+        if self.activation == "tanh":
+            return np.tanh(pre)
+        return pre
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate (see :class:`Layer`)."""
+        assert self._x_padded is not None and self._pre is not None
+        if self.activation == "relu":
+            grad = grad * (self._pre > 0)
+        elif self.activation == "tanh":
+            grad = grad * (1.0 - np.tanh(self._pre) ** 2)
+        patches = _sliding_patches(self._x_padded, self.kernel_size)
+        self.grads["W"] = np.einsum("btkc,btf->kcf", patches, grad)
+        self.grads["b"] = grad.sum(axis=(0, 1))
+        # Full correlation of grad with the flipped kernel gives dX.
+        k = self.kernel_size
+        grad_padded = np.pad(grad, ((0, 0), (k - 1, k - 1), (0, 0)))
+        w_flipped = self.params["W"][::-1]  # (k, ch, filters)
+        gpatches = _sliding_patches(grad_padded, k)
+        dx_padded = np.einsum("btkf,kcf->btc", gpatches, w_flipped)
+        left, right = self._pad_amounts()
+        if right:
+            return dx_padded[:, left:-right, :]
+        if left:
+            return dx_padded[:, left:, :]
+        return dx_padded
+
+
+class MaxPool1D(Layer):
+    """Non-overlapping temporal max pooling over ``(batch, time, channels)``."""
+
+    def __init__(self, pool_size: int = 2) -> None:
+        super().__init__()
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.pool_size = pool_size
+        self._argmax: np.ndarray | None = None
+        self._in_shape: tuple[int, ...] | None = None
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Per-sample output shape (see :class:`Layer`)."""
+        time, ch = input_shape
+        return (time // self.pool_size, ch)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output (see :class:`Layer`)."""
+        batch, time, ch = x.shape
+        out_t = time // self.pool_size
+        if out_t == 0:
+            raise ValueError(
+                f"time axis ({time}) shorter than pool size ({self.pool_size})"
+            )
+        self._in_shape = x.shape
+        trimmed = x[:, : out_t * self.pool_size, :]
+        windows = trimmed.reshape(batch, out_t, self.pool_size, ch)
+        self._argmax = windows.argmax(axis=2)
+        return windows.max(axis=2)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate (see :class:`Layer`)."""
+        assert self._argmax is not None and self._in_shape is not None
+        batch, time, ch = self._in_shape
+        out_t = time // self.pool_size
+        dx = np.zeros((batch, out_t, self.pool_size, ch))
+        b_idx, t_idx, c_idx = np.meshgrid(
+            np.arange(batch), np.arange(out_t), np.arange(ch), indexing="ij"
+        )
+        dx[b_idx, t_idx, self._argmax, c_idx] = grad
+        dx = dx.reshape(batch, out_t * self.pool_size, ch)
+        if out_t * self.pool_size < time:
+            dx = np.pad(dx, ((0, 0), (0, time - out_t * self.pool_size), (0, 0)))
+        return dx
+
+
+class GlobalAveragePooling1D(Layer):
+    """Mean over the time axis: ``(batch, time, ch) -> (batch, ch)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._time: int | None = None
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Per-sample output shape (see :class:`Layer`)."""
+        return (input_shape[1],)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output (see :class:`Layer`)."""
+        self._time = x.shape[1]
+        return x.mean(axis=1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate (see :class:`Layer`)."""
+        assert self._time is not None
+        return np.repeat(grad[:, None, :], self._time, axis=1) / self._time

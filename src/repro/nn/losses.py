@@ -1,0 +1,58 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilized."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / ex.sum(axis=-1, keepdims=True)
+
+
+class MeanSquaredError:
+    """Mean squared error over continuous targets (regression)."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        """Mean of squared errors over all samples and output dims."""
+        targets = np.asarray(targets, dtype=np.float64)
+        if outputs.shape != targets.shape:
+            raise ValueError(
+                f"output shape {outputs.shape} != target shape {targets.shape}"
+            )
+        self._diff = outputs - targets
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss w.r.t. the outputs."""
+        assert self._diff is not None
+        return 2.0 * self._diff / self._diff.size
+
+
+class SoftmaxCrossEntropy:
+    """Fused softmax + cross-entropy over integer class labels."""
+
+    def __init__(self, eps: float = 1e-12) -> None:
+        self.eps = eps
+        self._probs: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Mean cross-entropy of ``logits`` (batch, classes) vs int ``labels``."""
+        probs = softmax(logits)
+        self._probs = probs
+        self._labels = labels
+        picked = probs[np.arange(labels.shape[0]), labels]
+        return float(-np.mean(np.log(picked + self.eps)))
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss w.r.t. the logits."""
+        assert self._probs is not None and self._labels is not None
+        grad = self._probs.copy()
+        grad[np.arange(self._labels.shape[0]), self._labels] -= 1.0
+        return grad / self._labels.shape[0]

@@ -1,0 +1,135 @@
+"""Long short-term memory layer with full backpropagation through time."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform, orthogonal
+from repro.nn.layers import Layer
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+class LSTM(Layer):
+    """Standard LSTM over ``(batch, time, channels)``.
+
+    Gate layout in the fused kernels is ``[input, forget, cell, output]``.
+    With ``return_sequences=True`` emits ``(batch, time, units)``; otherwise
+    the final hidden state ``(batch, units)``.
+    """
+
+    def __init__(self, units: int, return_sequences: bool = False) -> None:
+        super().__init__()
+        if units < 1:
+            raise ValueError("units must be >= 1")
+        self.units = units
+        self.return_sequences = return_sequences
+        self._cache: dict[str, np.ndarray] | None = None
+
+    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> None:
+        """Allocate the fused gate kernels."""
+        if len(input_shape) != 2:
+            raise ValueError(f"LSTM expects (time, channels) inputs, got {input_shape}")
+        _, ch = input_shape
+        u = self.units
+        w = glorot_uniform((ch, 4 * u), rng, fan_in=ch, fan_out=u)
+        r = np.concatenate([orthogonal((u, u), rng) for _ in range(4)], axis=1)
+        b = np.zeros(4 * u)
+        b[u : 2 * u] = 1.0  # forget-gate bias, standard practice
+        self.params = {"W": w, "U": r, "b": b}
+        self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self.built = True
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Per-sample output shape."""
+        time, _ = input_shape
+        if self.return_sequences:
+            return (time, self.units)
+        return (self.units,)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the recurrence over the time axis."""
+        batch, time, _ = x.shape
+        u = self.units
+        w, r, b = self.params["W"], self.params["U"], self.params["b"]
+        h = np.zeros((batch, u))
+        c = np.zeros((batch, u))
+        gates = np.empty((time, batch, 4 * u))
+        hs = np.empty((time, batch, u))
+        cs = np.empty((time, batch, u))
+        x_proj = np.einsum("btc,cg->btg", x, w) + b
+        for t in range(time):
+            z = x_proj[:, t, :] + h @ r
+            i = _sigmoid(z[:, :u])
+            f = _sigmoid(z[:, u : 2 * u])
+            g = np.tanh(z[:, 2 * u : 3 * u])
+            o = _sigmoid(z[:, 3 * u :])
+            c = f * c + i * g
+            h = o * np.tanh(c)
+            gates[t, :, :u] = i
+            gates[t, :, u : 2 * u] = f
+            gates[t, :, 2 * u : 3 * u] = g
+            gates[t, :, 3 * u :] = o
+            hs[t] = h
+            cs[t] = c
+        self._cache = {"x": x, "gates": gates, "hs": hs, "cs": cs}
+        if self.return_sequences:
+            return hs.transpose(1, 0, 2)
+        return hs[-1]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through time."""
+        assert self._cache is not None
+        x = self._cache["x"]
+        gates = self._cache["gates"]
+        hs = self._cache["hs"]
+        cs = self._cache["cs"]
+        batch, time, ch = x.shape
+        u = self.units
+        w, r = self.params["W"], self.params["U"]
+
+        if self.return_sequences:
+            dh_seq = grad.transpose(1, 0, 2)
+        else:
+            dh_seq = np.zeros((time, batch, u))
+            dh_seq[-1] = grad
+
+        dw = np.zeros_like(w)
+        dr = np.zeros_like(r)
+        db = np.zeros_like(self.params["b"])
+        dx = np.zeros_like(x)
+        dh_next = np.zeros((batch, u))
+        dc_next = np.zeros((batch, u))
+        for t in range(time - 1, -1, -1):
+            i = gates[t, :, :u]
+            f = gates[t, :, u : 2 * u]
+            g = gates[t, :, 2 * u : 3 * u]
+            o = gates[t, :, 3 * u :]
+            c = cs[t]
+            c_prev = cs[t - 1] if t > 0 else np.zeros_like(c)
+            h_prev = hs[t - 1] if t > 0 else np.zeros((batch, u))
+            tanh_c = np.tanh(c)
+            dh = dh_seq[t] + dh_next
+            dc = dc_next + dh * o * (1.0 - tanh_c**2)
+            di = dc * g * i * (1.0 - i)
+            df = dc * c_prev * f * (1.0 - f)
+            dg = dc * i * (1.0 - g**2)
+            do = dh * tanh_c * o * (1.0 - o)
+            dz = np.concatenate([di, df, dg, do], axis=1)
+            dw += x[:, t, :].T @ dz
+            dr += h_prev.T @ dz
+            db += dz.sum(axis=0)
+            dx[:, t, :] = dz @ w.T
+            dh_next = dz @ r.T
+            dc_next = dc * f
+        self.grads["W"] = dw
+        self.grads["U"] = dr
+        self.grads["b"] = db
+        return dx

@@ -1,0 +1,46 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of matching labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("label arrays must have matching shapes")
+    if y_true.size == 0:
+        raise ValueError("cannot compute accuracy of zero samples")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = count of true class ``i`` predicted ``j``."""
+    y_true = np.asarray(y_true, dtype=int)
+    y_pred = np.asarray(y_pred, dtype=int)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("label arrays must have matching shapes")
+    if n_classes is None:
+        n_classes = int(max(y_true.max(initial=-1), y_pred.max(initial=-1))) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=int)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    cm = confusion_matrix(y_true, y_pred, n_classes)
+    tp = np.diag(cm).astype(float)
+    fp = cm.sum(axis=0) - tp
+    fn = cm.sum(axis=1) - tp
+    precision = np.divide(tp, tp + fp, out=np.zeros_like(tp), where=(tp + fp) > 0)
+    recall = np.divide(tp, tp + fn, out=np.zeros_like(tp), where=(tp + fn) > 0)
+    denom = precision + recall
+    f1 = np.divide(
+        2 * precision * recall, denom, out=np.zeros_like(tp), where=denom > 0
+    )
+    return float(f1.mean())

@@ -1,0 +1,205 @@
+"""Keras-like sequential model container."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy, softmax
+from repro.nn.metrics import accuracy
+from repro.nn.optimizers import Adam, Optimizer
+
+
+class Sequential:
+    """A linear stack of layers trained with softmax cross-entropy.
+
+    Example
+    -------
+    >>> model = Sequential([Dense(64, activation="relu"), Dense(5)])
+    >>> model.compile(input_shape=(20,), optimizer=Adam(1e-3))
+    >>> history = model.fit(x_train, y_train, epochs=10, batch_size=32)
+    >>> model.evaluate(x_test, y_test)
+    """
+
+    def __init__(self, layers: list[Layer] | None = None, seed: int = 0) -> None:
+        self.layers: list[Layer] = list(layers) if layers else []
+        self.seed = seed
+        self.input_shape: tuple[int, ...] | None = None
+        self.optimizer: Optimizer | None = None
+        self.loss: SoftmaxCrossEntropy | MeanSquaredError = SoftmaxCrossEntropy()
+
+    def add(self, layer: Layer) -> None:
+        """Append a layer; must be called before :meth:`compile`."""
+        if self.input_shape is not None:
+            raise RuntimeError("cannot add layers after compile()")
+        self.layers.append(layer)
+
+    def compile(
+        self,
+        input_shape: tuple[int, ...],
+        optimizer: Optimizer | None = None,
+        loss: str = "crossentropy",
+    ) -> None:
+        """Build every layer for per-sample ``input_shape``.
+
+        ``loss`` selects the objective: ``"crossentropy"`` for integer
+        class labels (the default) or ``"mse"`` for continuous regression
+        targets of the same shape as the model output.
+        """
+        rng = np.random.default_rng(self.seed)
+        shape = tuple(input_shape)
+        for layer in self.layers:
+            layer.build(shape, rng)
+            shape = layer.output_shape(shape)
+        self.input_shape = tuple(input_shape)
+        self.optimizer = optimizer if optimizer is not None else Adam()
+        if loss == "crossentropy":
+            self.loss = SoftmaxCrossEntropy()
+        elif loss == "mse":
+            self.loss = MeanSquaredError()
+        else:
+            raise ValueError(f"unknown loss {loss!r}")
+
+    @property
+    def n_params(self) -> int:
+        """Total trainable parameter count."""
+        return sum(layer.n_params for layer in self.layers)
+
+    def _check_compiled(self) -> None:
+        if self.input_shape is None or self.optimizer is None:
+            raise RuntimeError("call compile() before using the model")
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run all layers; returns the final logits."""
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def _backward(self, grad: np.ndarray) -> None:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def _gather(self) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+        params: dict[str, np.ndarray] = {}
+        grads: dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            for name, value in layer.params.items():
+                params[f"{i}/{name}"] = value
+                grads[f"{i}/{name}"] = layer.grads[name]
+        return params, grads
+
+    def train_step(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One forward/backward/update pass; returns the batch loss."""
+        self._check_compiled()
+        logits = self.forward(x, training=True)
+        loss_value = self.loss.forward(logits, y)
+        self._backward(self.loss.backward())
+        params, grads = self._gather()
+        assert self.optimizer is not None
+        self.optimizer.update(params, grads)
+        return loss_value
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 10,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        seed: int = 0,
+        verbose: bool = False,
+    ) -> dict[str, list[float]]:
+        """Mini-batch training loop; returns per-epoch loss/accuracy history."""
+        self._check_compiled()
+        x = np.asarray(x, dtype=np.float64)
+        if self.is_regression:
+            y = np.asarray(y, dtype=np.float64)
+        else:
+            y = np.asarray(y, dtype=int)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have the same number of samples")
+        rng = np.random.default_rng(seed)
+        history: dict[str, list[float]] = {"loss": [], "accuracy": []}
+        n = x.shape[0]
+        for epoch in range(epochs):
+            order = rng.permutation(n) if shuffle else np.arange(n)
+            losses = []
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                losses.append(self.train_step(x[idx], y[idx]))
+            epoch_loss = float(np.mean(losses))
+            epoch_acc = self.evaluate(x, y)
+            history["loss"].append(epoch_loss)
+            history["accuracy"].append(epoch_acc)  # MSE when regressing
+            if verbose:
+                print(
+                    f"epoch {epoch + 1}/{epochs}: "
+                    f"loss={epoch_loss:.4f} accuracy={epoch_acc:.4f}"
+                )
+        return history
+
+    @property
+    def is_regression(self) -> bool:
+        """Whether the model was compiled with the MSE loss."""
+        return isinstance(self.loss, MeanSquaredError)
+
+    def predict_values(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Raw model outputs (the regression prediction)."""
+        self._check_compiled()
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            outputs.append(self.forward(x[start : start + batch_size]))
+        return np.concatenate(outputs, axis=0)
+
+    def predict_proba(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Class probabilities, shape ``(n, n_classes)``."""
+        self._check_compiled()
+        if self.is_regression:
+            raise RuntimeError("predict_proba is undefined for regression models")
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            logits = self.forward(x[start : start + batch_size], training=False)
+            outputs.append(softmax(logits))
+        return np.concatenate(outputs, axis=0)
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Hard class labels."""
+        return self.predict_proba(x, batch_size=batch_size).argmax(axis=1)
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy on ``(x, y)`` — or mean squared error when regressing."""
+        if self.is_regression:
+            outputs = self.predict_values(x)
+            return float(np.mean((outputs - np.asarray(y, dtype=np.float64)) ** 2))
+        return accuracy(np.asarray(y, dtype=int), self.predict(x))
+
+    def get_weights(self) -> dict[str, np.ndarray]:
+        """Copy of all parameters keyed by ``layer_index/name``."""
+        params, _ = self._gather()
+        return {k: v.copy() for k, v in params.items()}
+
+    def set_weights(self, weights: dict[str, np.ndarray]) -> None:
+        """Load parameters produced by :meth:`get_weights`."""
+        params, _ = self._gather()
+        if set(weights) != set(params):
+            raise ValueError("weight keys do not match the model architecture")
+        for key, value in weights.items():
+            if params[key].shape != value.shape:
+                raise ValueError(f"shape mismatch for {key}")
+            params[key][...] = value
+
+    def save(self, path: str | Path) -> None:
+        """Serialize weights to an ``.npz`` file."""
+        self._check_compiled()
+        weights = self.get_weights()
+        np.savez(Path(path), **{k.replace("/", "__"): v for k, v in weights.items()})
+
+    def load(self, path: str | Path) -> None:
+        """Load weights from :meth:`save` output into a compiled model."""
+        self._check_compiled()
+        with np.load(Path(path)) as data:
+            weights = {k.replace("__", "/"): data[k] for k in data.files}
+        self.set_weights(weights)

@@ -1,0 +1,84 @@
+"""Gradient-descent optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Optimizer:
+    """Base optimizer; subclasses implement :meth:`update`."""
+
+    def update(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        """Apply one in-place update step to ``params`` given ``grads``.
+
+        Keys are globally unique parameter names (layer index + name).
+        """
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def update(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        """Apply one (momentum) SGD step in place."""
+        for name, p in params.items():
+            g = grads[name]
+            if self.momentum > 0.0:
+                v = self._velocity.setdefault(name, np.zeros_like(p))
+                v *= self.momentum
+                v -= self.lr * g
+                p += v
+            else:
+                p -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        clipnorm: float | None = None,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.clipnorm = clipnorm
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def update(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        """Apply one Adam step in place (with optional gradient clipping)."""
+        self._t += 1
+        if self.clipnorm is not None:
+            total = np.sqrt(sum(float(np.sum(g**2)) for g in grads.values()))
+            if total > self.clipnorm:
+                scale = self.clipnorm / (total + 1e-12)
+                grads = {k: g * scale for k, g in grads.items()}
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for name, p in params.items():
+            g = grads[name]
+            m = self._m.setdefault(name, np.zeros_like(p))
+            v = self._v.setdefault(name, np.zeros_like(p))
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g**2
+            p -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

@@ -1,0 +1,146 @@
+"""Int8 post-training quantization.
+
+Reproduces the paper's Fig. 3(c)/(d) methodology: per-tensor affine
+quantization of every weight tensor to signed 8-bit, a quantized inference
+path that stores int8 weights and dequantizes through the recorded
+scale/zero-point, and weight-size accounting (float32 = 4 B/param,
+int8 = 1 B/param).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.model import Sequential
+
+INT8_MIN = -128
+INT8_MAX = 127
+
+
+@dataclass(frozen=True)
+class QuantizationSpec:
+    """Affine quantization parameters for one tensor."""
+
+    scale: float
+    zero_point: int
+
+    def quantize(self, tensor: np.ndarray) -> np.ndarray:
+        """Map float values to int8 through this spec."""
+        q = np.round(tensor / self.scale) + self.zero_point
+        return np.clip(q, INT8_MIN, INT8_MAX).astype(np.int8)
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        """Recover float values from int8 through this spec."""
+        return (q.astype(np.float64) - self.zero_point) * self.scale
+
+
+def compute_spec(tensor: np.ndarray) -> QuantizationSpec:
+    """Derive a per-tensor affine int8 spec covering the tensor's range."""
+    lo = float(min(tensor.min(), 0.0))
+    hi = float(max(tensor.max(), 0.0))
+    if hi == lo:
+        return QuantizationSpec(scale=1.0, zero_point=0)
+    scale = (hi - lo) / float(INT8_MAX - INT8_MIN)
+    if scale == 0.0:  # denormal range underflowed to zero
+        return QuantizationSpec(scale=1.0, zero_point=0)
+    zero_point = int(round(INT8_MIN - lo / scale))
+    zero_point = max(INT8_MIN, min(INT8_MAX, zero_point))
+    return QuantizationSpec(scale=scale, zero_point=zero_point)
+
+
+def quantize_tensor(tensor: np.ndarray) -> tuple[np.ndarray, QuantizationSpec]:
+    """Quantize one tensor; returns ``(int8_values, spec)``."""
+    spec = compute_spec(np.asarray(tensor, dtype=np.float64))
+    return spec.quantize(tensor), spec
+
+
+def dequantize_tensor(q: np.ndarray, spec: QuantizationSpec) -> np.ndarray:
+    """Recover a float tensor from int8 values and a spec."""
+    return spec.dequantize(q)
+
+
+def model_weight_bytes(model: Sequential, bits: int = 32) -> int:
+    """Total weight storage in bytes at the given precision."""
+    if bits not in (8, 16, 32):
+        raise ValueError("bits must be one of 8, 16, 32")
+    return model.n_params * bits // 8
+
+
+class QuantizedModel:
+    """A :class:`Sequential` whose weights are stored as int8.
+
+    Inference dequantizes through the recorded specs, so accuracy reflects
+    true 8-bit weight storage (the paper's "8bit" bars in Fig. 3(d)).
+    """
+
+    def __init__(self, model: Sequential) -> None:
+        self._model = model
+        self._float_weights = model.get_weights()
+        self._qweights: dict[str, np.ndarray] = {}
+        self._specs: dict[str, QuantizationSpec] = {}
+        for name, tensor in self._float_weights.items():
+            q, spec = quantize_tensor(tensor)
+            self._qweights[name] = q
+            self._specs[name] = spec
+
+    @property
+    def specs(self) -> dict[str, QuantizationSpec]:
+        """Per-tensor quantization specs, keyed like the weights."""
+        return dict(self._specs)
+
+    @property
+    def weight_bytes(self) -> int:
+        """Int8 weight storage in bytes (1 byte per parameter)."""
+        return sum(q.size for q in self._qweights.values())
+
+    def dequantized_weights(self) -> dict[str, np.ndarray]:
+        """Float weights reconstructed from int8 storage."""
+        return {
+            name: self._specs[name].dequantize(q)
+            for name, q in self._qweights.items()
+        }
+
+    def _swap_in(self) -> None:
+        self._model.set_weights(self.dequantized_weights())
+
+    def _swap_out(self) -> None:
+        self._model.set_weights(self._float_weights)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard labels using the int8 weights."""
+        self._swap_in()
+        try:
+            return self._model.predict(x)
+        finally:
+            self._swap_out()
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities using the int8 weights."""
+        self._swap_in()
+        try:
+            return self._model.predict_proba(x)
+        finally:
+            self._swap_out()
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy using the int8 weights."""
+        self._swap_in()
+        try:
+            return self._model.evaluate(x, y)
+        finally:
+            self._swap_out()
+
+    def max_roundtrip_error(self) -> float:
+        """Worst absolute weight reconstruction error across tensors."""
+        worst = 0.0
+        for name, tensor in self._float_weights.items():
+            recon = self._specs[name].dequantize(self._qweights[name])
+            worst = max(worst, float(np.max(np.abs(recon - tensor))))
+        return worst
+
+
+def quantize_model(model: Sequential) -> QuantizedModel:
+    """Post-training-quantize a trained model to int8 weights."""
+    return QuantizedModel(model)

@@ -1,0 +1,58 @@
+"""Simplified H.264/AVC baseline codec substrate.
+
+A functional video codec exposing exactly the structures the paper's
+affect-adaptive decoder (Section 4) manipulates: NAL units with start codes
+and I/P/B frame types, a circular input buffer fed through an inserted
+pre-store buffer and input selector (the NAL-deletion knob, parameters
+``S_th`` and ``f``), a 4x4 integer transform with quantization (IQIT),
+intra/inter prediction, CAVLC-style entropy coding, and a boundary-strength
+deblocking filter (the second knob).  The decoder keeps per-module activity
+counters that drive the power model in :mod:`repro.hw`.
+"""
+
+from repro.video.bitstream import BitReader, BitWriter
+from repro.video.frames import Frame, FrameType, synthetic_video
+from repro.video.nal import NalUnit, pack_nal_units, split_nal_units
+from repro.video.transform import (
+    dequantize_block,
+    forward_transform_4x4,
+    inverse_transform_4x4,
+    quantize_block,
+)
+from repro.video.encoder import Encoder, EncoderConfig
+from repro.video.buffers import CircularBuffer, InputSelector, PreStoreBuffer
+from repro.video.decoder import DecodedVideo, DecodeError, Decoder, DecoderConfig
+from repro.video.ratecontrol import RateController
+from repro.video.quality import blockiness, psnr, sequence_psnr, ssim
+from repro.video.deblocking import boundary_strength, deblock_frame
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "CircularBuffer",
+    "DecodeError",
+    "DecodedVideo",
+    "Decoder",
+    "DecoderConfig",
+    "Encoder",
+    "EncoderConfig",
+    "Frame",
+    "FrameType",
+    "InputSelector",
+    "NalUnit",
+    "PreStoreBuffer",
+    "RateController",
+    "blockiness",
+    "boundary_strength",
+    "deblock_frame",
+    "dequantize_block",
+    "forward_transform_4x4",
+    "inverse_transform_4x4",
+    "pack_nal_units",
+    "psnr",
+    "quantize_block",
+    "sequence_psnr",
+    "ssim",
+    "split_nal_units",
+    "synthetic_video",
+]

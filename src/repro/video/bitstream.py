@@ -1,0 +1,108 @@
+"""Bit-level serialization with exponential-Golomb codes.
+
+H.264 headers and residual syntax elements use unsigned (``ue``) and signed
+(``se``) exp-Golomb codes; this module provides a writer/reader pair that
+round-trips them exactly.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Append-only bit buffer (MSB first)."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._bitpos = 0  # bits used in the last byte (0..7)
+
+    def __len__(self) -> int:
+        """Total number of bits written."""
+        return len(self._bytes) * 8 - ((8 - self._bitpos) % 8)
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit."""
+        if self._bitpos == 0:
+            self._bytes.append(0)
+        if bit:
+            self._bytes[-1] |= 1 << (7 - self._bitpos)
+        self._bitpos = (self._bitpos + 1) % 8
+
+    def write_bits(self, value: int, n_bits: int) -> None:
+        """Write the ``n_bits`` least-significant bits of ``value``."""
+        if n_bits < 0:
+            raise ValueError("n_bits must be non-negative")
+        if value < 0 or (n_bits < value.bit_length()):
+            raise ValueError(f"value {value} does not fit in {n_bits} bits")
+        for i in range(n_bits - 1, -1, -1):
+            self.write_bit((value >> i) & 1)
+
+    def write_ue(self, value: int) -> None:
+        """Unsigned exp-Golomb."""
+        if value < 0:
+            raise ValueError("ue values must be non-negative")
+        code = value + 1
+        n = code.bit_length()
+        self.write_bits(0, n - 1)
+        self.write_bits(code, n)
+
+    def write_se(self, value: int) -> None:
+        """Signed exp-Golomb (H.264 mapping: 1, -1, 2, -2, ...)."""
+        if value > 0:
+            self.write_ue(2 * value - 1)
+        else:
+            self.write_ue(-2 * value)
+
+    def to_bytes(self) -> bytes:
+        """Byte-aligned contents (zero-padded to a whole byte)."""
+        return bytes(self._bytes)
+
+
+class BitReader:
+    """Sequential reader over bytes produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit cursor
+
+    @property
+    def bits_consumed(self) -> int:
+        """Bits read so far."""
+        return self._pos
+
+    @property
+    def bits_remaining(self) -> int:
+        """Bits left in the buffer."""
+        return len(self._data) * 8 - self._pos
+
+    def read_bit(self) -> int:
+        """Read the next bit (EOFError past the end)."""
+        if self._pos >= len(self._data) * 8:
+            raise EOFError("bitstream exhausted")
+        byte = self._data[self._pos // 8]
+        bit = (byte >> (7 - self._pos % 8)) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, n_bits: int) -> int:
+        """Read ``n_bits`` as an unsigned integer."""
+        value = 0
+        for _ in range(n_bits):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_ue(self) -> int:
+        """Read an unsigned exp-Golomb value."""
+        zeros = 0
+        while self.read_bit() == 0:
+            zeros += 1
+            if zeros > 64:
+                raise ValueError("malformed exp-Golomb code")
+        value = 1 << zeros
+        value |= self.read_bits(zeros)
+        return value - 1
+
+    def read_se(self) -> int:
+        """Read a signed exp-Golomb value."""
+        code = self.read_ue()
+        magnitude = (code + 1) // 2
+        return magnitude if code % 2 == 1 else -magnitude

@@ -1,0 +1,207 @@
+"""Decoder front-end buffers and the affect-driven Input Selector.
+
+The paper's decoder (Fig. 5) receives the bitstream through a 128-bit
+Circular Buffer.  The affect-adaptive design inserts an Input Selector and
+a 128 x 16-bit Pre-store Buffer in front of it: the selector scans NAL
+framing, deletes non-critical P/B NAL units according to the emotion-driven
+parameters ``S_th`` (size threshold in bytes) and ``f`` (delete every f-th
+eligible unit), and writes the surviving bytes into the pre-store buffer.
+The circular buffer fetches from the pre-store buffer under a hand-shake
+that prevents read/write conflicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.video.nal import NalUnit
+
+
+class RingBuffer:
+    """A byte ring buffer with overwrite protection.
+
+    Writes beyond the free space are rejected (the caller must retry),
+    modelling the hardware hand-shake; reads beyond the fill level raise.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 1:
+            raise ValueError("capacity must be >= 1 byte")
+        self.capacity = capacity_bytes
+        self._data = bytearray(capacity_bytes)
+        self._read = 0
+        self._count = 0
+        self.total_written = 0
+        self.total_read = 0
+        self.rejected_writes = 0
+
+    @property
+    def fill(self) -> int:
+        """Bytes currently stored."""
+        return self._count
+
+    @property
+    def free(self) -> int:
+        """Bytes of free space."""
+        return self.capacity - self._count
+
+    def write(self, data: bytes) -> int:
+        """Write as many bytes as fit; returns the number accepted."""
+        accepted = min(len(data), self.free)
+        if accepted < len(data):
+            self.rejected_writes += 1
+        for i in range(accepted):
+            self._data[(self._read + self._count + i) % self.capacity] = data[i]
+        self._count += accepted
+        self.total_written += accepted
+        return accepted
+
+    def read(self, n_bytes: int) -> bytes:
+        """Read up to ``n_bytes``; returns what is available."""
+        if n_bytes < 0:
+            raise ValueError("cannot read a negative count")
+        take = min(n_bytes, self._count)
+        out = bytearray(take)
+        for i in range(take):
+            out[i] = self._data[(self._read + i) % self.capacity]
+        self._read = (self._read + take) % self.capacity
+        self._count -= take
+        self.total_read += take
+        return bytes(out)
+
+
+class CircularBuffer(RingBuffer):
+    """The decoder's input circular buffer (paper default: 128 bits)."""
+
+    def __init__(self, capacity_bytes: int = 16) -> None:
+        super().__init__(capacity_bytes)
+
+
+class PreStoreBuffer(RingBuffer):
+    """The inserted pre-store buffer (paper: 128 x 16 bits = 256 bytes)."""
+
+    def __init__(self, capacity_bytes: int = 256) -> None:
+        super().__init__(capacity_bytes)
+
+
+@dataclass(frozen=True)
+class SelectorConfig:
+    """Input Selector policy.
+
+    ``enabled`` gates deletion entirely; ``s_th`` is the NAL-size threshold
+    in bytes (units strictly larger survive); ``f >= 1`` deletes every f-th
+    eligible unit, so ``m`` eligible units yield ``m // f`` deletions.
+    """
+
+    enabled: bool = False
+    s_th: int = 140
+    f: int = 1
+
+    def __post_init__(self) -> None:
+        if self.s_th < 0:
+            raise ValueError("s_th must be non-negative")
+        if self.f < 1:
+            raise ValueError("f must be >= 1")
+
+
+@dataclass
+class SelectorStats:
+    """Input Selector activity counters (power-model inputs)."""
+
+    units_scanned: int = 0
+    bytes_scanned: int = 0
+    eligible_units: int = 0
+    deleted_units: int = 0
+    deleted_bytes: int = 0
+
+
+class InputSelector:
+    """Deletes non-critical NAL units per the affect policy.
+
+    Only P and B slices are ever eligible — I frames and parameter sets are
+    indispensable references (Section 4 of the paper).
+    """
+
+    def __init__(self, config: SelectorConfig | None = None) -> None:
+        self.config = config or SelectorConfig()
+        self.stats = SelectorStats()
+
+    def filter_units(self, units: list[NalUnit]) -> list[NalUnit]:
+        """Return the surviving units, updating the activity counters."""
+        kept: list[NalUnit] = []
+        for unit in units:
+            self.stats.units_scanned += 1
+            self.stats.bytes_scanned += unit.size_bytes
+            if self._should_delete(unit):
+                self.stats.deleted_units += 1
+                self.stats.deleted_bytes += unit.size_bytes
+            else:
+                kept.append(unit)
+        return kept
+
+    def _should_delete(self, unit: NalUnit) -> bool:
+        if not self.config.enabled:
+            return False
+        from repro.video.nal import NalType
+
+        if unit.nal_type not in (NalType.SLICE_P, NalType.SLICE_B):
+            return False
+        if unit.size_bytes > self.config.s_th:
+            return False
+        self.stats.eligible_units += 1
+        return self.stats.eligible_units % self.config.f == 0
+
+
+@dataclass
+class PumpStats:
+    """Counters from pumping a payload through the buffer chain."""
+
+    words_to_prestore: int = 0
+    words_to_circular: int = 0
+    bytes_delivered: int = 0
+    handshake_stalls: int = 0
+
+
+def pump_through_buffers(
+    data: bytes,
+    prestore: PreStoreBuffer,
+    circular: CircularBuffer,
+    word_bytes: int = 2,
+) -> tuple[bytes, PumpStats]:
+    """Move a byte payload through pre-store -> circular buffer.
+
+    Models the paper's hand-shake: the Input Selector writes 16-bit words
+    into the pre-store buffer while the circular buffer fetches, and a
+    write that would overflow stalls until the consumer drains.  Returns
+    the bytes delivered to the parser plus activity counters.
+    """
+    stats = PumpStats()
+    delivered = bytearray()
+    src = 0
+    n = len(data)
+    while src < n or prestore.fill > 0 or circular.fill > 0:
+        progress = False
+        # Producer: selector writes one word into the pre-store buffer.
+        if src < n and prestore.free >= word_bytes:
+            chunk = data[src : src + word_bytes]
+            accepted = prestore.write(chunk)
+            src += accepted
+            stats.words_to_prestore += 1
+            progress = True
+        # Transfer: circular buffer fetches one word from the pre-store.
+        if prestore.fill > 0 and circular.free >= word_bytes:
+            word = prestore.read(word_bytes)
+            circular.write(word)
+            stats.words_to_circular += 1
+            progress = True
+        # Consumer: the bitstream parser drains the circular buffer.
+        if circular.fill > 0:
+            out = circular.read(word_bytes)
+            delivered.extend(out)
+            stats.bytes_delivered += len(out)
+            progress = True
+        if not progress:
+            stats.handshake_stalls += 1
+            if stats.handshake_stalls > 8 * (n + 1):
+                raise RuntimeError("buffer pump deadlocked")
+    return bytes(delivered), stats

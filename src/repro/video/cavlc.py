@@ -1,0 +1,68 @@
+"""CAVLC-style residual entropy coding.
+
+Context-adaptive variable-length coding in full H.264 detail is not needed
+for the paper's experiments (power scales with bits parsed and blocks
+decoded, not with the VLC table details), so this module implements the same
+structure — zigzag scan, coefficient-count prefix, (level, run) codes — with
+exp-Golomb codewords.  The format is exactly decodable and preserves the
+property the Input Selector relies on: busier blocks produce more bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.video.bitstream import BitReader, BitWriter
+
+# Zigzag scan order for a 4x4 block.
+ZIGZAG = np.array(
+    [0, 1, 4, 8, 5, 2, 3, 6, 9, 12, 13, 10, 7, 11, 14, 15], dtype=np.int64
+)
+_INVERSE_ZIGZAG = np.argsort(ZIGZAG)
+
+
+def zigzag_scan(block: np.ndarray) -> np.ndarray:
+    """Flatten a 4x4 block in zigzag order."""
+    flat = np.asarray(block, dtype=np.int64).reshape(16)
+    return flat[ZIGZAG]
+
+
+def inverse_zigzag(scanned: np.ndarray) -> np.ndarray:
+    """Rebuild a 4x4 block from its zigzag scan."""
+    flat = np.asarray(scanned, dtype=np.int64)
+    return flat[_INVERSE_ZIGZAG].reshape(4, 4)
+
+
+def encode_block(writer: BitWriter, levels: np.ndarray) -> None:
+    """Encode one quantized 4x4 block.
+
+    Syntax: ``ue(total_nonzero)``, then for each nonzero coefficient in
+    scan order: ``ue(run_before)`` zeros preceding it and ``se(level)``.
+    """
+    scanned = zigzag_scan(levels)
+    nonzero_positions = np.flatnonzero(scanned)
+    writer.write_ue(int(nonzero_positions.size))
+    previous_end = -1
+    for pos in nonzero_positions:
+        writer.write_ue(int(pos - previous_end - 1))
+        writer.write_se(int(scanned[pos]))
+        previous_end = int(pos)
+
+
+def decode_block(reader: BitReader) -> np.ndarray:
+    """Decode one quantized 4x4 block written by :func:`encode_block`."""
+    count = reader.read_ue()
+    if count > 16:
+        raise ValueError("corrupt block: more than 16 coefficients")
+    scanned = np.zeros(16, dtype=np.int64)
+    cursor = -1
+    for _ in range(count):
+        run = reader.read_ue()
+        level = reader.read_se()
+        cursor += run + 1
+        if cursor > 15:
+            raise ValueError("corrupt block: run past end of scan")
+        if level == 0:
+            raise ValueError("corrupt block: zero level coded as nonzero")
+        scanned[cursor] = level
+    return inverse_zigzag(scanned)

@@ -1,0 +1,132 @@
+"""Boundary-strength deblocking filter.
+
+Operates on 4x4 block edges of the reconstructed luma plane.  Boundary
+strength follows the H.264 rules in simplified form: 2 when either side is
+intra coded, 1 when either side carries non-zero residual or the macroblock
+motion vectors differ, 0 otherwise (no filtering).  The filter itself is the
+standard's BS<4 low-pass applied when the edge activity is below the
+QP-dependent alpha/beta thresholds — strong enough to remove blockiness,
+weak enough to keep real edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Alpha / beta threshold tables indexed by QP (abbreviated from the
+# standard's table 8-16; linear interpolation of the published values).
+_ALPHA = np.array(
+    [4 + int(0.8 * 2 ** (q / 6.0)) for q in range(52)], dtype=np.int64
+)
+_BETA = np.array([2 + q // 4 for q in range(52)], dtype=np.int64)
+
+
+def boundary_strength(
+    intra_a: bool,
+    intra_b: bool,
+    coded_a: bool,
+    coded_b: bool,
+    mv_a: tuple[int, int],
+    mv_b: tuple[int, int],
+) -> int:
+    """Boundary strength between two neighbouring 4x4 blocks."""
+    if intra_a or intra_b:
+        return 2
+    if coded_a or coded_b:
+        return 1
+    if abs(mv_a[0] - mv_b[0]) >= 1 or abs(mv_a[1] - mv_b[1]) >= 1:
+        return 1
+    return 0
+
+
+def _filter_edge_pixels(
+    p1: np.ndarray, p0: np.ndarray, q0: np.ndarray, q1: np.ndarray, qp: int, bs: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Filter one line of pixels across an edge; returns new (p0, q0)."""
+    alpha = int(_ALPHA[qp])
+    beta = int(_BETA[qp])
+    active = (
+        (np.abs(p0 - q0) < alpha)
+        & (np.abs(p1 - p0) < beta)
+        & (np.abs(q1 - q0) < beta)
+    )
+    # BS-scaled clip limit.
+    c = bs + 1
+    delta = ((q0 - p0) * 4 + (p1 - q1) + 4) >> 3
+    delta = np.clip(delta, -c, c)
+    new_p0 = np.where(active, np.clip(p0 + delta, 0, 255), p0)
+    new_q0 = np.where(active, np.clip(q0 - delta, 0, 255), q0)
+    return new_p0, new_q0
+
+
+def deblock_frame(
+    plane: np.ndarray,
+    block_strengths_v: np.ndarray,
+    block_strengths_h: np.ndarray,
+    qp: int,
+) -> tuple[np.ndarray, int]:
+    """Filter all 4x4 edges of a luma plane.
+
+    Parameters
+    ----------
+    plane:
+        Reconstructed luma (uint8 or int array).
+    block_strengths_v:
+        Strengths for vertical edges, shape ``(rows/4, cols/4 - 1)`` —
+        entry ``(i, j)`` is the edge between block columns ``j`` and
+        ``j+1``.
+    block_strengths_h:
+        Strengths for horizontal edges, shape ``(rows/4 - 1, cols/4)``.
+    qp:
+        Quantization parameter controlling filter thresholds.
+
+    Returns
+    -------
+    ``(filtered_plane, n_filtered_edges)`` where the count is the number of
+    block edges with BS > 0 that were processed (the power-model activity).
+    """
+    if not 0 <= qp <= 51:
+        raise ValueError("QP must be in [0, 51]")
+    work = plane.astype(np.int64)
+    rows, cols = work.shape
+    brows, bcols = rows // 4, cols // 4
+    if block_strengths_v.shape != (brows, bcols - 1):
+        raise ValueError("vertical strength map has wrong shape")
+    if block_strengths_h.shape != (brows - 1, bcols):
+        raise ValueError("horizontal strength map has wrong shape")
+    edges = 0
+    # Vertical edges (filter across columns).
+    for bj in range(bcols - 1):
+        col = (bj + 1) * 4
+        strengths = block_strengths_v[:, bj]
+        for bi in range(brows):
+            bs = int(strengths[bi])
+            if bs == 0:
+                continue
+            rows_slice = slice(bi * 4, bi * 4 + 4)
+            p1 = work[rows_slice, col - 2]
+            p0 = work[rows_slice, col - 1]
+            q0 = work[rows_slice, col]
+            q1 = work[rows_slice, col + 1]
+            new_p0, new_q0 = _filter_edge_pixels(p1, p0, q0, q1, qp, bs)
+            work[rows_slice, col - 1] = new_p0
+            work[rows_slice, col] = new_q0
+            edges += 1
+    # Horizontal edges (filter across rows).
+    for bi in range(brows - 1):
+        row = (bi + 1) * 4
+        strengths = block_strengths_h[bi]
+        for bj in range(bcols):
+            bs = int(strengths[bj])
+            if bs == 0:
+                continue
+            cols_slice = slice(bj * 4, bj * 4 + 4)
+            p1 = work[row - 2, cols_slice]
+            p0 = work[row - 1, cols_slice]
+            q0 = work[row, cols_slice]
+            q1 = work[row + 1, cols_slice]
+            new_p0, new_q0 = _filter_edge_pixels(p1, p0, q0, q1, qp, bs)
+            work[row - 1, cols_slice] = new_p0
+            work[row, cols_slice] = new_q0
+            edges += 1
+    return np.clip(work, 0, 255).astype(np.uint8), edges

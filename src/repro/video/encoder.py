@@ -1,0 +1,312 @@
+"""Simplified H.264/AVC baseline encoder.
+
+Produces a NAL-unit bitstream with the paper's GOP structure: each group of
+pictures displays as ``I B P B P ...`` and is written in decode order
+(every B after both of its anchors).  Reconstruction runs through the same
+slice-coding routines as the decoder, with the in-loop deblocking filter,
+so references match a standard-mode decode exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.video.bitstream import BitWriter
+
+if TYPE_CHECKING:
+    from repro.video.ratecontrol import RateController
+from repro.video.deblocking import deblock_frame
+from repro.video.frames import Frame, FrameType
+from repro.video.entropy import make_coder
+from repro.video.nal import NalType, NalUnit, pack_nal_units
+from repro.video.slice_coding import (
+    MB,
+    FrameSideInfo,
+    PlaneSet,
+    write_b_macroblock,
+    write_i_macroblock,
+    write_p_macroblock,
+)
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Encoder tuning knobs."""
+
+    qp_i: int = 26
+    qp_p: int = 28
+    qp_b: int = 32
+    gop_size: int = 12
+    use_b_frames: bool = True
+    search_range: int = 4
+    entropy: str = "eg"
+
+    def __post_init__(self) -> None:
+        make_coder(self.entropy)  # validate the name early
+        for name in ("qp_i", "qp_p", "qp_b"):
+            qp = getattr(self, name)
+            if not 0 <= qp <= 51:
+                raise ValueError(f"{name} must be in [0, 51]")
+        if self.gop_size < 1:
+            raise ValueError("gop_size must be >= 1")
+        if self.search_range < 0:
+            raise ValueError("search_range must be >= 0")
+
+
+def gop_display_types(gop_size: int, use_b_frames: bool) -> list[FrameType]:
+    """Frame types in display order for one GOP (``I B P B P ...``)."""
+    types = [FrameType.I]
+    position = 1
+    while position < gop_size:
+        if use_b_frames and position + 1 < gop_size:
+            types.append(FrameType.B)
+            types.append(FrameType.P)
+            position += 2
+        else:
+            types.append(FrameType.P)
+            position += 1
+    return types
+
+
+def gop_decode_order(types: list[FrameType]) -> list[int]:
+    """Decode-order permutation of display indices for one GOP.
+
+    Anchors (I/P) come in display order; each B follows the anchor pair it
+    predicts from.
+    """
+    order: list[int] = []
+    pending_b: list[int] = []
+    for display, frame_type in enumerate(types):
+        if frame_type == FrameType.B:
+            pending_b.append(display)
+        else:
+            order.append(display)
+            order.extend(pending_b)
+            pending_b.clear()
+    order.extend(pending_b)  # trailing Bs (no backward anchor)
+    return order
+
+
+class Encoder:
+    """Encode a frame list into a packed NAL bitstream.
+
+    An optional :class:`repro.video.ratecontrol.RateController` adapts the
+    per-frame QP toward a target frame size; the adapted QP is written
+    into every slice, so rate-controlled streams need no decoder changes.
+    """
+
+    def __init__(
+        self,
+        config: EncoderConfig | None = None,
+        rate_controller: "RateController | None" = None,
+    ) -> None:
+        self.config = config or EncoderConfig()
+        self.rate_controller = rate_controller
+
+    def encode_to_units(self, frames: list[Frame]) -> list[NalUnit]:
+        """Encode frames; returns NAL units in decode order (SPS first)."""
+        if not frames:
+            raise ValueError("need at least one frame")
+        height, width = frames[0].height, frames[0].width
+        for frame in frames:
+            if frame.height != height or frame.width != width:
+                raise ValueError("all frames must share dimensions")
+        coder = make_coder(self.config.entropy)
+        sps = BitWriter()
+        sps.write_ue(width)
+        sps.write_ue(height)
+        sps.write_ue(self.config.gop_size)
+        sps.write_ue(len(frames))
+        sps.write_ue(coder.mode_id)
+        units = [NalUnit(NalType.SPS, 0, sps.to_bytes())]
+
+        cfg = self.config
+        for gop_start in range(0, len(frames), cfg.gop_size):
+            gop = frames[gop_start : gop_start + cfg.gop_size]
+            types = gop_display_types(len(gop), cfg.use_b_frames)
+            order = gop_decode_order(types)
+            recon_by_display: dict[int, PlaneSet] = {}
+            anchors: list[int] = []
+            for display in order:
+                frame = gop[display]
+                frame_type = types[display]
+                source = PlaneSet.from_uint8(frame.y, frame.u, frame.v)
+                recon = PlaneSet.blank(height, width)
+                info = FrameSideInfo.empty(height, width)
+                writer = BitWriter()
+                offset = (
+                    self.rate_controller.qp_offset()
+                    if self.rate_controller is not None
+                    else 0
+                )
+                if frame_type == FrameType.I:
+                    qp = _clamp_qp(cfg.qp_i + offset)
+                    writer.write_ue(qp)
+                    self._code_frame_i(writer, source, recon, info, qp, coder)
+                    nal_type = NalType.SLICE_I
+                elif frame_type == FrameType.P:
+                    qp = _clamp_qp(cfg.qp_p + offset)
+                    writer.write_ue(qp)
+                    ref = recon_by_display[_forward_anchor(anchors, display)]
+                    self._code_frame_p(writer, source, recon, ref, info, qp, coder)
+                    nal_type = NalType.SLICE_P
+                else:
+                    qp = _clamp_qp(cfg.qp_b + offset)
+                    writer.write_ue(qp)
+                    fwd = recon_by_display[_forward_anchor(anchors, display)]
+                    bwd_idx = _backward_anchor(anchors, display)
+                    bwd = recon_by_display[bwd_idx] if bwd_idx is not None else fwd
+                    self._code_frame_b(writer, source, recon, fwd, bwd, info, qp,
+                                       coder)
+                    nal_type = NalType.SLICE_B
+                recon = _in_loop_deblock(recon, info, qp)
+                recon_by_display[display] = recon
+                if frame_type != FrameType.B:
+                    anchors.append(display)
+                    anchors.sort()
+                unit = NalUnit(nal_type, gop_start + display, writer.to_bytes())
+                if self.rate_controller is not None:
+                    self.rate_controller.update(unit.size_bytes)
+                units.append(unit)
+        return units
+
+    def encode(self, frames: list[Frame]) -> bytes:
+        """Encode frames into a packed byte stream."""
+        return pack_nal_units(self.encode_to_units(frames))
+
+    def _code_frame_i(
+        self,
+        writer: BitWriter,
+        source: PlaneSet,
+        recon: PlaneSet,
+        info: FrameSideInfo,
+        qp: int,
+        coder,
+    ) -> None:
+        mb_rows = source.y.shape[0] // MB
+        mb_cols = source.y.shape[1] // MB
+        for mb_row in range(mb_rows):
+            for mb_col in range(mb_cols):
+                write_i_macroblock(
+                    writer, source, recon, info, mb_row, mb_col, qp, coder
+                )
+
+    def _code_frame_p(
+        self,
+        writer: BitWriter,
+        source: PlaneSet,
+        recon: PlaneSet,
+        reference: PlaneSet,
+        info: FrameSideInfo,
+        qp: int,
+        coder,
+    ) -> None:
+        mb_rows = source.y.shape[0] // MB
+        mb_cols = source.y.shape[1] // MB
+        for mb_row in range(mb_rows):
+            for mb_col in range(mb_cols):
+                write_p_macroblock(
+                    writer,
+                    source,
+                    recon,
+                    reference,
+                    info,
+                    mb_row,
+                    mb_col,
+                    qp,
+                    search_range=self.config.search_range,
+                    coder=coder,
+                )
+
+    def _code_frame_b(
+        self,
+        writer: BitWriter,
+        source: PlaneSet,
+        recon: PlaneSet,
+        ref_forward: PlaneSet,
+        ref_backward: PlaneSet,
+        info: FrameSideInfo,
+        qp: int,
+        coder,
+    ) -> None:
+        mb_rows = source.y.shape[0] // MB
+        mb_cols = source.y.shape[1] // MB
+        for mb_row in range(mb_rows):
+            for mb_col in range(mb_cols):
+                write_b_macroblock(
+                    writer,
+                    source,
+                    recon,
+                    ref_forward,
+                    ref_backward,
+                    info,
+                    mb_row,
+                    mb_col,
+                    qp,
+                    search_range=self.config.search_range,
+                    coder=coder,
+                )
+
+
+def _clamp_qp(qp: int) -> int:
+    return max(0, min(51, qp))
+
+
+def _forward_anchor(anchors: list[int], display: int) -> int:
+    """Nearest anchor before ``display`` (the I frame at worst)."""
+    candidates = [a for a in anchors if a < display]
+    if not candidates:
+        raise ValueError("no forward anchor available")
+    return max(candidates)
+
+
+def _backward_anchor(anchors: list[int], display: int) -> int | None:
+    """Nearest anchor after ``display`` (None for trailing Bs)."""
+    candidates = [a for a in anchors if a > display]
+    return min(candidates) if candidates else None
+
+
+def build_strength_maps(info: FrameSideInfo) -> tuple[np.ndarray, np.ndarray]:
+    """Boundary-strength maps for the deblocking filter from side info."""
+    from repro.video.deblocking import boundary_strength
+
+    brows, bcols = info.intra.shape
+    bs_v = np.zeros((brows, bcols - 1), dtype=np.int64)
+    bs_h = np.zeros((brows - 1, bcols), dtype=np.int64)
+    for i in range(brows):
+        for j in range(bcols - 1):
+            bs_v[i, j] = boundary_strength(
+                bool(info.intra[i, j]),
+                bool(info.intra[i, j + 1]),
+                bool(info.coded[i, j]),
+                bool(info.coded[i, j + 1]),
+                tuple(info.mv[i, j]),
+                tuple(info.mv[i, j + 1]),
+            )
+    for i in range(brows - 1):
+        for j in range(bcols):
+            bs_h[i, j] = boundary_strength(
+                bool(info.intra[i, j]),
+                bool(info.intra[i + 1, j]),
+                bool(info.coded[i, j]),
+                bool(info.coded[i + 1, j]),
+                tuple(info.mv[i, j]),
+                tuple(info.mv[i + 1, j]),
+            )
+    return bs_v, bs_h
+
+
+def _in_loop_deblock(recon: PlaneSet, info: FrameSideInfo, qp: int) -> PlaneSet:
+    """Apply the in-loop deblocking filter to a reconstructed frame."""
+    bs_v, bs_h = build_strength_maps(info)
+    filtered, _ = deblock_frame(
+        np.clip(recon.y, 0, 255).astype(np.uint8), bs_v, bs_h, qp
+    )
+    return PlaneSet(
+        y=filtered.astype(np.int64),
+        u=np.clip(recon.u, 0, 255),
+        v=np.clip(recon.v, 0, 255),
+    )

@@ -1,0 +1,85 @@
+"""Pluggable residual entropy coders.
+
+The bitstream advertises its residual entropy mode in the SPS, so the two
+coders — the simple exp-Golomb run/level coder and the context-adaptive
+CAVLC — can be selected per stream (EncoderConfig ``entropy``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.video.bitstream import BitReader, BitWriter
+from repro.video.cavlc import decode_block, encode_block, zigzag_scan
+from repro.video.cavlc_adaptive import decode_block_cavlc, encode_block_cavlc
+
+
+class EntropyCoder:
+    """Residual block coder interface.
+
+    ``nc`` is the neighbour-coefficient context (ignored by non-adaptive
+    coders); both methods return the block's TotalCoeffs so the caller
+    can maintain the context map.
+    """
+
+    name = "base"
+    mode_id = -1
+
+    def encode(self, writer: BitWriter, levels: np.ndarray, nc: float) -> int:
+        """Write one 4x4 block; returns its TotalCoeffs."""
+        raise NotImplementedError
+
+    def decode(self, reader: BitReader, nc: float) -> tuple[np.ndarray, int]:
+        """Read one 4x4 block; returns ``(levels, total_coeffs)``."""
+        raise NotImplementedError
+
+
+class ExpGolombCoder(EntropyCoder):
+    """The simple run/level exp-Golomb coder (default)."""
+
+    name = "eg"
+    mode_id = 0
+
+    def encode(self, writer: BitWriter, levels: np.ndarray, nc: float) -> int:
+        """Write one block with run/level exp-Golomb codes."""
+        encode_block(writer, levels)
+        return int(np.count_nonzero(zigzag_scan(levels)))
+
+    def decode(self, reader: BitReader, nc: float) -> tuple[np.ndarray, int]:
+        """Read one run/level exp-Golomb block."""
+        levels = decode_block(reader)
+        return levels, int(np.count_nonzero(levels))
+
+
+class CavlcCoder(EntropyCoder):
+    """Context-adaptive VLC (paper Fig. 5's CAVLC decoder)."""
+
+    name = "cavlc"
+    mode_id = 1
+
+    def encode(self, writer: BitWriter, levels: np.ndarray, nc: float) -> int:
+        """Write one block with context-adaptive VLC codes."""
+        return encode_block_cavlc(writer, levels, nc)
+
+    def decode(self, reader: BitReader, nc: float) -> tuple[np.ndarray, int]:
+        """Read one context-adaptive VLC block."""
+        levels = decode_block_cavlc(reader, nc)
+        return levels, int(np.count_nonzero(levels))
+
+
+_CODERS = {coder.name: coder for coder in (ExpGolombCoder, CavlcCoder)}
+_CODERS_BY_ID = {coder.mode_id: coder for coder in (ExpGolombCoder, CavlcCoder)}
+
+
+def make_coder(name: str) -> EntropyCoder:
+    """Instantiate a coder by config name (``"eg"`` or ``"cavlc"``)."""
+    if name not in _CODERS:
+        raise KeyError(f"unknown entropy coder {name!r}; choose from {sorted(_CODERS)}")
+    return _CODERS[name]()
+
+
+def coder_from_mode_id(mode_id: int) -> EntropyCoder:
+    """Instantiate a coder from the SPS mode id."""
+    if mode_id not in _CODERS_BY_ID:
+        raise ValueError(f"unknown entropy mode id {mode_id}")
+    return _CODERS_BY_ID[mode_id]()

@@ -1,0 +1,119 @@
+"""YUV frames and synthetic video sources."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+
+class FrameType(str, Enum):
+    """Picture coding types."""
+
+    I = "I"
+    P = "P"
+    B = "B"
+
+
+@dataclass
+class Frame:
+    """A YUV 4:2:0 picture.
+
+    ``y`` has shape ``(height, width)``; ``u`` and ``v`` are subsampled by
+    two in both directions.  All planes are uint8.
+    """
+
+    y: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.y.dtype != np.uint8 or self.u.dtype != np.uint8 or self.v.dtype != np.uint8:
+            raise ValueError("planes must be uint8")
+        h, w = self.y.shape
+        if h % 16 or w % 16:
+            raise ValueError("dimensions must be multiples of 16 (macroblocks)")
+        if self.u.shape != (h // 2, w // 2) or self.v.shape != (h // 2, w // 2):
+            raise ValueError("chroma planes must be 4:2:0 subsampled")
+
+    @property
+    def height(self) -> int:
+        """Luma height in pixels."""
+        return self.y.shape[0]
+
+    @property
+    def width(self) -> int:
+        """Luma width in pixels."""
+        return self.y.shape[1]
+
+    def copy(self) -> "Frame":
+        """Deep copy of all three planes."""
+        return Frame(self.y.copy(), self.u.copy(), self.v.copy())
+
+    @staticmethod
+    def blank(height: int, width: int, luma: int = 128) -> "Frame":
+        """A uniform gray frame."""
+        return Frame(
+            np.full((height, width), luma, dtype=np.uint8),
+            np.full((height // 2, width // 2), 128, dtype=np.uint8),
+            np.full((height // 2, width // 2), 128, dtype=np.uint8),
+        )
+
+
+def synthetic_video(
+    n_frames: int,
+    height: int = 64,
+    width: int = 96,
+    seed: int = 0,
+    motion_px: float = 2.0,
+    detail: float = 1.0,
+    motion_profile: np.ndarray | None = None,
+) -> list[Frame]:
+    """Generate a moving-scene test clip.
+
+    The scene is a textured background with moving rectangles and a
+    luminance gradient, so it exercises intra prediction (smooth areas),
+    motion compensation (translating objects), and residual coding
+    (texture).  ``motion_px`` scales per-frame object motion; ``detail``
+    scales texture amplitude.  ``motion_profile`` optionally scales motion
+    per frame (0 = still), producing the mix of busy and quiet stretches —
+    and hence large and small P/B NAL units — that real content has.
+    """
+    if n_frames < 1:
+        raise ValueError("need at least one frame")
+    if motion_profile is not None:
+        motion_profile = np.asarray(motion_profile, dtype=np.float64)
+        if motion_profile.shape != (n_frames,):
+            raise ValueError("motion_profile must have one entry per frame")
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:height, 0:width]
+    gradient = (32.0 + 160.0 * xx / max(width - 1, 1)).astype(np.float64)
+    texture = detail * 12.0 * rng.standard_normal((height, width))
+    texture = np.clip(texture, -36, 36)
+    n_objects = 3
+    obj_pos = rng.uniform(0, 1, size=(n_objects, 2)) * [height - 16, width - 16]
+    obj_vel = rng.uniform(-1, 1, size=(n_objects, 2)) * motion_px
+    obj_luma = rng.uniform(40, 220, size=n_objects)
+    frames: list[Frame] = []
+    for t in range(n_frames):
+        y = gradient + texture
+        speed = 1.0 if motion_profile is None else float(motion_profile[t])
+        for k in range(n_objects):
+            r0 = int(obj_pos[k, 0]) % (height - 16)
+            c0 = int(obj_pos[k, 1]) % (width - 16)
+            y[r0 : r0 + 16, c0 : c0 + 16] = obj_luma[k]
+            obj_pos[k] += speed * obj_vel[k]
+        y8 = np.clip(y, 0, 255).astype(np.uint8)
+        u = np.clip(
+            128.0 + 24.0 * np.sin(2 * np.pi * (xx[::2, ::2] / width + 0.02 * t)),
+            0,
+            255,
+        ).astype(np.uint8)
+        v = np.clip(
+            128.0 + 24.0 * np.cos(2 * np.pi * (yy[::2, ::2] / height - 0.02 * t)),
+            0,
+            255,
+        ).astype(np.uint8)
+        frames.append(Frame(y8, u, v))
+    return frames

@@ -1,0 +1,120 @@
+"""Network Abstraction Layer unit framing.
+
+NAL units begin with a start code (``0x000001``) followed by a header byte
+identifying the payload: sequence parameters or an I/P/B slice (Section 4 of
+the paper).  The affect-driven Input Selector operates purely on this
+framing — it never needs to parse slice payloads to decide deletions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+START_CODE = b"\x00\x00\x01"
+
+
+class NalType(IntEnum):
+    """Payload categories used by this codec."""
+
+    SPS = 7       # sequence parameter set (dimensions, GOP structure)
+    SLICE_I = 5   # intra-coded frame
+    SLICE_P = 1   # predicted frame
+    SLICE_B = 2   # bi-directionally predicted frame
+
+
+@dataclass(frozen=True)
+class NalUnit:
+    """One NAL unit: a type, a display/decode index, and its payload."""
+
+    nal_type: NalType
+    frame_index: int
+    payload: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        """Size as framed in the stream (start code + header + index + payload)."""
+        return len(START_CODE) + 2 + len(self.payload)
+
+    @property
+    def is_slice(self) -> bool:
+        """Whether this unit carries picture data."""
+        return self.nal_type in (NalType.SLICE_I, NalType.SLICE_P, NalType.SLICE_B)
+
+    @property
+    def is_reference(self) -> bool:
+        """Whether later frames may predict from this one."""
+        return self.nal_type in (NalType.SPS, NalType.SLICE_I, NalType.SLICE_P)
+
+
+def escape_payload(payload: bytes) -> bytes:
+    """H.264 emulation prevention: insert ``0x03`` after ``00 00`` when the
+    next byte is ``0x03`` or less, so no start code can appear in a payload."""
+    out = bytearray()
+    zeros = 0
+    for byte in payload:
+        if zeros >= 2 and byte <= 0x03:
+            out.append(0x03)
+            zeros = 0
+        out.append(byte)
+        zeros = zeros + 1 if byte == 0x00 else 0
+    return bytes(out)
+
+
+def unescape_payload(escaped: bytes) -> bytes:
+    """Inverse of :func:`escape_payload`."""
+    out = bytearray()
+    zeros = 0
+    i = 0
+    n = len(escaped)
+    while i < n:
+        byte = escaped[i]
+        if zeros >= 2 and byte == 0x03 and i + 1 < n and escaped[i + 1] <= 0x03:
+            zeros = 0
+            i += 1
+            continue
+        out.append(byte)
+        zeros = zeros + 1 if byte == 0x00 else 0
+        i += 1
+    return bytes(out)
+
+
+def pack_nal_units(units: list[NalUnit]) -> bytes:
+    """Serialize NAL units into a byte stream with start codes.
+
+    Payloads go through emulation prevention so the start-code pattern
+    cannot appear inside them.
+    """
+    chunks: list[bytes] = []
+    for unit in units:
+        if unit.frame_index < 0 or unit.frame_index > 0xFF:
+            raise ValueError("frame_index must fit in one byte")
+        # Escape the whole body (header + payload): the type byte is never
+        # zero, so escaping guards the header/payload boundary too.
+        body = bytes([int(unit.nal_type), unit.frame_index]) + unit.payload
+        chunks.append(START_CODE + escape_payload(body))
+    return b"".join(chunks)
+
+
+def split_nal_units(stream: bytes) -> list[NalUnit]:
+    """Parse a byte stream back into NAL units (inverse of pack)."""
+    units: list[NalUnit] = []
+    positions: list[int] = []
+    search = 0
+    while True:
+        found = stream.find(START_CODE, search)
+        if found < 0:
+            break
+        positions.append(found)
+        search = found + len(START_CODE)
+    for i, start in enumerate(positions):
+        end = positions[i + 1] if i + 1 < len(positions) else len(stream)
+        body = unescape_payload(stream[start + len(START_CODE) : end])
+        if len(body) < 2:
+            raise ValueError("truncated NAL unit")
+        nal_type = NalType(body[0])
+        frame_index = body[1]
+        units.append(
+            NalUnit(nal_type=nal_type, frame_index=frame_index, payload=body[2:])
+        )
+    return units

@@ -1,0 +1,101 @@
+"""Intra prediction and inter motion estimation / compensation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+INTRA_DC = 0
+INTRA_VERTICAL = 1
+INTRA_HORIZONTAL = 2
+INTRA_MODES = (INTRA_DC, INTRA_VERTICAL, INTRA_HORIZONTAL)
+
+
+def intra_predict_4x4(
+    recon: np.ndarray, row: int, col: int, mode: int
+) -> np.ndarray:
+    """Predict a 4x4 block from already-reconstructed neighbours.
+
+    ``recon`` is the partially reconstructed plane (int64 working copy);
+    blocks are coded in raster order, so pixels above and to the left of
+    ``(row, col)`` are available.  Unavailable neighbours fall back to 128
+    (the standard's behaviour at picture borders).
+    """
+    above_ok = row > 0
+    left_ok = col > 0
+    if mode == INTRA_VERTICAL:
+        if above_ok:
+            return np.repeat(recon[row - 1, col : col + 4][None, :], 4, axis=0)
+        return np.full((4, 4), 128, dtype=np.int64)
+    if mode == INTRA_HORIZONTAL:
+        if left_ok:
+            return np.repeat(recon[row : row + 4, col - 1][:, None], 4, axis=1)
+        return np.full((4, 4), 128, dtype=np.int64)
+    if mode == INTRA_DC:
+        total = 0
+        count = 0
+        if above_ok:
+            total += int(recon[row - 1, col : col + 4].sum())
+            count += 4
+        if left_ok:
+            total += int(recon[row : row + 4, col - 1].sum())
+            count += 4
+        dc = (total + count // 2) // count if count else 128
+        return np.full((4, 4), dc, dtype=np.int64)
+    raise ValueError(f"unknown intra mode {mode}")
+
+
+def best_intra_mode(
+    recon: np.ndarray, block: np.ndarray, row: int, col: int
+) -> tuple[int, np.ndarray]:
+    """Pick the intra mode minimizing SAD; returns ``(mode, prediction)``."""
+    best_mode = INTRA_DC
+    best_pred = intra_predict_4x4(recon, row, col, INTRA_DC)
+    best_sad = int(np.abs(block - best_pred).sum())
+    for mode in (INTRA_VERTICAL, INTRA_HORIZONTAL):
+        pred = intra_predict_4x4(recon, row, col, mode)
+        sad = int(np.abs(block - pred).sum())
+        if sad < best_sad:
+            best_mode, best_pred, best_sad = mode, pred, sad
+    return best_mode, best_pred
+
+
+def motion_search(
+    reference: np.ndarray,
+    target: np.ndarray,
+    row: int,
+    col: int,
+    size: int = 16,
+    search_range: int = 4,
+) -> tuple[int, int]:
+    """Full-search integer motion estimation for one macroblock.
+
+    Returns the ``(dy, dx)`` displacement into ``reference`` minimizing SAD.
+    """
+    height, width = reference.shape
+    block = target[row : row + size, col : col + size].astype(np.int64)
+    best = (0, 0)
+    best_sad = None
+    for dy in range(-search_range, search_range + 1):
+        r = row + dy
+        if r < 0 or r + size > height:
+            continue
+        for dx in range(-search_range, search_range + 1):
+            c = col + dx
+            if c < 0 or c + size > width:
+                continue
+            cand = reference[r : r + size, c : c + size].astype(np.int64)
+            sad = int(np.abs(block - cand).sum())
+            if best_sad is None or sad < best_sad:
+                best_sad = sad
+                best = (dy, dx)
+    return best
+
+
+def motion_compensate(
+    reference: np.ndarray, row: int, col: int, mv: tuple[int, int], size: int = 16
+) -> np.ndarray:
+    """Fetch the motion-compensated prediction block (clamped at borders)."""
+    height, width = reference.shape
+    r = min(max(row + mv[0], 0), height - size)
+    c = min(max(col + mv[1], 0), width - size)
+    return reference[r : r + size, c : c + size].astype(np.int64)

@@ -1,0 +1,90 @@
+"""Objective video-quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.video.frames import Frame
+
+
+def psnr(reference: np.ndarray | Frame, decoded: np.ndarray | Frame) -> float:
+    """Luma peak signal-to-noise ratio in dB (infinite for identical)."""
+    ref = reference.y if isinstance(reference, Frame) else reference
+    dec = decoded.y if isinstance(decoded, Frame) else decoded
+    if ref.shape != dec.shape:
+        raise ValueError("frames must share dimensions")
+    mse = float(np.mean((ref.astype(np.float64) - dec.astype(np.float64)) ** 2))
+    if mse == 0.0:
+        return float("inf")
+    return 10.0 * np.log10(255.0**2 / mse)
+
+
+def sequence_psnr(reference: list[Frame], decoded: list[Frame]) -> float:
+    """Mean per-frame luma PSNR over a sequence (capped at 99 dB/frame)."""
+    if len(reference) != len(decoded):
+        raise ValueError("sequences must have equal length")
+    if not reference:
+        raise ValueError("sequences must be non-empty")
+    values = [min(psnr(r, d), 99.0) for r, d in zip(reference, decoded)]
+    return float(np.mean(values))
+
+
+def ssim(
+    reference: np.ndarray | Frame,
+    decoded: np.ndarray | Frame,
+    window: int = 8,
+) -> float:
+    """Mean structural similarity over non-overlapping luma windows.
+
+    Standard SSIM constants (K1 = 0.01, K2 = 0.03, L = 255).  Returns a
+    value in (0, 1]; 1 for identical planes.
+    """
+    ref = (reference.y if isinstance(reference, Frame) else reference).astype(np.float64)
+    dec = (decoded.y if isinstance(decoded, Frame) else decoded).astype(np.float64)
+    if ref.shape != dec.shape:
+        raise ValueError("frames must share dimensions")
+    if window < 2:
+        raise ValueError("window must be >= 2")
+    h, w = ref.shape
+    rows = h // window
+    cols = w // window
+    if rows == 0 or cols == 0:
+        raise ValueError("plane smaller than the SSIM window")
+    c1 = (0.01 * 255.0) ** 2
+    c2 = (0.03 * 255.0) ** 2
+    ref_w = ref[: rows * window, : cols * window].reshape(rows, window, cols, window)
+    dec_w = dec[: rows * window, : cols * window].reshape(rows, window, cols, window)
+    mu_x = ref_w.mean(axis=(1, 3))
+    mu_y = dec_w.mean(axis=(1, 3))
+    var_x = ref_w.var(axis=(1, 3))
+    var_y = dec_w.var(axis=(1, 3))
+    cov = (ref_w * dec_w).mean(axis=(1, 3)) - mu_x * mu_y
+    numerator = (2 * mu_x * mu_y + c1) * (2 * cov + c2)
+    denominator = (mu_x**2 + mu_y**2 + c1) * (var_x + var_y + c2)
+    return float(np.mean(numerator / denominator))
+
+
+def blockiness(plane: np.ndarray | Frame, block: int = 4) -> float:
+    """Blockiness index: boundary-edge gradient excess over interior.
+
+    Positive values indicate visible block-boundary discontinuities (the
+    "fuzzy MB edges" the paper shows when the deblocking filter is off);
+    values near zero indicate no boundary artefacts.
+    """
+    y = (plane.y if isinstance(plane, Frame) else plane).astype(np.float64)
+    h, w = y.shape
+    col_diff = np.abs(np.diff(y, axis=1))  # difference between col j, j+1
+    row_diff = np.abs(np.diff(y, axis=0))
+    col_boundary = col_diff[:, block - 1 :: block]
+    row_boundary = row_diff[block - 1 :: block, :]
+    col_mask = np.ones(w - 1, dtype=bool)
+    col_mask[block - 1 :: block] = False
+    row_mask = np.ones(h - 1, dtype=bool)
+    row_mask[block - 1 :: block] = False
+    interior = np.concatenate(
+        [col_diff[:, col_mask].ravel(), row_diff[row_mask, :].ravel()]
+    )
+    boundary = np.concatenate([col_boundary.ravel(), row_boundary.ravel()])
+    if boundary.size == 0 or interior.size == 0:
+        return 0.0
+    return float(boundary.mean() - interior.mean())

@@ -1,0 +1,77 @@
+"""Frame-level rate control.
+
+A reactive leaky-bucket controller: each encoded frame's size drains a
+virtual buffer filled at the target rate; buffer fullness maps to a QP
+offset applied on top of the encoder's per-frame-type base QP.  Because
+this codec writes QP into every slice payload, rate-controlled streams
+decode with the unmodified decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RateController:
+    """Leaky-bucket QP adaptation toward a target bytes/frame.
+
+    Parameters
+    ----------
+    target_bytes_per_frame:
+        Long-run average frame budget.
+    buffer_frames:
+        Bucket capacity in frame budgets (smoothing horizon).
+    gain:
+        QP steps applied per 100% buffer deviation.
+    max_offset:
+        Clamp on the QP offset magnitude.
+    """
+
+    target_bytes_per_frame: float
+    buffer_frames: float = 4.0
+    gain: float = 6.0
+    max_offset: int = 12
+    _fullness: float = field(default=0.0, repr=False)
+    history: list[tuple[int, int]] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.target_bytes_per_frame <= 0:
+            raise ValueError("target must be positive")
+        if self.buffer_frames <= 0:
+            raise ValueError("buffer_frames must be positive")
+
+    @property
+    def capacity(self) -> float:
+        """Bucket capacity in bytes."""
+        return self.buffer_frames * self.target_bytes_per_frame
+
+    @property
+    def fullness(self) -> float:
+        """Current bucket fullness as a fraction of capacity (signed)."""
+        return self._fullness / self.capacity
+
+    def qp_offset(self) -> int:
+        """QP offset for the next frame (positive = coarser)."""
+        offset = round(self.gain * self.fullness)
+        return int(max(-self.max_offset, min(self.max_offset, offset)))
+
+    def update(self, frame_bytes: int) -> None:
+        """Account one encoded frame."""
+        if frame_bytes < 0:
+            raise ValueError("frame size cannot be negative")
+        self._fullness += frame_bytes - self.target_bytes_per_frame
+        half = self.capacity
+        self._fullness = max(-half, min(half, self._fullness))
+        self.history.append((frame_bytes, self.qp_offset()))
+
+    def mean_bytes_per_frame(self) -> float:
+        """Realized average frame size so far."""
+        if not self.history:
+            return 0.0
+        return sum(size for size, _ in self.history) / len(self.history)
+
+
+def clamp_qp(qp: int) -> int:
+    """Clamp a QP into the valid [0, 51] range."""
+    return max(0, min(51, qp))

@@ -1,0 +1,531 @@
+"""Macroblock-level slice syntax shared by encoder and decoder.
+
+Each frame payload is: ``ue(qp)`` then macroblocks in raster order.  An I
+macroblock codes 16 intra-predicted 4x4 luma blocks (mode + residual) and
+2x4 chroma blocks (DC-predicted residual).  A P macroblock codes one motion
+vector and the residual blocks; a B macroblock codes forward and backward
+motion vectors with a bi-predicted residual.  Both the write (encode +
+reconstruct) and read (parse + reconstruct) paths live here so the two
+sides cannot drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.video.bitstream import BitReader, BitWriter
+from repro.video.entropy import EntropyCoder, ExpGolombCoder
+from repro.video.prediction import (
+    best_intra_mode,
+    intra_predict_4x4,
+    motion_compensate,
+    motion_search,
+)
+from repro.video.transform import dequantize_and_inverse, transform_and_quantize
+
+MB = 16  # macroblock size in luma pixels
+
+
+@dataclass
+class FrameSideInfo:
+    """Per-frame bookkeeping needed by the deblocking filter.
+
+    ``intra`` / ``coded`` are per-4x4-luma-block maps; ``mv`` holds the
+    per-block motion vector (zero for intra blocks).
+    """
+
+    intra: np.ndarray
+    coded: np.ndarray
+    mv: np.ndarray  # shape (brows, bcols, 2)
+    coeff_count: np.ndarray | None = None  # per-4x4-block TotalCoeffs
+    blocks_decoded: int = 0
+    nonzero_blocks: int = 0
+
+    @staticmethod
+    def empty(height: int, width: int) -> "FrameSideInfo":
+        """Blank side info for one frame."""
+        brows, bcols = height // 4, width // 4
+        return FrameSideInfo(
+            intra=np.zeros((brows, bcols), dtype=bool),
+            coded=np.zeros((brows, bcols), dtype=bool),
+            mv=np.zeros((brows, bcols, 2), dtype=np.int64),
+            coeff_count=np.zeros((brows, bcols), dtype=np.int64),
+        )
+
+    def luma_nc(self, gr: int, gc: int) -> float:
+        """CAVLC context: mean TotalCoeffs of the left/top neighbours."""
+        assert self.coeff_count is not None
+        values = []
+        if gc > 0:
+            values.append(float(self.coeff_count[gr, gc - 1]))
+        if gr > 0:
+            values.append(float(self.coeff_count[gr - 1, gc]))
+        return sum(values) / len(values) if values else 0.0
+
+
+@dataclass
+class PlaneSet:
+    """Working (int64) planes of a frame under (re)construction."""
+
+    y: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+
+    @staticmethod
+    def blank(height: int, width: int) -> "PlaneSet":
+        """All-zero planes for one frame."""
+        return PlaneSet(
+            y=np.zeros((height, width), dtype=np.int64),
+            u=np.zeros((height // 2, width // 2), dtype=np.int64),
+            v=np.zeros((height // 2, width // 2), dtype=np.int64),
+        )
+
+    @staticmethod
+    def from_uint8(y: np.ndarray, u: np.ndarray, v: np.ndarray) -> "PlaneSet":
+        """Promote uint8 planes to the int64 working type."""
+        return PlaneSet(
+            y=y.astype(np.int64), u=u.astype(np.int64), v=v.astype(np.int64)
+        )
+
+    def clipped(self) -> "PlaneSet":
+        """Copy with every plane clipped to [0, 255]."""
+        return PlaneSet(
+            y=np.clip(self.y, 0, 255),
+            u=np.clip(self.u, 0, 255),
+            v=np.clip(self.v, 0, 255),
+        )
+
+
+def _code_residual_block(
+    writer: BitWriter,
+    source: np.ndarray,
+    prediction: np.ndarray,
+    qp: int,
+    coder: EntropyCoder | None = None,
+    nc: float = 0.0,
+) -> tuple[np.ndarray, bool, int]:
+    """Encode ``source - prediction``; returns (recon, coded?, coeffs)."""
+    coder = coder or ExpGolombCoder()
+    residual = source.astype(np.int64) - prediction
+    levels = transform_and_quantize(residual, qp)
+    total = coder.encode(writer, levels, nc)
+    coded = bool(np.any(levels))
+    recon = prediction + (dequantize_and_inverse(levels, qp) if coded else 0)
+    return np.clip(recon, 0, 255), coded, total
+
+
+def _read_residual_block(
+    reader: BitReader,
+    prediction: np.ndarray,
+    qp: int,
+    coder: EntropyCoder | None = None,
+    nc: float = 0.0,
+) -> tuple[np.ndarray, bool, int]:
+    """Decode one residual block onto ``prediction``."""
+    coder = coder or ExpGolombCoder()
+    levels, total = coder.decode(reader, nc)
+    coded = bool(np.any(levels))
+    recon = prediction + (dequantize_and_inverse(levels, qp) if coded else 0)
+    return np.clip(recon, 0, 255), coded, total
+
+
+def _chroma_dc_prediction(plane: np.ndarray, row: int, col: int) -> np.ndarray:
+    """DC prediction for a chroma 4x4 block from reconstructed neighbours."""
+    return intra_predict_4x4(plane, row, col, 0)
+
+
+# ---------------------------------------------------------------------------
+# I macroblocks
+# ---------------------------------------------------------------------------
+
+def write_i_macroblock(
+    writer: BitWriter,
+    source: PlaneSet,
+    recon: PlaneSet,
+    info: FrameSideInfo,
+    mb_row: int,
+    mb_col: int,
+    qp: int,
+    coder: EntropyCoder | None = None,
+) -> None:
+    """Encode one intra macroblock and reconstruct it in place."""
+    coder = coder or ExpGolombCoder()
+    for br in range(4):
+        for bc in range(4):
+            row = mb_row * MB + br * 4
+            col = mb_col * MB + bc * 4
+            block = source.y[row : row + 4, col : col + 4]
+            mode, pred = best_intra_mode(recon.y, block, row, col)
+            writer.write_ue(mode)
+            gr, gc = row // 4, col // 4
+            rec, coded, total = _code_residual_block(
+                writer, block, pred, qp, coder, info.luma_nc(gr, gc)
+            )
+            recon.y[row : row + 4, col : col + 4] = rec
+            info.intra[gr, gc] = True
+            info.coded[gr, gc] = coded
+            info.coeff_count[gr, gc] = total
+            info.blocks_decoded += 1
+            info.nonzero_blocks += int(coded)
+    _write_chroma(writer, source, recon, info, mb_row, mb_col, qp, None, None,
+                  coder)
+
+
+def read_i_macroblock(
+    reader: BitReader,
+    recon: PlaneSet,
+    info: FrameSideInfo,
+    mb_row: int,
+    mb_col: int,
+    qp: int,
+    coder: EntropyCoder | None = None,
+) -> None:
+    """Decode one intra macroblock."""
+    coder = coder or ExpGolombCoder()
+    for br in range(4):
+        for bc in range(4):
+            row = mb_row * MB + br * 4
+            col = mb_col * MB + bc * 4
+            mode = reader.read_ue()
+            pred = intra_predict_4x4(recon.y, row, col, mode)
+            gr, gc = row // 4, col // 4
+            rec, coded, total = _read_residual_block(
+                reader, pred, qp, coder, info.luma_nc(gr, gc)
+            )
+            recon.y[row : row + 4, col : col + 4] = rec
+            info.intra[gr, gc] = True
+            info.coded[gr, gc] = coded
+            info.coeff_count[gr, gc] = total
+            info.blocks_decoded += 1
+            info.nonzero_blocks += int(coded)
+    _read_chroma(reader, recon, info, mb_row, mb_col, qp, None, None, coder)
+
+
+# ---------------------------------------------------------------------------
+# P macroblocks
+# ---------------------------------------------------------------------------
+
+def write_p_macroblock(
+    writer: BitWriter,
+    source: PlaneSet,
+    recon: PlaneSet,
+    reference: PlaneSet,
+    info: FrameSideInfo,
+    mb_row: int,
+    mb_col: int,
+    qp: int,
+    search_range: int = 4,
+    coder: EntropyCoder | None = None,
+) -> None:
+    """Encode one predicted macroblock against a single reference."""
+    coder = coder or ExpGolombCoder()
+    row, col = mb_row * MB, mb_col * MB
+    mv = motion_search(
+        reference.y, source.y, row, col, size=MB, search_range=search_range
+    )
+    writer.write_se(mv[0])
+    writer.write_se(mv[1])
+    pred_mb = motion_compensate(reference.y, row, col, mv, size=MB)
+    _code_luma_residuals(writer, source, recon, info, row, col, pred_mb, qp, mv,
+                         coder)
+    _write_chroma(writer, source, recon, info, mb_row, mb_col, qp, reference, mv,
+                  coder)
+
+
+def read_p_macroblock(
+    reader: BitReader,
+    recon: PlaneSet,
+    reference: PlaneSet,
+    info: FrameSideInfo,
+    mb_row: int,
+    mb_col: int,
+    qp: int,
+    coder: EntropyCoder | None = None,
+) -> None:
+    """Decode one predicted macroblock."""
+    coder = coder or ExpGolombCoder()
+    row, col = mb_row * MB, mb_col * MB
+    mv = (reader.read_se(), reader.read_se())
+    pred_mb = motion_compensate(reference.y, row, col, mv, size=MB)
+    _read_luma_residuals(reader, recon, info, row, col, pred_mb, qp, mv, coder)
+    _read_chroma(reader, recon, info, mb_row, mb_col, qp, reference, mv, coder)
+
+
+# ---------------------------------------------------------------------------
+# B macroblocks
+# ---------------------------------------------------------------------------
+
+def write_b_macroblock(
+    writer: BitWriter,
+    source: PlaneSet,
+    recon: PlaneSet,
+    ref_forward: PlaneSet,
+    ref_backward: PlaneSet,
+    info: FrameSideInfo,
+    mb_row: int,
+    mb_col: int,
+    qp: int,
+    search_range: int = 4,
+    coder: EntropyCoder | None = None,
+) -> None:
+    """Encode one bi-predicted macroblock."""
+    coder = coder or ExpGolombCoder()
+    row, col = mb_row * MB, mb_col * MB
+    mv_f = motion_search(
+        ref_forward.y, source.y, row, col, size=MB, search_range=search_range
+    )
+    mv_b = motion_search(
+        ref_backward.y, source.y, row, col, size=MB, search_range=search_range
+    )
+    writer.write_se(mv_f[0])
+    writer.write_se(mv_f[1])
+    writer.write_se(mv_b[0])
+    writer.write_se(mv_b[1])
+    pred_f = motion_compensate(ref_forward.y, row, col, mv_f, size=MB)
+    pred_b = motion_compensate(ref_backward.y, row, col, mv_b, size=MB)
+    pred_mb = (pred_f + pred_b + 1) >> 1
+    _code_luma_residuals(writer, source, recon, info, row, col, pred_mb, qp, mv_f,
+                         coder)
+    _write_chroma_bi(
+        writer, source, recon, info, mb_row, mb_col, qp, ref_forward, ref_backward,
+        mv_f, mv_b, coder,
+    )
+
+
+def read_b_macroblock(
+    reader: BitReader,
+    recon: PlaneSet,
+    ref_forward: PlaneSet,
+    ref_backward: PlaneSet,
+    info: FrameSideInfo,
+    mb_row: int,
+    mb_col: int,
+    qp: int,
+    coder: EntropyCoder | None = None,
+) -> None:
+    """Decode one bi-predicted macroblock."""
+    coder = coder or ExpGolombCoder()
+    row, col = mb_row * MB, mb_col * MB
+    mv_f = (reader.read_se(), reader.read_se())
+    mv_b = (reader.read_se(), reader.read_se())
+    pred_f = motion_compensate(ref_forward.y, row, col, mv_f, size=MB)
+    pred_b = motion_compensate(ref_backward.y, row, col, mv_b, size=MB)
+    pred_mb = (pred_f + pred_b + 1) >> 1
+    _read_luma_residuals(reader, recon, info, row, col, pred_mb, qp, mv_f, coder)
+    _read_chroma_bi(
+        reader, recon, info, mb_row, mb_col, qp, ref_forward, ref_backward,
+        mv_f, mv_b, coder,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shared residual helpers
+# ---------------------------------------------------------------------------
+
+def _code_luma_residuals(
+    writer: BitWriter,
+    source: PlaneSet,
+    recon: PlaneSet,
+    info: FrameSideInfo,
+    row: int,
+    col: int,
+    pred_mb: np.ndarray,
+    qp: int,
+    mv: tuple[int, int],
+    coder: EntropyCoder | None = None,
+) -> None:
+    coder = coder or ExpGolombCoder()
+    for br in range(4):
+        for bc in range(4):
+            r, c = row + br * 4, col + bc * 4
+            block = source.y[r : r + 4, c : c + 4]
+            pred = pred_mb[br * 4 : br * 4 + 4, bc * 4 : bc * 4 + 4]
+            gr, gc = r // 4, c // 4
+            rec, coded, total = _code_residual_block(
+                writer, block, pred, qp, coder, info.luma_nc(gr, gc)
+            )
+            recon.y[r : r + 4, c : c + 4] = rec
+            info.coded[gr, gc] = coded
+            info.coeff_count[gr, gc] = total
+            info.mv[gr, gc] = mv
+            info.blocks_decoded += 1
+            info.nonzero_blocks += int(coded)
+
+
+def _read_luma_residuals(
+    reader: BitReader,
+    recon: PlaneSet,
+    info: FrameSideInfo,
+    row: int,
+    col: int,
+    pred_mb: np.ndarray,
+    qp: int,
+    mv: tuple[int, int],
+    coder: EntropyCoder | None = None,
+) -> None:
+    coder = coder or ExpGolombCoder()
+    for br in range(4):
+        for bc in range(4):
+            r, c = row + br * 4, col + bc * 4
+            pred = pred_mb[br * 4 : br * 4 + 4, bc * 4 : bc * 4 + 4]
+            gr, gc = r // 4, c // 4
+            rec, coded, total = _read_residual_block(
+                reader, pred, qp, coder, info.luma_nc(gr, gc)
+            )
+            recon.y[r : r + 4, c : c + 4] = rec
+            info.coded[gr, gc] = coded
+            info.coeff_count[gr, gc] = total
+            info.mv[gr, gc] = mv
+            info.blocks_decoded += 1
+            info.nonzero_blocks += int(coded)
+
+
+def _chroma_prediction(
+    plane: np.ndarray,
+    recon_plane: np.ndarray,
+    row: int,
+    col: int,
+    mv: tuple[int, int] | None,
+) -> np.ndarray:
+    """Chroma 4x4 prediction: MC with halved MV, or DC when intra."""
+    if mv is None:
+        return _chroma_dc_prediction(recon_plane, row, col)
+    return motion_compensate(plane, row, col, (mv[0] // 2, mv[1] // 2), size=4)
+
+
+def _write_chroma(
+    writer: BitWriter,
+    source: PlaneSet,
+    recon: PlaneSet,
+    info: FrameSideInfo,
+    mb_row: int,
+    mb_col: int,
+    qp: int,
+    reference: PlaneSet | None,
+    mv: tuple[int, int] | None,
+    coder: EntropyCoder | None = None,
+) -> None:
+    coder = coder or ExpGolombCoder()
+    for src_plane, rec_plane, ref_plane in (
+        (source.u, recon.u, reference.u if reference else None),
+        (source.v, recon.v, reference.v if reference else None),
+    ):
+        for br in range(2):
+            for bc in range(2):
+                row = mb_row * 8 + br * 4
+                col = mb_col * 8 + bc * 4
+                block = src_plane[row : row + 4, col : col + 4]
+                pred = _chroma_prediction(
+                    ref_plane if ref_plane is not None else rec_plane,
+                    rec_plane,
+                    row,
+                    col,
+                    mv if ref_plane is not None else None,
+                )
+                rec, coded, _ = _code_residual_block(writer, block, pred, qp,
+                                                     coder, 0.0)
+                rec_plane[row : row + 4, col : col + 4] = rec
+                info.blocks_decoded += 1
+                info.nonzero_blocks += int(coded)
+
+
+def _read_chroma(
+    reader: BitReader,
+    recon: PlaneSet,
+    info: FrameSideInfo,
+    mb_row: int,
+    mb_col: int,
+    qp: int,
+    reference: PlaneSet | None,
+    mv: tuple[int, int] | None,
+    coder: EntropyCoder | None = None,
+) -> None:
+    coder = coder or ExpGolombCoder()
+    for rec_plane, ref_plane in (
+        (recon.u, reference.u if reference else None),
+        (recon.v, reference.v if reference else None),
+    ):
+        for br in range(2):
+            for bc in range(2):
+                row = mb_row * 8 + br * 4
+                col = mb_col * 8 + bc * 4
+                pred = _chroma_prediction(
+                    ref_plane if ref_plane is not None else rec_plane,
+                    rec_plane,
+                    row,
+                    col,
+                    mv if ref_plane is not None else None,
+                )
+                rec, coded, _ = _read_residual_block(reader, pred, qp,
+                                                     coder, 0.0)
+                rec_plane[row : row + 4, col : col + 4] = rec
+                info.blocks_decoded += 1
+                info.nonzero_blocks += int(coded)
+
+
+def _write_chroma_bi(
+    writer: BitWriter,
+    source: PlaneSet,
+    recon: PlaneSet,
+    info: FrameSideInfo,
+    mb_row: int,
+    mb_col: int,
+    qp: int,
+    ref_f: PlaneSet,
+    ref_b: PlaneSet,
+    mv_f: tuple[int, int],
+    mv_b: tuple[int, int],
+    coder: EntropyCoder | None = None,
+) -> None:
+    coder = coder or ExpGolombCoder()
+    for src_plane, rec_plane, f_plane, b_plane in (
+        (source.u, recon.u, ref_f.u, ref_b.u),
+        (source.v, recon.v, ref_f.v, ref_b.v),
+    ):
+        for br in range(2):
+            for bc in range(2):
+                row = mb_row * 8 + br * 4
+                col = mb_col * 8 + bc * 4
+                block = src_plane[row : row + 4, col : col + 4]
+                pf = motion_compensate(f_plane, row, col, (mv_f[0] // 2, mv_f[1] // 2), 4)
+                pb = motion_compensate(b_plane, row, col, (mv_b[0] // 2, mv_b[1] // 2), 4)
+                pred = (pf + pb + 1) >> 1
+                rec, coded, _ = _code_residual_block(writer, block, pred, qp,
+                                                     coder, 0.0)
+                rec_plane[row : row + 4, col : col + 4] = rec
+                info.blocks_decoded += 1
+                info.nonzero_blocks += int(coded)
+
+
+def _read_chroma_bi(
+    reader: BitReader,
+    recon: PlaneSet,
+    info: FrameSideInfo,
+    mb_row: int,
+    mb_col: int,
+    qp: int,
+    ref_f: PlaneSet,
+    ref_b: PlaneSet,
+    mv_f: tuple[int, int],
+    mv_b: tuple[int, int],
+    coder: EntropyCoder | None = None,
+) -> None:
+    coder = coder or ExpGolombCoder()
+    for rec_plane, f_plane, b_plane in (
+        (recon.u, ref_f.u, ref_b.u),
+        (recon.v, ref_f.v, ref_b.v),
+    ):
+        for br in range(2):
+            for bc in range(2):
+                row = mb_row * 8 + br * 4
+                col = mb_col * 8 + bc * 4
+                pf = motion_compensate(f_plane, row, col, (mv_f[0] // 2, mv_f[1] // 2), 4)
+                pb = motion_compensate(b_plane, row, col, (mv_b[0] // 2, mv_b[1] // 2), 4)
+                pred = (pf + pb + 1) >> 1
+                rec, coded, _ = _read_residual_block(reader, pred, qp,
+                                                     coder, 0.0)
+                rec_plane[row : row + 4, col : col + 4] = rec
+                info.blocks_decoded += 1
+                info.nonzero_blocks += int(coded)

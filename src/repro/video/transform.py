@@ -1,0 +1,91 @@
+"""H.264-style 4x4 integer transform and quantization (the paper's "IQIT").
+
+Uses the standard's forward core transform ``W = Cf X Cf^T``.  The rows of
+``Cf`` are orthogonal with squared norms ``diag(4, 10, 4, 10)``, so the
+mathematically exact inverse is ``X = Cf^T (W / (d_i d_j)) Cf``.  Rather
+than reproducing the standard's MF/V periodic tables bit-for-bit, this
+module folds the per-position normalization ``d_i d_j`` into quantization
+and keeps a 6-bit fixed-point dequantization scale — an exact-integer
+pipeline with the same QP semantics (quantizer step doubles every 6 QP,
+``Qstep(0) = 0.625``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Forward core transform matrix (H.264 8.5.12).
+CF = np.array(
+    [
+        [1, 1, 1, 1],
+        [2, 1, -1, -2],
+        [1, -1, -1, 1],
+        [1, -2, 2, -1],
+    ],
+    dtype=np.int64,
+)
+
+# Per-position normalization d_i * d_j with d = (4, 10, 4, 10).
+_D = np.array([4, 10, 4, 10], dtype=np.int64)
+_DD = _D[:, None] * _D[None, :]
+
+# Quantizer step for qp % 6, in 1/64ths (Qstep(0) = 0.625 -> 40/64).
+_QSTEP64 = np.array([40, 45, 50, 57, 64, 72], dtype=np.int64)
+
+_QBITS = 15
+# Quantization multipliers: round(2**_QBITS / (Qstep(qp%6) * d_i * d_j)).
+# Independent of qp // 6 because the step doubling cancels against the
+# per-QP shift applied in quantize/dequantize.
+_QA = np.stack(
+    [
+        np.round((1 << _QBITS) / (step / 64.0) / _DD).astype(np.int64)
+        for step in _QSTEP64
+    ]
+)
+
+
+def forward_transform_4x4(block: np.ndarray) -> np.ndarray:
+    """Core forward transform ``W = Cf X Cf^T`` (no scaling)."""
+    x = np.asarray(block, dtype=np.int64)
+    if x.shape != (4, 4):
+        raise ValueError("block must be 4x4")
+    return CF @ x @ CF.T
+
+
+def quantize_block(coeffs: np.ndarray, qp: int) -> np.ndarray:
+    """Quantize core-transform coefficients at quantization parameter QP."""
+    if not 0 <= qp <= 51:
+        raise ValueError("QP must be in [0, 51]")
+    qa = _QA[qp % 6]
+    qbits = _QBITS + qp // 6
+    f = (1 << qbits) // 3  # intra-style rounding offset
+    w = np.asarray(coeffs, dtype=np.int64)
+    magnitude = (np.abs(w) * qa + f) >> qbits
+    return (np.sign(w) * magnitude).astype(np.int64)
+
+
+def dequantize_block(levels: np.ndarray, qp: int) -> np.ndarray:
+    """Rescale levels to ``64 * W / (d_i d_j)`` (6-bit fixed point)."""
+    if not 0 <= qp <= 51:
+        raise ValueError("QP must be in [0, 51]")
+    z = np.asarray(levels, dtype=np.int64)
+    return z * _QSTEP64[qp % 6] << (qp // 6)
+
+
+def inverse_transform_4x4(coeffs: np.ndarray) -> np.ndarray:
+    """Exact inverse ``X = Cf^T U Cf`` of 6-bit fixed-point coefficients."""
+    u = np.asarray(coeffs, dtype=np.int64)
+    if u.shape != (4, 4):
+        raise ValueError("block must be 4x4")
+    raw = CF.T @ u @ CF
+    return (raw + 32) >> 6
+
+
+def transform_and_quantize(residual: np.ndarray, qp: int) -> np.ndarray:
+    """Residual block -> quantized levels (encoder path)."""
+    return quantize_block(forward_transform_4x4(residual), qp)
+
+
+def dequantize_and_inverse(levels: np.ndarray, qp: int) -> np.ndarray:
+    """Quantized levels -> reconstructed residual block (decoder path)."""
+    return inverse_transform_4x4(dequantize_block(levels, qp))

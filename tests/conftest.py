@@ -1,0 +1,55 @@
+"""Shared fixtures.
+
+Expensive artifacts (encoded bitstreams, corpora) are session-scoped so the
+suite stays fast while many tests share them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.android.app import build_app_catalog
+from repro.datasets.corpora import EMOVO_SPEC, build_corpus
+from repro.video.encoder import Encoder, EncoderConfig
+from repro.video.frames import synthetic_video
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A small EMOVO-like feature corpus (7 classes x 10 samples)."""
+    return build_corpus(EMOVO_SPEC, n_per_class=10, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_clip():
+    """Six 32x32 frames (fast codec tests)."""
+    return synthetic_video(6, height=32, width=32, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_stream(tiny_clip):
+    """Encoded bitstream of the tiny clip (one GOP with B frames)."""
+    return Encoder(EncoderConfig(gop_size=6)).encode(tiny_clip)
+
+
+@pytest.fixture(scope="session")
+def clip_12():
+    """Twelve 48x48 frames covering a full I/P/B GOP."""
+    return synthetic_video(12, height=48, width=48, seed=1)
+
+
+@pytest.fixture(scope="session")
+def stream_12(clip_12):
+    return Encoder(EncoderConfig(gop_size=12)).encode(clip_12)
+
+
+@pytest.fixture(scope="session")
+def catalog_44():
+    """The paper's 44-app catalog."""
+    return build_app_catalog(44, seed=0)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

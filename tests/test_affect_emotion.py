@@ -1,0 +1,126 @@
+"""Tests for the circumplex model and emotion stream."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.affect.emotion import (
+    AffectPoint,
+    EMOTION_COORDINATES,
+    Emotion,
+    mood_angle,
+    nearest_emotion,
+)
+from repro.affect.stream import EmotionStream
+
+
+class TestAffectPoint:
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            AffectPoint(1.5, 0.0)
+        with pytest.raises(ValueError):
+            AffectPoint(0.0, 0.0, -1.1)
+
+    def test_intensity(self):
+        p = AffectPoint(0.6, 0.8)
+        assert p.intensity == pytest.approx(1.0)
+
+    def test_distance_symmetric(self):
+        a = AffectPoint(0.1, 0.2, 0.3)
+        b = AffectPoint(-0.4, 0.5, -0.6)
+        assert a.distance(b) == pytest.approx(b.distance(a))
+
+
+class TestMoodAngle:
+    def test_cardinal_directions(self):
+        assert mood_angle(1.0, 0.0) == pytest.approx(0.0)
+        assert mood_angle(0.0, 1.0) == pytest.approx(90.0)
+        assert mood_angle(-1.0, 0.0) == pytest.approx(180.0)
+        assert mood_angle(0.0, -1.0) == pytest.approx(270.0)
+
+    def test_origin_defined(self):
+        assert mood_angle(0.0, 0.0) == 0.0
+
+    @given(st.floats(-1, 1), st.floats(-1, 1))
+    @settings(max_examples=50, deadline=None)
+    def test_property_range(self, v, a):
+        angle = mood_angle(v, a)
+        assert 0.0 <= angle < 360.0
+
+
+class TestNearestEmotion:
+    def test_self_coordinates_map_to_self(self):
+        for emotion, point in EMOTION_COORDINATES.items():
+            assert nearest_emotion(point) == emotion
+
+    def test_happy_quadrant(self):
+        got = nearest_emotion(AffectPoint(0.75, 0.35, 0.4))
+        assert got == Emotion.HAPPY
+
+    def test_candidate_restriction(self):
+        got = nearest_emotion(
+            AffectPoint(0.8, 0.4), candidates=(Emotion.SAD, Emotion.ANGRY)
+        )
+        assert got in (Emotion.SAD, Emotion.ANGRY)
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(ValueError):
+            nearest_emotion(AffectPoint(0, 0), candidates=())
+
+    def test_circumplex_quadrants_consistent(self):
+        """High-arousal/positive-valence emotions sit in the first quadrant."""
+        for emotion in (Emotion.HAPPY, Emotion.EXCITED):
+            p = EMOTION_COORDINATES[emotion]
+            assert p.valence > 0 and p.arousal > 0
+        for emotion in (Emotion.SAD, Emotion.BORED):
+            p = EMOTION_COORDINATES[emotion]
+            assert p.valence < 0 and p.arousal < 0
+
+
+class TestEmotionStream:
+    def test_single_label_commits(self):
+        stream = EmotionStream(window=3)
+        stream.push("happy", 0)
+        stream.push("happy", 1)
+        assert stream.current == "happy"
+
+    def test_flicker_suppressed(self):
+        stream = EmotionStream(window=5)
+        for t in range(5):
+            stream.push("calm", t)
+        stream.push("angry", 5)  # single flicker
+        assert stream.current == "calm"
+        for t in range(6, 9):
+            stream.push("angry", t)
+        assert stream.current == "angry"
+
+    def test_events_record_transitions(self):
+        stream = EmotionStream(window=3)
+        for t, label in enumerate(["a", "a", "b", "b", "b"]):
+            stream.push(label, t)
+        emotions = [e.emotion for e in stream.events]
+        assert emotions == ["a", "b"]
+
+    def test_min_votes_hysteresis(self):
+        stream = EmotionStream(window=4, min_votes=4)
+        for t, label in enumerate(["x", "x", "x", "y"]):
+            stream.push(label, t)
+        assert stream.current is None  # never reached 4 identical votes
+
+    def test_reset(self):
+        stream = EmotionStream(window=3)
+        stream.push("a", 0)
+        stream.push("a", 1)
+        stream.reset()
+        assert stream.current is None
+        assert stream.events == []
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            EmotionStream(window=0)
+
+    def test_invalid_min_votes(self):
+        with pytest.raises(ValueError):
+            EmotionStream(window=3, min_votes=5)

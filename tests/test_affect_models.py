@@ -1,0 +1,137 @@
+"""Tests for the model zoo, classifier pipeline, and SC inference."""
+
+import numpy as np
+import pytest
+
+from repro.affect.model_zoo import (
+    PAPER_BUDGETS,
+    build_cnn,
+    build_lstm,
+    build_mlp,
+    build_model,
+    default_training,
+    fast_config,
+    paper_config,
+)
+from repro.affect.pipeline import AffectClassifierPipeline
+from repro.affect.sc_inference import (
+    SCEngagementClassifier,
+    sc_window_features,
+    segment_engagement,
+)
+from repro.datasets.uulmmac import generate_sc_session
+
+
+class TestModelZoo:
+    @pytest.mark.parametrize(
+        "name,builder", [("mlp", build_mlp), ("cnn", build_cnn), ("lstm", build_lstm)]
+    )
+    def test_paper_parameter_budgets(self, name, builder):
+        model = builder((56, 18), 8, config=paper_config())
+        budget = PAPER_BUDGETS[name]
+        assert abs(model.n_params - budget) / budget < 0.05, model.n_params
+
+    def test_budget_ordering_matches_paper(self):
+        """Fig. 3(c): CNN largest, then MLP, then LSTM."""
+        sizes = {
+            name: build_model(name, (56, 18), 8, config=paper_config()).n_params
+            for name in ("mlp", "cnn", "lstm")
+        }
+        assert sizes["cnn"] > sizes["mlp"] > sizes["lstm"]
+
+    def test_build_model_dispatch(self):
+        model = build_model("LSTM", (10, 6), 4, config=fast_config())
+        assert model.n_params > 0
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("transformer", (10, 6), 4)
+
+    def test_fast_models_are_small(self):
+        for name in ("mlp", "cnn", "lstm"):
+            model = build_model(name, (56, 18), 8, config=fast_config())
+            assert model.n_params < 120_000
+
+    def test_default_training_table(self):
+        epochs, lr = default_training("lstm")
+        assert epochs > 0 and lr > 0
+        with pytest.raises(KeyError):
+            default_training("svm")
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def trained(self, small_corpus):
+        pipeline = AffectClassifierPipeline("mlp", seed=0)
+        metrics = pipeline.train(small_corpus, epochs=15)
+        return pipeline, metrics
+
+    def test_training_metrics(self, trained):
+        _, metrics = trained
+        assert 0.0 <= metrics["test_accuracy"] <= 1.0
+        assert metrics["train_accuracy"] > 0.5
+
+    def test_classify_waveform_returns_label(self, trained, small_corpus):
+        pipeline, _ = trained
+        from repro.datasets.speech import synthesize_utterance
+
+        label = pipeline.classify_waveform(synthesize_utterance("angry"))
+        assert label in small_corpus.label_names
+
+    def test_confusion_matrix_shape(self, trained, small_corpus):
+        pipeline, _ = trained
+        cm = pipeline.confusion(small_corpus.x, small_corpus.y)
+        n = small_corpus.n_classes
+        assert cm.shape == (n, n)
+        assert cm.sum() == small_corpus.x.shape[0]
+
+    def test_quantized_evaluation_close_to_float(self, trained, small_corpus):
+        pipeline, _ = trained
+        float_acc = pipeline.evaluate(small_corpus.x, small_corpus.y)
+        qacc = pipeline.evaluate_quantized(small_corpus.x, small_corpus.y)
+        assert abs(float_acc - qacc) <= 0.05
+
+    def test_untrained_raises(self):
+        pipeline = AffectClassifierPipeline("mlp")
+        with pytest.raises(RuntimeError):
+            pipeline.classify_features(np.zeros((1, 10, 18)))
+
+
+class TestSCInference:
+    @pytest.fixture(scope="class")
+    def session(self):
+        return generate_sc_session(seed=0)
+
+    def test_window_features_shape(self, session):
+        centers, feats = sc_window_features(session.sc, session.sample_rate)
+        assert feats.shape == (centers.shape[0], 3)
+        assert np.all(feats[:, 0] > 0)
+
+    def test_fit_predict_accuracy(self, session):
+        clf = SCEngagementClassifier().fit(session)
+        assert clf.accuracy(session) > 0.6
+
+    def test_predict_before_fit_raises(self, session):
+        with pytest.raises(RuntimeError):
+            SCEngagementClassifier().predict(session)
+
+    def test_segment_engagement_recovers_timeline(self, session):
+        segments = segment_engagement(session)
+        labels = [label for _, label in segments]
+        assert labels == ["distracted", "concentrated", "tense", "relaxed"]
+        starts_min = [start / 60.0 for start, _ in segments]
+        # Paper boundaries at 0 / 14 / 20 / 29 minutes (within 2 min).
+        for got, want in zip(starts_min, [0.0, 14.0, 20.0, 29.0]):
+            assert abs(got - want) < 2.0
+
+    def test_generalizes_across_sessions(self, session):
+        clf = SCEngagementClassifier().fit(session)
+        other = generate_sc_session(seed=9)
+        assert clf.accuracy(other) > 0.5
+
+    def test_missing_state_raises(self):
+        from repro.datasets.uulmmac import Segment
+
+        short = generate_sc_session((Segment("tense", 0.0, 3.0),), seed=0)
+        with pytest.raises(ValueError):
+            SCEngagementClassifier().fit(short)

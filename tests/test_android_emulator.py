@@ -1,0 +1,164 @@
+"""Tests for the emulator simulation loop, monkey workload, and services."""
+
+import numpy as np
+import pytest
+
+from repro.android.app import build_app_catalog
+from repro.android.emulator import (
+    AndroidEmulator,
+    EmulatorConfig,
+    PAPER_EMULATOR_CONFIG,
+)
+from repro.android.monkey import LaunchEvent, MonkeyScript, WorkloadPhase
+from repro.android.policies import FifoKillPolicy
+from repro.android.process import ProcessState
+from repro.android.services import BackgroundService, ForegroundService
+from repro.datasets.phone_usage import get_subject
+
+
+class TestEmulatorConfig:
+    def test_paper_specification(self):
+        cfg = PAPER_EMULATOR_CONFIG
+        assert cfg.platform == "Android Studio 2021"
+        assert cfg.emulator_version == "Android 11 API 30"
+        assert cfg.cpu_cores == 4
+        assert cfg.ram_mb == 4096
+        assert cfg.rom_gb == 32
+        assert cfg.n_apps == 44
+        assert cfg.resolution == "1920x1080"
+        assert cfg.process_limit == 20
+
+
+class TestMonkey:
+    def test_generates_events_in_order(self, catalog_44):
+        phases = [WorkloadPhase(get_subject(3), 300.0, "excited")]
+        events = MonkeyScript(catalog_44, seed=0).generate(phases)
+        assert events
+        times = [e.time_s for e in events]
+        assert times == sorted(times)
+        assert all(e.emotion == "excited" for e in events)
+
+    def test_phase_emotions_sequenced(self, catalog_44):
+        phases = [
+            WorkloadPhase(get_subject(3), 120.0, "excited"),
+            WorkloadPhase(get_subject(4), 120.0, "calm"),
+        ]
+        events = MonkeyScript(catalog_44, seed=0).generate(phases)
+        emotions = [e.emotion for e in events]
+        switch = emotions.index("calm")
+        assert all(e == "excited" for e in emotions[:switch])
+        assert all(e == "calm" for e in emotions[switch:])
+        assert events[switch].time_s >= 120.0
+
+    def test_deterministic(self, catalog_44):
+        phases = [WorkloadPhase(get_subject(1), 200.0, "trusting")]
+        a = MonkeyScript(catalog_44, seed=7).generate(phases)
+        b = MonkeyScript(catalog_44, seed=7).generate(phases)
+        assert a == b
+
+    def test_apps_exist_in_catalog(self, catalog_44):
+        names = {app.name for app in catalog_44}
+        phases = [WorkloadPhase(get_subject(2), 400.0, "neutral")]
+        for event in MonkeyScript(catalog_44, seed=1).generate(phases):
+            assert event.app in names
+
+    def test_invalid_phase_duration(self, catalog_44):
+        with pytest.raises(ValueError):
+            MonkeyScript(catalog_44).generate(
+                [WorkloadPhase(get_subject(1), 0.0, "x")]
+            )
+
+    def test_invalid_dwell(self, catalog_44):
+        with pytest.raises(ValueError):
+            MonkeyScript(catalog_44, mean_dwell_s=0.0)
+
+
+class TestEmulatorLoop:
+    def _events(self, apps, spacing=10.0):
+        return [
+            LaunchEvent(time_s=i * spacing, app=name, emotion="neutral")
+            for i, name in enumerate(apps)
+        ]
+
+    def test_cold_then_warm(self, catalog_44):
+        emulator = AndroidEmulator(catalog=catalog_44)
+        name = catalog_44[0].name
+        other = catalog_44[1].name
+        result = emulator.run(self._events([name, other, name]))
+        assert result.cold_starts == 2
+        assert result.warm_starts == 1
+
+    def test_foreground_tracking(self, catalog_44):
+        emulator = AndroidEmulator(catalog=catalog_44)
+        a, b = catalog_44[0].name, catalog_44[1].name
+        emulator.run(self._events([a, b]))
+        assert emulator.processes[b].state == ProcessState.FOREGROUND
+        assert emulator.processes[a].state == ProcessState.BACKGROUND
+
+    def test_process_limit_enforced(self, catalog_44):
+        config = EmulatorConfig(process_limit=5, ram_mb=65536, system_reserved_mb=1024.0)
+        emulator = AndroidEmulator(config=config, catalog=build_app_catalog(44, seed=0))
+        apps = [app.name for app in catalog_44[:20]]
+        result = emulator.run(self._events(apps))
+        assert len(emulator.background_processes()) <= 5
+        assert result.kills > 0
+
+    def test_memory_limit_triggers_kills(self, catalog_44):
+        config = EmulatorConfig(ram_mb=2048, system_reserved_mb=1024.0)
+        emulator = AndroidEmulator(config=config, catalog=catalog_44)
+        apps = [app.name for app in catalog_44[:15]]
+        result = emulator.run(self._events(apps))
+        assert result.kills > 0
+        assert emulator.memory.used_mb <= 1024.0
+
+    def test_protected_apps_never_killed(self, catalog_44):
+        config = EmulatorConfig(process_limit=2, ram_mb=65536, system_reserved_mb=1024.0)
+        protected = catalog_44[0].name
+        emulator = AndroidEmulator(
+            config=config, catalog=catalog_44, protected_apps={protected}
+        )
+        apps = [protected] + [app.name for app in catalog_44[1:15]]
+        result = emulator.run(self._events(apps))
+        assert result.processes[protected].kills == 0
+        assert result.processes[protected].is_alive
+
+    def test_system_apps_protected_by_default(self, catalog_44):
+        emulator = AndroidEmulator(catalog=catalog_44)
+        system_names = {app.name for app in catalog_44 if app.is_system}
+        assert system_names <= emulator.protected
+
+    def test_loading_accounting(self, catalog_44):
+        emulator = AndroidEmulator(catalog=catalog_44)
+        a = catalog_44[0]
+        result = emulator.run(self._events([a.name]))
+        assert result.total_loaded_bytes == a.flash_load_bytes
+        assert result.total_load_time_s > 0
+
+    def test_unknown_app_rejected(self, catalog_44):
+        emulator = AndroidEmulator(catalog=catalog_44)
+        with pytest.raises(KeyError):
+            emulator.run([LaunchEvent(0.0, "NotInstalled", "calm")])
+
+    def test_lifespans_recorded(self, catalog_44):
+        emulator = AndroidEmulator(catalog=catalog_44)
+        a, b = catalog_44[0].name, catalog_44[1].name
+        result = emulator.run(self._events([a, b, a]))
+        spans = result.lifespans[a]
+        assert len(spans) == 1
+        start, end = spans[0]
+        assert start == 0.0 and end == 20.0
+
+
+class TestServices:
+    def test_views(self, catalog_44):
+        emulator = AndroidEmulator(catalog=catalog_44)
+        a, b = catalog_44[0].name, catalog_44[1].name
+        emulator.run([
+            LaunchEvent(0.0, a, "calm"), LaunchEvent(5.0, b, "calm"),
+        ])
+        fg = ForegroundService(emulator)
+        bg = BackgroundService(emulator)
+        assert fg.current_app == b
+        assert bg.count == 1
+        assert bg.headroom == emulator.config.process_limit - 1
+        assert not bg.over_limit()

@@ -1,0 +1,51 @@
+"""Tests for the app-loading energy model."""
+
+import pytest
+
+from repro.android.energy import LoadingEnergyModel
+from repro.core.appstudy import run_case_study
+
+
+class TestLoadingEnergyModel:
+    @pytest.fixture(scope="class")
+    def case(self):
+        return run_case_study(seed=0)
+
+    def test_energy_positive(self, case):
+        model = LoadingEnergyModel()
+        assert model.energy_j(case.baseline) > 0
+        assert model.energy_j(case.emotion) > 0
+
+    def test_emotion_policy_saves_energy(self, case):
+        model = LoadingEnergyModel()
+        saving = model.saving(case.baseline, case.emotion)
+        assert 0.0 < saving < 0.5
+
+    def test_energy_decomposition(self, case):
+        model = LoadingEnergyModel()
+        run = case.baseline
+        expected = (
+            run.total_loaded_bytes * model.flash_nj_per_byte * 1e-9
+            + run.cold_starts * model.cpu_cold_start_j
+            + run.warm_starts * model.cpu_warm_resume_j
+        )
+        assert model.energy_j(run) == pytest.approx(expected)
+
+    def test_energy_saving_between_component_savings(self, case):
+        """Total energy saving is a convex mix of its components, so it
+        must sit between the best and worst component saving."""
+        model = LoadingEnergyModel()
+        base, emo = case.baseline, case.emotion
+        flash_saving = 1.0 - emo.total_loaded_bytes / base.total_loaded_bytes
+        cold_saving = 1.0 - emo.cold_starts / base.cold_starts
+        warm_saving = 1.0 - emo.warm_starts / base.warm_starts
+        total = model.saving(base, emo)
+        assert min(flash_saving, cold_saving, warm_saving) - 1e-9 <= total
+        assert total <= max(flash_saving, cold_saving, warm_saving) + 1e-9
+
+    def test_zero_baseline_rejected(self, case):
+        model = LoadingEnergyModel(
+            flash_nj_per_byte=0.0, cpu_cold_start_j=0.0, cpu_warm_resume_j=0.0
+        )
+        with pytest.raises(ValueError):
+            model.saving(case.baseline, case.emotion)

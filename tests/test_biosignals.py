@@ -1,0 +1,192 @@
+"""Tests for the biosignal substrate: synthesis, detection, HRV, fusion."""
+
+import numpy as np
+import pytest
+
+from repro.affect.fusion import CardiacAffectClassifier, late_fusion
+from repro.datasets.biosignals import (
+    biosignal_corpus,
+    cardiac_profile_for,
+    synthesize_biosignals,
+)
+from repro.dsp.bio import (
+    cardiac_feature_vector,
+    detect_r_peaks,
+    hrv_features,
+)
+
+
+class TestCardiacProfiles:
+    def test_arousal_raises_heart_rate(self):
+        assert cardiac_profile_for("angry").hr_bpm > cardiac_profile_for("calm").hr_bpm
+        assert cardiac_profile_for("excited").hr_bpm > cardiac_profile_for("sleepy").hr_bpm
+
+    def test_arousal_lowers_hrv(self):
+        assert (
+            cardiac_profile_for("angry").hrv_rmssd_ms
+            < cardiac_profile_for("calm").hrv_rmssd_ms
+        )
+
+    def test_stress_speeds_respiration(self):
+        assert (
+            cardiac_profile_for("stressed").resp_hz
+            > cardiac_profile_for("relaxed").resp_hz
+        )
+
+    def test_unknown_emotion_raises(self):
+        with pytest.raises(ValueError):
+            cardiac_profile_for("hangry")
+
+
+class TestSynthesis:
+    def test_deterministic(self):
+        a = synthesize_biosignals("happy", duration_s=10, seed=3)
+        b = synthesize_biosignals("happy", duration_s=10, seed=3)
+        assert np.array_equal(a.ecg, b.ecg)
+        assert np.array_equal(a.ppg, b.ppg)
+
+    def test_shapes(self):
+        rec = synthesize_biosignals("sad", duration_s=12, sample_rate=64)
+        assert rec.ecg.shape == rec.ppg.shape == (12 * 64,)
+        assert rec.duration_s == pytest.approx(12.0)
+
+    def test_beat_count_matches_heart_rate(self):
+        rec = synthesize_biosignals("neutral", duration_s=60, seed=1)
+        expected = rec.profile.hr_bpm
+        realized = rec.beat_times.size
+        assert abs(realized - expected) <= 6
+
+    def test_ground_truth_rmssd_calibrated(self):
+        rec = synthesize_biosignals("calm", duration_s=120, seed=2)
+        rr_ms = np.diff(rec.beat_times) * 1000.0
+        rmssd = float(np.sqrt(np.mean(np.diff(rr_ms) ** 2)))
+        assert rmssd == pytest.approx(rec.profile.hrv_rmssd_ms, rel=0.35)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            synthesize_biosignals("happy", duration_s=0)
+
+    def test_corpus_shapes(self):
+        records, labels = biosignal_corpus(("calm", "angry"), n_per_class=3,
+                                           duration_s=8)
+        assert len(records) == 6
+        assert np.bincount(labels).tolist() == [3, 3]
+
+
+class TestPeakDetection:
+    def test_recovers_true_beats(self):
+        rec = synthesize_biosignals("neutral", duration_s=30, seed=0)
+        peaks = detect_r_peaks(rec.ecg, rec.sample_rate)
+        assert abs(peaks.size - rec.beat_times.size) <= 2
+        # Each detected peak lies near a true beat.
+        for p in peaks:
+            assert np.min(np.abs(rec.beat_times - p)) < 0.08
+
+    def test_ppg_pulses_detected(self):
+        rec = synthesize_biosignals("happy", duration_s=30, seed=0)
+        peaks = detect_r_peaks(rec.ppg, rec.sample_rate, min_distance_s=0.4,
+                               threshold_quantile=0.8)
+        assert abs(peaks.size - rec.beat_times.size) <= 3
+
+    def test_flat_signal_no_peaks(self):
+        assert detect_r_peaks(np.zeros(1000), 128.0).size == 0
+
+    def test_refractory_merging(self):
+        sr = 100.0
+        signal = np.zeros(500)
+        signal[100] = 1.0
+        signal[105] = 0.8  # within the refractory window of the first
+        signal[300] = 1.0
+        peaks = detect_r_peaks(signal, sr, min_distance_s=0.3)
+        assert peaks.size == 2
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            detect_r_peaks(np.zeros((3, 3)), 100.0)
+
+
+class TestHrvFeatures:
+    def test_constant_rr_zero_variability(self):
+        peaks = np.arange(0.0, 30.0, 0.8)
+        feats = hrv_features(peaks)
+        assert feats.mean_hr_bpm == pytest.approx(75.0)
+        assert feats.sdnn_ms == pytest.approx(0.0, abs=1e-6)
+        assert feats.rmssd_ms == pytest.approx(0.0, abs=1e-6)
+        assert feats.pnn50 == 0.0
+
+    def test_requires_three_beats(self):
+        with pytest.raises(ValueError):
+            hrv_features(np.array([0.0, 1.0]))
+
+    def test_arousal_separates_features(self):
+        angry = synthesize_biosignals("angry", duration_s=60, seed=0)
+        calm = synthesize_biosignals("calm", duration_s=60, seed=0)
+        fa = hrv_features(detect_r_peaks(angry.ecg, angry.sample_rate))
+        fc = hrv_features(detect_r_peaks(calm.ecg, calm.sample_rate))
+        assert fa.mean_hr_bpm > fc.mean_hr_bpm + 15
+        assert fa.rmssd_ms < fc.rmssd_ms
+
+    def test_feature_vector_dimensions(self):
+        rec = synthesize_biosignals("happy", duration_s=20, seed=0)
+        vec = cardiac_feature_vector(rec.ecg, rec.ppg, rec.sample_rate)
+        assert vec.shape == (10,)
+        assert np.isfinite(vec).all()
+
+
+class TestFusion:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        emotions = ("calm", "angry")
+        records, labels = biosignal_corpus(emotions, n_per_class=10,
+                                           duration_s=15)
+        clf = CardiacAffectClassifier(seed=0)
+        clf.fit(records, labels, emotions, epochs=40)
+        return clf, emotions
+
+    def test_classifier_learns_arousal(self, trained):
+        clf, emotions = trained
+        test_records, test_labels = biosignal_corpus(
+            emotions, n_per_class=5, duration_s=15, seed=11
+        )
+        assert clf.evaluate(test_records, test_labels) >= 0.8
+
+    def test_unfit_raises(self):
+        records, _ = biosignal_corpus(("calm",), n_per_class=1, duration_s=8)
+        with pytest.raises(RuntimeError):
+            CardiacAffectClassifier().predict(records)
+
+    def test_late_fusion_rows_sum_to_one(self):
+        a = np.array([[0.7, 0.3], [0.2, 0.8]])
+        b = np.array([[0.6, 0.4], [0.4, 0.6]])
+        fused = late_fusion([a, b])
+        assert np.allclose(fused.sum(axis=1), 1.0)
+        assert np.allclose(fused, (a + b) / 2)
+
+    def test_late_fusion_weights(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        fused = late_fusion([a, b], weights=[3.0, 1.0])
+        assert fused[0, 0] == pytest.approx(0.75)
+
+    def test_late_fusion_validation(self):
+        a = np.ones((2, 2)) / 2
+        with pytest.raises(ValueError):
+            late_fusion([])
+        with pytest.raises(ValueError):
+            late_fusion([a, np.ones((3, 2)) / 2])
+        with pytest.raises(ValueError):
+            late_fusion([a], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            late_fusion([a], weights=[-1.0])
+
+    def test_fusion_not_worse_than_weak_modality(self, trained):
+        clf, emotions = trained
+        test_records, test_labels = biosignal_corpus(
+            emotions, n_per_class=6, duration_s=15, seed=12
+        )
+        cardiac = clf.predict_proba(test_records)
+        noise_modality = np.full_like(cardiac, 1.0 / cardiac.shape[1])
+        fused = late_fusion([cardiac, noise_modality], weights=[2.0, 1.0])
+        fused_acc = float(np.mean(fused.argmax(axis=1) == test_labels))
+        cardiac_acc = float(np.mean(cardiac.argmax(axis=1) == test_labels))
+        assert fused_acc >= cardiac_acc - 0.1

@@ -1,0 +1,65 @@
+"""Property-based encoder/decoder round-trip over random configurations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video import Decoder, Encoder, EncoderConfig, synthetic_video
+from repro.video.quality import sequence_psnr
+
+
+class TestCodecProperties:
+    @given(
+        n_frames=st.integers(1, 6),
+        gop=st.integers(1, 6),
+        qp=st.integers(8, 40),
+        use_b=st.booleans(),
+        entropy=st.sampled_from(["eg", "cavlc"]),
+        seed=st.integers(0, 5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_roundtrip_decodes_everything(
+        self, n_frames, gop, qp, use_b, entropy, seed
+    ):
+        frames = synthetic_video(n_frames, 32, 32, seed=seed)
+        config = EncoderConfig(
+            qp_i=qp, qp_p=min(qp + 2, 51), qp_b=min(qp + 4, 51),
+            gop_size=gop, use_b_frames=use_b, entropy=entropy,
+        )
+        stream = Encoder(config).encode(frames)
+        out = Decoder().decode(stream)
+        assert len(out.frames) == n_frames
+        assert out.concealed_indices == []
+        # Quality degrades with QP but must stay bounded above garbage.
+        floor = 32.0 - 0.55 * qp
+        assert sequence_psnr(frames, out.frames) > max(12.0, floor)
+
+    @given(qp=st.integers(8, 36), seed=st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_property_encode_deterministic(self, qp, seed):
+        frames = synthetic_video(3, 32, 32, seed=seed)
+        config = EncoderConfig(qp_i=qp, gop_size=3)
+        assert Encoder(config).encode(frames) == Encoder(config).encode(frames)
+
+    def test_lower_qp_never_worse_quality(self):
+        frames = synthetic_video(4, 32, 32, seed=7)
+        psnrs = []
+        for qp in (12, 24, 36):
+            config = EncoderConfig(
+                qp_i=qp, qp_p=qp + 2, qp_b=qp + 4, gop_size=4
+            )
+            out = Decoder().decode(Encoder(config).encode(frames))
+            psnrs.append(sequence_psnr(frames, out.frames))
+        assert psnrs[0] > psnrs[1] > psnrs[2]
+
+    def test_entropy_modes_reconstruct_identically(self):
+        frames = synthetic_video(5, 32, 32, seed=9)
+        outs = {}
+        for entropy in ("eg", "cavlc"):
+            config = EncoderConfig(gop_size=5, entropy=entropy)
+            outs[entropy] = Decoder().decode(Encoder(config).encode(frames))
+        for a, b in zip(outs["eg"].frames, outs["cavlc"].frames):
+            assert np.array_equal(a.y, b.y)
+            assert np.array_equal(a.u, b.u)
+            assert np.array_equal(a.v, b.v)

@@ -1,0 +1,158 @@
+"""Tests for the affect table, emotional app policy, and controller."""
+
+import pytest
+
+from repro.android.app import AppSpec
+from repro.android.process import ProcessRecord
+from repro.core.affect_table import AffectTable, AppRankGenerator
+from repro.core.app_policy import EmotionalAppPolicy
+from repro.core.controller import AffectDrivenSystemManager
+from repro.core.modes import DecoderMode
+from repro.datasets.phone_usage import SUBJECTS, get_subject
+
+
+class TestAffectTable:
+    @pytest.fixture(scope="class")
+    def table(self, catalog_44):
+        return AffectTable.from_subjects(catalog_44, list(SUBJECTS))
+
+    def test_one_entry_per_subject(self, table):
+        assert set(table.emotions()) == {s.emotion_proxy for s in SUBJECTS}
+
+    def test_probabilities_normalized(self, table, catalog_44):
+        for emotion in table.emotions():
+            total = sum(
+                table.probability(emotion, app.name) for app in catalog_44
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_favourite_app_preferred(self, table):
+        assert table.probability("excited", "Messaging_1") > table.probability(
+            "excited", "Messaging_2"
+        )
+
+    def test_excited_prefers_calling(self, table):
+        assert table.probability("excited", "Calling_1") > table.probability(
+            "calm", "Calling_1"
+        )
+
+    def test_unknown_emotion_falls_back_to_mean(self, table):
+        p = table.probability("furious", "Messaging_1")
+        known = [table.probability(e, "Messaging_1") for e in table.emotions()]
+        assert min(known) <= p <= max(known)
+
+    def test_record_usage_shifts_mass(self, table, catalog_44):
+        import copy
+
+        local = copy.deepcopy(table)
+        before = local.probability("calm", "Games_1")
+        for _ in range(30):
+            local.record_usage("calm", "Games_1")
+        after = local.probability("calm", "Games_1")
+        assert after > before
+        total = sum(local.probability("calm", app.name) for app in catalog_44)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_record_usage_validates_weight(self, table):
+        with pytest.raises(ValueError):
+            table.record_usage("calm", "Games_1", weight=0.0)
+
+
+class TestRankGenerator:
+    def test_rank_order(self, catalog_44):
+        table = AffectTable.from_subjects(catalog_44, list(SUBJECTS))
+        ranker = AppRankGenerator(table)
+        names = [app.name for app in catalog_44]
+        ranked = ranker.rank("excited", names)
+        probs = [table.probability("excited", n) for n in ranked]
+        assert probs == sorted(probs, reverse=True)
+        least = ranker.least_likely("excited", names)
+        assert table.probability("excited", least) == pytest.approx(probs[-1])
+
+    def test_least_likely_empty_raises(self, catalog_44):
+        table = AffectTable.from_subjects(catalog_44, list(SUBJECTS))
+        with pytest.raises(ValueError):
+            AppRankGenerator(table).least_likely("excited", [])
+
+
+class TestEmotionalAppPolicy:
+    def _background(self, catalog, names):
+        procs = []
+        for i, name in enumerate(names):
+            app = next(a for a in catalog if a.name == name)
+            proc = ProcessRecord(app=app)
+            proc.start(float(i))
+            proc.to_background(float(i) + 0.5)
+            procs.append(proc)
+        return procs
+
+    def test_kills_least_likely_for_emotion(self, catalog_44):
+        table = AffectTable.from_subjects(catalog_44, list(SUBJECTS))
+        policy = EmotionalAppPolicy(table)
+        background = self._background(
+            catalog_44, ["Messaging_1", "Calling_1", "Games_1"]
+        )
+        victim = policy.choose_victim(background, emotion="excited")
+        assert victim.app.name == "Games_1"
+
+    def test_emotion_changes_victim(self, catalog_44):
+        table = AffectTable.from_subjects(catalog_44, list(SUBJECTS))
+        policy = EmotionalAppPolicy(table)
+        background = self._background(catalog_44, ["Calling_1", "Gallery_1"])
+        excited_victim = policy.choose_victim(background, emotion="excited")
+        assert excited_victim.app.name == "Gallery_1"
+
+    def test_set_emotion_used_as_default(self, catalog_44):
+        table = AffectTable.from_subjects(catalog_44, list(SUBJECTS))
+        policy = EmotionalAppPolicy(table)
+        policy.set_emotion("excited")
+        background = self._background(catalog_44, ["Calling_1", "Games_1"])
+        assert policy.choose_victim(background).app.name == "Games_1"
+
+    def test_learning_updates_table(self, catalog_44):
+        table = AffectTable.from_subjects(catalog_44, list(SUBJECTS))
+        policy = EmotionalAppPolicy(table, learn=True)
+        before = table.probability("calm", "Camera_1")
+        for _ in range(20):
+            policy.observe_launch("calm", "Camera_1")
+        assert table.probability("calm", "Camera_1") > before
+
+    def test_empty_background_raises(self, catalog_44):
+        table = AffectTable.from_subjects(catalog_44, list(SUBJECTS))
+        with pytest.raises(ValueError):
+            EmotionalAppPolicy(table).choose_victim([])
+
+
+class TestController:
+    def test_emotion_flows_to_policies(self, catalog_44):
+        table = AffectTable.from_subjects(catalog_44, list(SUBJECTS))
+        app_policy = EmotionalAppPolicy(table)
+        manager = AffectDrivenSystemManager(app_policy=app_policy)
+        for t in range(3):
+            manager.observe("relaxed", float(t))
+        assert manager.current_emotion == "relaxed"
+        assert app_policy.current_emotion == "relaxed"
+        assert manager.decoder_mode() == DecoderMode.DF_OFF
+
+    def test_fallback_mode_before_any_commit(self):
+        manager = AffectDrivenSystemManager()
+        assert manager.decoder_mode() == DecoderMode.STANDARD
+
+    def test_mode_changes_timeline(self):
+        manager = AffectDrivenSystemManager()
+        labels = ["distracted"] * 3 + ["tense"] * 4 + ["relaxed"] * 4
+        for t, label in enumerate(labels):
+            manager.observe(label, float(t))
+        changes = [mode for _, mode in manager.mode_changes()]
+        assert changes == [
+            DecoderMode.COMBINED, DecoderMode.STANDARD, DecoderMode.DF_OFF,
+        ]
+
+    def test_flicker_does_not_change_mode(self):
+        manager = AffectDrivenSystemManager()
+        for t in range(5):
+            manager.observe("tense", float(t))
+        manager.observe("relaxed", 5.0)  # one flicker among tense labels
+        manager.observe("tense", 6.0)
+        assert manager.decoder_mode() == DecoderMode.STANDARD
+        assert len(manager.mode_changes()) == 1

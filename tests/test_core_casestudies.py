@@ -1,0 +1,119 @@
+"""Tests for the canonical case studies and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.appstudy import (
+    PROTECTED_APPS,
+    paper_affect_table,
+    paper_workload,
+    run_case_study,
+)
+from repro.core.casestudy import (
+    PAPER_CLIP_ENCODER,
+    paper_clip_frames,
+    paper_clip_stream,
+)
+from repro.video.nal import NalType, split_nal_units
+
+
+class TestPaperClip:
+    def test_clip_properties(self):
+        frames = paper_clip_frames()
+        assert len(frames) == 36
+        assert frames[0].y.shape == (64, 96)
+
+    def test_still_spans_freeze_scene(self):
+        frames = paper_clip_frames()
+        assert np.array_equal(frames[11].y, frames[12].y)
+        assert not np.array_equal(frames[9].y, frames[10].y)
+
+    def test_stream_has_eligible_minority(self):
+        """A realistic minority of P/B units must fall under S_th = 140."""
+        _, stream = paper_clip_stream()
+        units = [u for u in split_nal_units(stream) if u.nal_type != NalType.SPS]
+        eligible = [
+            u for u in units
+            if u.nal_type in (NalType.SLICE_P, NalType.SLICE_B)
+            and u.size_bytes <= 140
+        ]
+        fraction = len(eligible) / len(units)
+        assert 0.1 <= fraction <= 0.45
+
+    def test_gop_matches_config(self):
+        assert PAPER_CLIP_ENCODER.gop_size == 12
+        assert PAPER_CLIP_ENCODER.use_b_frames
+
+
+class TestAppCaseStudy:
+    def test_workload_phases(self, catalog_44):
+        events = paper_workload(catalog_44, seed=0)
+        assert events[0].emotion == "excited"
+        assert events[-1].emotion == "calm"
+        total_min = events[-1].time_s / 60.0
+        assert total_min <= 20.0
+        switch = next(e.time_s for e in events if e.emotion == "calm")
+        assert switch >= 12.0 * 60.0
+
+    def test_affect_table_emotions(self, catalog_44):
+        table = paper_affect_table(catalog_44)
+        assert set(table.emotions()) == {"excited", "calm"}
+
+    def test_protected_app_is_messaging(self):
+        assert "Messaging_1" in PROTECTED_APPS
+
+    def test_case_study_shape(self):
+        """Averaged over seeds: the emotion policy must save memory and
+        time, with memory saving >= time saving (the paper's 17% vs 12%)."""
+        mems, times = [], []
+        for seed in range(4):
+            result = run_case_study(seed=seed)
+            mems.append(result.memory_saving)
+            times.append(result.time_saving)
+        assert np.mean(mems) > 0.05
+        assert np.mean(times) > 0.02
+        assert np.mean(mems) >= np.mean(times)
+
+    def test_same_workload_both_policies(self):
+        result = run_case_study(seed=1)
+        total_base = result.baseline.cold_starts + result.baseline.warm_starts
+        total_emo = result.emotion.cold_starts + result.emotion.warm_starts
+        assert total_base == total_emo
+        assert result.emotion.cold_starts <= result.baseline.cold_starts
+
+    def test_protected_never_killed(self):
+        result = run_case_study(seed=0)
+        for run in (result.baseline, result.emotion):
+            assert run.processes["Messaging_1"].kills == 0
+
+
+class TestCli:
+    def test_fig7_emulator(self, capsys):
+        assert main(["fig7-emulator"]) == 0
+        out = capsys.readouterr().out
+        assert "Android 11 API 30" in out
+        assert "4096 MB" in out
+
+    def test_fig7_usage(self, capsys):
+        assert main(["fig7-usage"]) == 0
+        out = capsys.readouterr().out
+        assert "Subject 1" in out and "Subject 4" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99-nothing"])
+
+    def test_entropy_command(self, capsys):
+        assert main(["entropy"]) == 0
+        out = capsys.readouterr().out
+        assert "cavlc" in out
+        assert "CAVLC saves" in out
+
+    def test_export_trace_command(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        assert main(["export-trace", "--output", str(path)]) == 0
+        import json
+
+        trace = json.loads(path.read_text())
+        assert trace and all("ph" in event for event in trace)

@@ -1,0 +1,153 @@
+"""Tests for decoder modes, the video policy, and playback accounting."""
+
+import pytest
+
+from repro.core.modes import (
+    DEFAULT_DELETION_PARAMS,
+    DecoderMode,
+    DeletionParams,
+    decoder_config_for,
+)
+from repro.core.playback import (
+    ModePowerTable,
+    ModeResult,
+    measure_mode_power,
+    simulate_playback,
+)
+from repro.core.video_policy import PAPER_MODE_TABLE, VideoModePolicy
+
+
+class TestModes:
+    def test_paper_deletion_defaults(self):
+        assert DEFAULT_DELETION_PARAMS.s_th == 140
+        assert DEFAULT_DELETION_PARAMS.f == 1
+
+    def test_mode_knobs(self):
+        assert DecoderMode.STANDARD.deblocking_enabled
+        assert not DecoderMode.STANDARD.deletes_nal_units
+        assert not DecoderMode.DF_OFF.deblocking_enabled
+        assert DecoderMode.DELETION.deletes_nal_units
+        assert DecoderMode.DELETION.deblocking_enabled
+        assert DecoderMode.COMBINED.deletes_nal_units
+        assert not DecoderMode.COMBINED.deblocking_enabled
+
+    def test_decoder_config_mapping(self):
+        config = decoder_config_for(DecoderMode.COMBINED, DeletionParams(100, 2))
+        assert not config.deblock_enabled
+        assert config.selector.enabled
+        assert config.selector.s_th == 100
+        assert config.selector.f == 2
+
+    def test_standard_config_disables_selector(self):
+        config = decoder_config_for(DecoderMode.STANDARD)
+        assert config.deblock_enabled
+        assert not config.selector.enabled
+
+
+class TestVideoPolicy:
+    def test_paper_table(self):
+        assert PAPER_MODE_TABLE["distracted"] == DecoderMode.COMBINED
+        assert PAPER_MODE_TABLE["concentrated"] == DecoderMode.DELETION
+        assert PAPER_MODE_TABLE["tense"] == DecoderMode.STANDARD
+        assert PAPER_MODE_TABLE["relaxed"] == DecoderMode.DF_OFF
+
+    def test_unknown_state_falls_back(self):
+        policy = VideoModePolicy()
+        assert policy.mode_for("daydreaming") == DecoderMode.STANDARD
+
+    def test_reprogram(self):
+        policy = VideoModePolicy()
+        policy.reprogram("relaxed", DecoderMode.COMBINED)
+        assert policy.mode_for("relaxed") == DecoderMode.COMBINED
+        # The shared default table must not be mutated.
+        assert PAPER_MODE_TABLE["relaxed"] == DecoderMode.DF_OFF
+
+    def test_schedule_spans(self):
+        policy = VideoModePolicy()
+        spans = policy.schedule(
+            [(0.0, "distracted"), (60.0, "tense")], total_s=100.0
+        )
+        assert spans == [
+            (0.0, 60.0, "distracted", DecoderMode.COMBINED),
+            (60.0, 100.0, "tense", DecoderMode.STANDARD),
+        ]
+
+    def test_schedule_validation(self):
+        policy = VideoModePolicy()
+        with pytest.raises(ValueError):
+            policy.schedule([], total_s=10.0)
+        with pytest.raises(ValueError):
+            policy.schedule([(5.0, "tense")], total_s=5.0)
+
+
+class TestMeasureModePower:
+    @pytest.fixture(scope="class")
+    def table(self, clip_12, stream_12):
+        return measure_mode_power(stream_12, clip_12)
+
+    def test_standard_is_unity(self, table):
+        assert table.power(DecoderMode.STANDARD) == pytest.approx(1.0)
+
+    def test_df_share_is_calibrated(self, table):
+        assert table.df_share_standard == pytest.approx(0.314, abs=1e-6)
+
+    def test_df_off_saving_matches_share(self, table):
+        assert table.saving(DecoderMode.DF_OFF) == pytest.approx(0.314, abs=0.005)
+
+    def test_mode_power_ordering(self, table):
+        assert (
+            table.power(DecoderMode.COMBINED)
+            <= table.power(DecoderMode.DF_OFF)
+            < table.power(DecoderMode.STANDARD)
+        )
+        assert table.power(DecoderMode.DELETION) <= table.power(DecoderMode.STANDARD)
+
+    def test_quality_ordering(self, table):
+        std = table.results[DecoderMode.STANDARD]
+        combined = table.results[DecoderMode.COMBINED]
+        assert combined.psnr_db <= std.psnr_db
+        assert combined.blockiness >= std.blockiness
+
+
+class TestSimulatePlayback:
+    def _fake_table(self):
+        powers = {
+            DecoderMode.STANDARD: 1.0,
+            DecoderMode.DF_OFF: 0.686,
+            DecoderMode.DELETION: 0.894,
+            DecoderMode.COMBINED: 0.631,
+        }
+        results = {
+            mode: ModeResult(mode, p, 30.0, 0.0, 0, 0) for mode, p in powers.items()
+        }
+        return ModePowerTable(results=results, df_share_standard=0.314)
+
+    def test_paper_timeline_reproduces_23_percent(self):
+        """With the paper's exact mode savings, the paper's exact timeline
+        must yield its 23.1% energy saving — a pure-arithmetic check."""
+        table = self._fake_table()
+        segments = [
+            (0.0, "distracted"),
+            (14.0 * 60, "concentrated"),
+            (20.0 * 60, "tense"),
+            (29.0 * 60, "relaxed"),
+        ]
+        report = simulate_playback(segments, 40.0 * 60, table)
+        assert report.energy_saving == pytest.approx(0.231, abs=0.003)
+
+    def test_segments_cover_session(self):
+        table = self._fake_table()
+        report = simulate_playback([(0.0, "tense")], 600.0, table)
+        assert report.duration_s == pytest.approx(600.0)
+        assert report.segments[0].mode == DecoderMode.STANDARD
+
+    def test_all_standard_saves_nothing(self):
+        table = self._fake_table()
+        report = simulate_playback([(0.0, "tense")], 100.0, table)
+        assert report.energy_saving == pytest.approx(0.0)
+
+    def test_custom_policy(self):
+        table = self._fake_table()
+        policy = VideoModePolicy(table={"anything": DecoderMode.COMBINED})
+        report = simulate_playback([(0.0, "anything")], 100.0, table, policy)
+        assert report.energy_saving == pytest.approx(1.0 - 0.631)

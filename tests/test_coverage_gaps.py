@@ -1,0 +1,110 @@
+"""Tests for corner paths: trace export, emulator exhaustion, SC params,
+trailing-B decode order, and entropy registry ids."""
+
+import numpy as np
+import pytest
+
+from repro.android.app import AppSpec
+from repro.android.emulator import AndroidEmulator, EmulatorConfig
+from repro.android.monkey import LaunchEvent
+from repro.android.tracer import Tracer
+from repro.datasets.uulmmac import Segment, generate_sc_session
+from repro.video.encoder import gop_decode_order
+from repro.video.frames import FrameType
+
+
+class TestChromeTraceExport:
+    def test_span_pairing(self):
+        tracer = Tracer()
+        tracer.record(0.0, "cold_start", "a", detail=100.0)
+        tracer.record(5.0, "kill", "a")
+        tracer.record(2.0, "cold_start", "b", detail=50.0)
+        trace = tracer.to_chrome_trace()
+        begins = [e for e in trace if e["ph"] == "B"]
+        ends = [e for e in trace if e["ph"] == "E"]
+        assert len(begins) == len(ends) == 2
+        # "b" was never killed: its span closes at the last event time.
+        b_end = next(e for e in ends if e["tid"] == "b")
+        assert b_end["ts"] == pytest.approx(5.0 * 1e6)
+
+    def test_instant_events_carry_bytes(self):
+        tracer = Tracer()
+        tracer.record(1.0, "cold_start", "x", detail=42.0)
+        trace = tracer.to_chrome_trace()
+        instant = next(e for e in trace if e["ph"] == "i")
+        assert instant["args"] == {"bytes": 42.0}
+
+    def test_empty_tracer(self):
+        assert Tracer().to_chrome_trace() == []
+
+    def test_timestamps_sorted(self):
+        tracer = Tracer()
+        tracer.record(3.0, "warm_start", "a")
+        tracer.record(1.0, "cold_start", "b", detail=1.0)
+        trace = tracer.to_chrome_trace()
+        times = [e["ts"] for e in trace]
+        assert times == sorted(times)
+
+
+class TestEmulatorExhaustion:
+    def test_memory_error_when_everything_protected(self):
+        apps = [
+            AppSpec("big_1", "Video", 900.0, 100.0),
+            AppSpec("big_2", "Video", 900.0, 100.0),
+            AppSpec("big_3", "Video", 900.0, 100.0),
+        ]
+        config = EmulatorConfig(
+            ram_mb=2048, system_reserved_mb=1024.0, n_apps=3, process_limit=20
+        )
+        emulator = AndroidEmulator(
+            config=config,
+            catalog=apps,
+            protected_apps={"big_1", "big_2", "big_3"},
+        )
+        events = [
+            LaunchEvent(0.0, "big_1", "calm"),
+            LaunchEvent(1.0, "big_2", "calm"),
+        ]
+        with pytest.raises(MemoryError):
+            emulator.run(events)
+
+    def test_unprotected_app_killed_for_ram(self):
+        apps = [
+            AppSpec("big_1", "Video", 900.0, 100.0),
+            AppSpec("big_2", "Video", 900.0, 100.0),
+        ]
+        config = EmulatorConfig(
+            ram_mb=2048, system_reserved_mb=1024.0, n_apps=2, process_limit=20
+        )
+        emulator = AndroidEmulator(config=config, catalog=apps)
+        result = emulator.run(
+            [LaunchEvent(0.0, "big_1", "calm"), LaunchEvent(1.0, "big_2", "calm")]
+        )
+        assert result.kills == 1
+        assert result.processes["big_1"].kills == 1
+
+
+class TestCustomScParams:
+    def test_state_params_override(self):
+        timeline = (Segment("focus", 0.0, 3.0), Segment("rest", 3.0, 6.0))
+        session = generate_sc_session(
+            timeline,
+            seed=0,
+            state_params={"focus": (5.0, 8.0, 0.5), "rest": (1.0, 0.2, 0.05)},
+        )
+        focus = session.sc[session.segment_slice(timeline[0])]
+        rest = session.sc[session.segment_slice(timeline[1])]
+        assert focus.mean() > rest.mean() + 1.0
+
+
+class TestTrailingBDecodeOrder:
+    def test_trailing_b_goes_last(self):
+        types = [FrameType.I, FrameType.P, FrameType.B]
+        order = gop_decode_order(types)
+        assert order == [0, 1, 2]
+
+    def test_interleaved_with_trailing(self):
+        types = [FrameType.I, FrameType.B, FrameType.P, FrameType.B]
+        order = gop_decode_order(types)
+        assert order == [0, 2, 1, 3]
+        assert sorted(order) == list(range(4))

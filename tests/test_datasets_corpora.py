@@ -1,0 +1,90 @@
+"""Tests for the corpus builders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.corpora import (
+    CORPORA,
+    CREMAD_SPEC,
+    EMOVO_SPEC,
+    RAVDESS_SPEC,
+    build_corpus,
+)
+
+
+class TestSpecs:
+    def test_paper_inventory(self):
+        assert RAVDESS_SPEC.paper_size == 7356
+        assert RAVDESS_SPEC.n_actors == 24
+        assert len(RAVDESS_SPEC.emotions) == 8
+        assert EMOVO_SPEC.n_sentences == 14
+        assert EMOVO_SPEC.language == "Italian"
+        assert CREMAD_SPEC.n_actors == 91
+        assert len(CREMAD_SPEC.emotions) == 6
+
+    def test_registry(self):
+        assert set(CORPORA) == {"RAVDESS", "EMOVO", "CREMA-D"}
+
+    def test_difficulty_knobs_ordered(self):
+        """CREMA-D must be configured hardest, RAVDESS easiest."""
+        assert CREMAD_SPEC.noise_level > EMOVO_SPEC.noise_level > RAVDESS_SPEC.noise_level
+        assert CREMAD_SPEC.profile_blend > EMOVO_SPEC.profile_blend >= RAVDESS_SPEC.profile_blend
+
+
+class TestBuildCorpus:
+    def test_shapes_and_labels(self, small_corpus):
+        n_classes = len(EMOVO_SPEC.emotions)
+        assert small_corpus.x.shape[0] == 10 * n_classes
+        assert small_corpus.x.ndim == 3
+        assert set(np.unique(small_corpus.y)) == set(range(n_classes))
+        assert small_corpus.actors.shape[0] == small_corpus.x.shape[0]
+
+    def test_balanced_classes(self, small_corpus):
+        counts = np.bincount(small_corpus.y)
+        assert np.all(counts == 10)
+
+    def test_deterministic(self):
+        a = build_corpus(EMOVO_SPEC, n_per_class=2, seed=5)
+        b = build_corpus(EMOVO_SPEC, n_per_class=2, seed=5)
+        assert np.array_equal(a.x, b.x)
+
+    def test_seed_changes_data(self):
+        a = build_corpus(EMOVO_SPEC, n_per_class=2, seed=5)
+        b = build_corpus(EMOVO_SPEC, n_per_class=2, seed=6)
+        assert not np.array_equal(a.x, b.x)
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            build_corpus(EMOVO_SPEC, n_per_class=0)
+
+    def test_finite_features(self, small_corpus):
+        assert np.isfinite(small_corpus.x).all()
+
+
+class TestSplitAndNormalize:
+    def test_split_stratified(self, small_corpus):
+        x_train, y_train, x_test, y_test = small_corpus.split(test_fraction=0.3)
+        assert x_train.shape[0] + x_test.shape[0] == small_corpus.x.shape[0]
+        test_counts = np.bincount(y_test, minlength=small_corpus.n_classes)
+        assert np.all(test_counts == 3)
+
+    def test_split_disjoint(self, small_corpus):
+        x_train, _, x_test, _ = small_corpus.split()
+        # No sample may appear in both halves.
+        train_keys = {hash(x.tobytes()) for x in x_train}
+        test_keys = {hash(x.tobytes()) for x in x_test}
+        assert not train_keys & test_keys
+
+    def test_split_invalid_fraction(self, small_corpus):
+        with pytest.raises(ValueError):
+            small_corpus.split(test_fraction=0.0)
+
+    def test_normalized_statistics(self, small_corpus):
+        normalized = small_corpus.normalized()
+        assert abs(normalized.x.mean()) < 1e-9
+        per_feature_std = normalized.x.std(axis=(0, 1))
+        assert np.allclose(per_feature_std, 1.0, atol=1e-6)
+
+    def test_normalized_preserves_labels(self, small_corpus):
+        normalized = small_corpus.normalized()
+        assert np.array_equal(normalized.y, small_corpus.y)

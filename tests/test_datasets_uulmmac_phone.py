@@ -1,0 +1,122 @@
+"""Tests for the SC session generator and phone-usage subjects."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.phone_usage import (
+    APP_CATEGORIES,
+    SUBJECTS,
+    get_subject,
+    messaging_browsing_share,
+    sample_app_category,
+    usage_distribution,
+)
+from repro.datasets.uulmmac import (
+    Segment,
+    UULMMAC_TIMELINE,
+    generate_sc_session,
+)
+
+
+class TestTimeline:
+    def test_paper_segments(self):
+        labels = [s.label for s in UULMMAC_TIMELINE]
+        assert labels == ["distracted", "concentrated", "tense", "relaxed"]
+        assert UULMMAC_TIMELINE[0].start_min == 0.0
+        assert UULMMAC_TIMELINE[-1].end_min == 40.0
+        # Boundaries at 14 / 20 / 29 minutes as in Fig. 6.
+        assert [s.start_min for s in UULMMAC_TIMELINE[1:]] == [14.0, 20.0, 29.0]
+
+
+class TestSessionGenerator:
+    def test_shape_and_labels(self):
+        session = generate_sc_session(sample_rate=4.0, seed=0)
+        assert session.sc.shape == session.time_s.shape == session.labels.shape
+        assert session.duration_min == pytest.approx(40.0, abs=0.1)
+        assert set(session.labels) == {
+            "distracted", "concentrated", "tense", "relaxed",
+        }
+
+    def test_positive_conductance(self):
+        session = generate_sc_session(seed=1)
+        assert np.all(session.sc > 0)
+
+    def test_arousal_ordering(self):
+        """Tense must show the highest SC level, relaxed the lowest."""
+        session = generate_sc_session(seed=2)
+        means = {
+            seg.label: session.sc[session.segment_slice(seg)].mean()
+            for seg in session.segments
+        }
+        assert means["tense"] > means["concentrated"] > means["distracted"]
+        assert means["relaxed"] < means["distracted"]
+
+    def test_deterministic(self):
+        a = generate_sc_session(seed=3)
+        b = generate_sc_session(seed=3)
+        assert np.array_equal(a.sc, b.sc)
+
+    def test_custom_timeline(self):
+        timeline = (Segment("relaxed", 0.0, 2.0), Segment("tense", 2.0, 5.0))
+        session = generate_sc_session(timeline, seed=0)
+        assert session.duration_min == pytest.approx(5.0, abs=0.1)
+
+    def test_unknown_label_falls_back(self):
+        timeline = (Segment("daydreaming", 0.0, 2.0),)
+        session = generate_sc_session(timeline, seed=0)
+        assert np.all(session.sc > 0)
+
+    def test_rejects_empty_and_degenerate(self):
+        with pytest.raises(ValueError):
+            generate_sc_session(())
+        with pytest.raises(ValueError):
+            generate_sc_session((Segment("tense", 3.0, 3.0),))
+
+    def test_segment_slice_bounds(self):
+        session = generate_sc_session(seed=0)
+        for seg in session.segments:
+            sl = session.segment_slice(seg)
+            assert 0 <= sl.start < sl.stop <= session.sc.shape[0]
+
+
+class TestPhoneUsage:
+    def test_four_subjects(self):
+        assert [s.subject_id for s in SUBJECTS] == [1, 2, 3, 4]
+
+    def test_distributions_normalized(self):
+        for subject in SUBJECTS:
+            dist = usage_distribution(subject)
+            assert sum(dist.values()) == pytest.approx(1.0)
+            assert set(dist) == set(APP_CATEGORIES)
+            assert all(p > 0 for p in dist.values())
+
+    def test_messaging_browsing_dominates_60_to_70(self):
+        for subject in SUBJECTS:
+            share = messaging_browsing_share(subject)
+            assert 0.60 <= share <= 0.70, subject.subject_id
+
+    def test_subject1_trusting_pattern(self):
+        dist = usage_distribution(1)
+        rest = {c: p for c, p in dist.items()
+                if c not in ("Messaging", "Internet_Browser")}
+        top_rest = sorted(rest, key=rest.get, reverse=True)[:3]
+        assert set(top_rest) == {"Music_Audio_Radio", "Sharing_Cloud", "TV_Video_Apps"}
+
+    def test_subject3_excited_pattern(self):
+        dist = usage_distribution(3)
+        assert dist["Calling"] > usage_distribution(4)["Calling"]
+        assert dist["Shared_Transportation"] > usage_distribution(4)["Shared_Transportation"]
+
+    def test_emotion_proxies(self):
+        assert get_subject(3).emotion_proxy == "excited"
+        assert get_subject(4).emotion_proxy == "calm"
+
+    def test_unknown_subject_raises(self):
+        with pytest.raises(KeyError):
+            get_subject(9)
+
+    def test_sampling_matches_distribution(self):
+        rng = np.random.default_rng(0)
+        draws = [sample_app_category(3, rng) for _ in range(3000)]
+        freq = draws.count("Messaging") / len(draws)
+        assert freq == pytest.approx(usage_distribution(3)["Messaging"], abs=0.03)

@@ -1,0 +1,81 @@
+"""Tests for delta features and the usage-statistics closure property."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.android.app import build_app_catalog
+from repro.android.monkey import MonkeyScript, WorkloadPhase
+from repro.datasets.phone_usage import get_subject, usage_distribution
+from repro.dsp.features import FeatureConfig, delta_features, extract_feature_matrix
+
+
+def _tone(freq, n=8000, sr=16000.0):
+    return np.sin(2 * np.pi * freq * np.arange(n) / sr)
+
+
+class TestDeltaFeatures:
+    def test_shape_preserved(self):
+        x = np.random.default_rng(0).standard_normal((10, 5))
+        d = delta_features(x)
+        assert d.shape == x.shape
+        assert np.all(d[0] == 0)
+
+    def test_constant_signal_zero_deltas(self):
+        x = np.ones((8, 3))
+        assert np.all(delta_features(x) == 0)
+
+    def test_values(self):
+        x = np.array([[1.0], [3.0], [6.0]])
+        d = delta_features(x)
+        assert d[:, 0].tolist() == [0.0, 2.0, 3.0]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            delta_features(np.ones(5))
+
+    def test_feature_matrix_with_deltas(self):
+        config = FeatureConfig(deltas=True)
+        feats = extract_feature_matrix(_tone(220), config)
+        assert feats.shape[1] == config.n_features
+        assert config.n_features == 13 + 5 + 13
+
+    def test_deltas_capture_dynamics(self):
+        """A frequency sweep has larger MFCC deltas than a steady tone."""
+        sr = 16000.0
+        t = np.arange(16000) / sr
+        sweep = np.sin(2 * np.pi * (200 + 300 * t) * t)
+        steady = _tone(200, n=16000)
+        config = FeatureConfig(deltas=True)
+        sweep_deltas = extract_feature_matrix(sweep, config)[:, 18:]
+        steady_deltas = extract_feature_matrix(steady, config)[:, 18:]
+        assert np.abs(sweep_deltas).mean() > np.abs(steady_deltas).mean()
+
+
+class TestUsageClosure:
+    """The monkey workload must reproduce the distribution it samples from
+    (the paper's monkey script is built 'to match the probability of the
+    subjects' daily statistics')."""
+
+    def test_long_workload_matches_subject_distribution(self, catalog_44):
+        subject = get_subject(3)
+        phases = [WorkloadPhase(subject, 3600.0 * 4, "excited")]
+        events = MonkeyScript(catalog_44, mean_dwell_s=10.0, seed=0).generate(phases)
+        category_of = {app.name: app.category for app in catalog_44}
+        counts = collections.Counter(category_of[e.app] for e in events)
+        total = sum(counts.values())
+        target = usage_distribution(subject)
+        for category in ("Messaging", "Internet_Browser", "Calling"):
+            observed = counts.get(category, 0) / total
+            assert observed == pytest.approx(target[category], abs=0.04)
+
+    def test_favourite_app_dominates_its_category(self, catalog_44):
+        subject = get_subject(1)
+        phases = [WorkloadPhase(subject, 3600.0 * 2, "trusting")]
+        events = MonkeyScript(
+            catalog_44, mean_dwell_s=10.0, favourite_weight=2.5, seed=1
+        ).generate(phases)
+        messaging = [e.app for e in events if e.app.startswith("Messaging")]
+        counts = collections.Counter(messaging)
+        assert counts["Messaging_1"] > counts.get("Messaging_2", 0)

@@ -1,0 +1,94 @@
+"""Tests for repro.dsp.features."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.features import (
+    FeatureConfig,
+    extract_feature_matrix,
+    pitch_track,
+    rms_energy,
+    spectral_magnitude_stats,
+    zero_crossing_rate,
+)
+
+SR = 16000.0
+
+
+def _tone(freq, n=8000, sr=SR):
+    return np.sin(2 * np.pi * freq * np.arange(n) / sr)
+
+
+class TestZeroCrossingRate:
+    def test_constant_signal_zero(self):
+        assert np.all(zero_crossing_rate(np.ones(2048), 512, 256) == 0)
+
+    def test_alternating_signal_max(self):
+        sig = np.tile([1.0, -1.0], 1024)
+        zcr = zero_crossing_rate(sig, 512, 256)
+        assert np.all(zcr > 0.95)
+
+    def test_scales_with_frequency(self):
+        low = zero_crossing_rate(_tone(100), 512, 256).mean()
+        high = zero_crossing_rate(_tone(2000), 512, 256).mean()
+        assert high > low
+
+    def test_empty(self):
+        assert zero_crossing_rate(np.array([]), 512, 256).shape == (0,)
+
+
+class TestRmsEnergy:
+    def test_amplitude_scaling(self):
+        quiet = rms_energy(0.1 * _tone(440), 512, 256).mean()
+        loud = rms_energy(1.0 * _tone(440), 512, 256).mean()
+        assert loud == pytest.approx(10 * quiet, rel=0.05)
+
+    def test_sine_rms(self):
+        rms = rms_energy(_tone(440, n=5120), 512, 512)[:8]
+        assert rms.mean() == pytest.approx(1 / np.sqrt(2), rel=0.05)
+
+
+class TestPitchTrack:
+    @pytest.mark.parametrize("freq", [100.0, 150.0, 220.0, 330.0])
+    def test_recovers_tone_frequency(self, freq):
+        pitch = pitch_track(_tone(freq), SR, 1024, 512)
+        voiced = pitch[pitch > 0]
+        assert voiced.size > 0
+        assert np.median(voiced) == pytest.approx(freq, rel=0.06)
+
+    def test_noise_is_mostly_unvoiced_or_bounded(self):
+        noise = np.random.default_rng(0).standard_normal(8000) * 0.01
+        pitch = pitch_track(noise, SR, 1024, 512, fmin=60, fmax=420)
+        assert np.all((pitch == 0) | ((pitch >= 59) & (pitch <= 430)))
+
+    def test_silence_unvoiced(self):
+        assert np.all(pitch_track(np.zeros(4096), SR, 1024, 512) == 0)
+
+
+class TestSpectralStats:
+    def test_shape(self):
+        stats = spectral_magnitude_stats(_tone(440), 512, 256)
+        assert stats.shape[1] == 2
+        assert np.all(stats[:, 0] >= 0)
+
+
+class TestFeatureMatrix:
+    def test_shape_matches_config(self):
+        config = FeatureConfig()
+        feats = extract_feature_matrix(_tone(200, n=16000), config)
+        assert feats.shape[1] == config.n_features
+        assert np.isfinite(feats).all()
+
+    def test_n_features_accounting(self):
+        config = FeatureConfig(n_mfcc=13)
+        assert config.n_features == 13 + 5
+
+    @given(freq=st.floats(80.0, 400.0), amp=st.floats(0.05, 2.0))
+    @settings(max_examples=15, deadline=None)
+    def test_property_always_finite(self, freq, amp):
+        sig = amp * _tone(freq, n=6000)
+        feats = extract_feature_matrix(sig)
+        assert np.isfinite(feats).all()
+        assert feats.shape[0] > 0

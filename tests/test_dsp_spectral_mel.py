@@ -1,0 +1,113 @@
+"""Tests for repro.dsp.spectral and repro.dsp.mel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.mel import dct_ii, hz_to_mel, mel_filterbank, mel_to_hz, mfcc
+from repro.dsp.spectral import magnitude_spectrogram, power_spectrogram, stft
+
+
+SR = 16000.0
+
+
+def _tone(freq, n=16000, sr=SR):
+    return np.sin(2 * np.pi * freq * np.arange(n) / sr)
+
+
+class TestStft:
+    def test_shape(self):
+        spec = stft(_tone(440), n_fft=512, hop_length=256)
+        assert spec.shape[1] == 257
+
+    def test_tone_peak_bin(self):
+        spec = magnitude_spectrogram(_tone(1000), n_fft=512, hop_length=256)
+        peak_bin = spec[5].argmax()
+        expected = round(1000 / (SR / 512))
+        assert abs(peak_bin - expected) <= 1
+
+    def test_power_is_square_of_magnitude(self):
+        sig = _tone(440, n=4096)
+        mag = magnitude_spectrogram(sig, n_fft=256, hop_length=128)
+        power = power_spectrogram(sig, n_fft=256, hop_length=128)
+        assert np.allclose(power, mag**2)
+
+    def test_window_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            stft(_tone(440), n_fft=256, hop_length=128, window=np.ones(128))
+
+
+class TestMelScale:
+    def test_roundtrip(self):
+        freqs = np.array([0.0, 100.0, 1000.0, 4000.0, 8000.0])
+        assert np.allclose(mel_to_hz(hz_to_mel(freqs)), freqs)
+
+    def test_monotonic(self):
+        mels = hz_to_mel(np.linspace(0, 8000, 100))
+        assert np.all(np.diff(mels) > 0)
+
+    def test_1000hz_is_1000mel(self):
+        assert hz_to_mel(1000.0) == pytest.approx(1000.0, rel=0.001)
+
+
+class TestMelFilterbank:
+    def test_shape_and_coverage(self):
+        fbank = mel_filterbank(26, 512, SR)
+        assert fbank.shape == (26, 257)
+        assert np.all(fbank.sum(axis=1) > 0)
+
+    def test_non_negative(self):
+        fbank = mel_filterbank(20, 256, SR)
+        assert np.all(fbank >= 0)
+
+    def test_tiny_fft_still_covers(self):
+        fbank = mel_filterbank(12, 64, SR)
+        assert np.all(fbank.sum(axis=1) > 0)
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            mel_filterbank(0, 512, SR)
+        with pytest.raises(ValueError):
+            mel_filterbank(10, 512, SR, fmin=9000.0)
+
+
+class TestDct:
+    def test_matches_scipy(self):
+        from scipy.fft import dct as scipy_dct
+
+        x = np.random.default_rng(0).standard_normal((5, 16))
+        ours = dct_ii(x)
+        ref = scipy_dct(x, type=2, norm="ortho", axis=-1)
+        assert np.allclose(ours, ref)
+
+    def test_truncated_output(self):
+        x = np.random.default_rng(1).standard_normal(32)
+        assert dct_ii(x, n_out=8).shape == (8,)
+
+    @given(st.integers(2, 24))
+    @settings(max_examples=20, deadline=None)
+    def test_property_orthonormal_energy(self, n):
+        x = np.random.default_rng(n).standard_normal(n)
+        # Parseval: orthonormal DCT preserves energy.
+        assert np.sum(dct_ii(x) ** 2) == pytest.approx(np.sum(x**2), rel=1e-9)
+
+
+class TestMfcc:
+    def test_shape(self):
+        out = mfcc(_tone(300), SR, n_mfcc=13, n_mels=26, n_fft=512, hop_length=256)
+        assert out.shape[1] == 13
+        assert np.isfinite(out).all()
+
+    def test_distinguishes_tones(self):
+        low = mfcc(_tone(150), SR).mean(axis=0)
+        high = mfcc(_tone(3000), SR).mean(axis=0)
+        assert not np.allclose(low, high, atol=0.5)
+
+    def test_n_mfcc_exceeds_mels_raises(self):
+        with pytest.raises(ValueError):
+            mfcc(_tone(300), SR, n_mfcc=30, n_mels=26)
+
+    def test_silence_is_finite(self):
+        out = mfcc(np.zeros(8000), SR)
+        assert np.isfinite(out).all()

@@ -1,0 +1,125 @@
+"""Tests for the power/area models."""
+
+import pytest
+
+from repro.hw.cmos import TECH_65NM, TechnologyProfile
+from repro.hw.power import (
+    EnergyIntegrator,
+    PAPER_STANDARD_SHARES,
+    PowerModel,
+    module_activities,
+)
+from repro.video.decoder import ActivityCounters
+
+
+def _reference_counters():
+    return ActivityCounters(
+        bits_parsed=500_000,
+        mbs_intra=24,
+        mbs_inter=120,
+        mbs_bi=96,
+        blocks_total=6000,
+        blocks_nonzero=5000,
+        df_edges=8000,
+        selector_bytes_scanned=60_000,
+        buffer_words=30_000,
+        frames_decoded=10,
+    )
+
+
+class TestTechnology:
+    def test_paper_constants(self):
+        assert TECH_65NM.feature_nm == 65
+        assert TECH_65NM.supply_v == 1.2
+        assert TECH_65NM.clock_mhz == 28.0
+        assert TECH_65NM.total_area_mm2 == 1.9
+
+    def test_prestore_overhead_4_23_percent(self):
+        assert TECH_65NM.area_overhead_percent() == pytest.approx(4.23)
+
+    def test_area_decomposition(self):
+        conventional = TECH_65NM.conventional_area_mm2
+        prestore = TECH_65NM.prestore_area_mm2
+        assert conventional + prestore == pytest.approx(1.9)
+        assert prestore / conventional == pytest.approx(0.0423)
+
+
+class TestShares:
+    def test_shares_sum_to_one(self):
+        assert sum(PAPER_STANDARD_SHARES.values()) == pytest.approx(1.0)
+
+    def test_df_share_is_paper_number(self):
+        assert PAPER_STANDARD_SHARES["deblocking"] == pytest.approx(0.314)
+
+
+class TestPowerModel:
+    def test_calibration_reproduces_shares(self):
+        counters = _reference_counters()
+        model = PowerModel.calibrated(counters, frames_displayed=10)
+        breakdown = model.power(counters, frames_displayed=10)
+        for module, share in PAPER_STANDARD_SHARES.items():
+            assert breakdown.share(module) == pytest.approx(share, rel=1e-9)
+        assert breakdown.total == pytest.approx(1.0)
+
+    def test_df_off_saves_df_share(self):
+        counters = _reference_counters()
+        model = PowerModel.calibrated(counters, frames_displayed=10)
+        import dataclasses
+
+        off = dataclasses.replace(counters, df_edges=0)
+        breakdown = model.power(off, frames_displayed=10)
+        assert 1.0 - breakdown.total == pytest.approx(0.314, rel=1e-9)
+
+    def test_requires_deblocking_reference(self):
+        import dataclasses
+
+        bad = dataclasses.replace(_reference_counters(), df_edges=0)
+        with pytest.raises(ValueError):
+            PowerModel.calibrated(bad, frames_displayed=10)
+
+    def test_uncalibrated_raises(self):
+        with pytest.raises(RuntimeError):
+            PowerModel().power(_reference_counters(), 10)
+
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            PowerModel.calibrated(
+                _reference_counters(), 10, shares={"deblocking": 0.5}
+            )
+
+    def test_activities_include_bi_effort(self):
+        counters = _reference_counters()
+        acts = module_activities(counters, 10)
+        expected = 1.0 * 24 + 1.2 * 120 + 2.0 * 96
+        assert acts["prediction"] == pytest.approx(expected)
+
+    def test_normalized_to(self):
+        counters = _reference_counters()
+        model = PowerModel.calibrated(counters, 10)
+        breakdown = model.power(counters, 10)
+        assert breakdown.normalized_to(2.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            breakdown.normalized_to(0.0)
+
+
+class TestEnergyIntegrator:
+    def test_energy_accumulates(self):
+        integ = EnergyIntegrator()
+        integ.add(1.0, 10.0)
+        integ.add(0.5, 20.0)
+        assert integ.energy == pytest.approx(20.0)
+        assert integ.duration == pytest.approx(30.0)
+
+    def test_saving_vs_reference(self):
+        integ = EnergyIntegrator()
+        integ.add(0.5, 40.0)
+        assert integ.saving_vs(1.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        integ = EnergyIntegrator()
+        with pytest.raises(ValueError):
+            integ.add(-1.0, 5.0)
+        with pytest.raises(ValueError):
+            integ.add(1.0, -5.0)
+        with pytest.raises(ValueError):
+            integ.saving_vs(1.0)  # no duration yet

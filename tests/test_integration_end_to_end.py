@@ -1,0 +1,141 @@
+"""End-to-end integration tests across subsystems.
+
+These tie the full paper pipeline together: classifier -> emotion stream
+-> system manager -> (decoder modes, app kills), and the complete encode ->
+select -> decode -> power -> playback chain.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.affect import (
+    AffectClassifierPipeline,
+    SCEngagementClassifier,
+    segment_engagement,
+)
+from repro.android.app import build_app_catalog
+from repro.android.emulator import AndroidEmulator
+from repro.core import (
+    AffectDrivenSystemManager,
+    AffectTable,
+    DecoderMode,
+    EmotionalAppPolicy,
+    measure_mode_power,
+    simulate_playback,
+)
+from repro.core.appstudy import run_case_study
+from repro.core.casestudy import paper_clip_stream
+from repro.core.modes import decoder_config_for
+from repro.datasets import emovo_like, generate_sc_session
+from repro.datasets.phone_usage import SUBJECTS
+from repro.datasets.speech import synthesize_utterance
+from repro.video.decoder import Decoder
+
+
+@pytest.fixture(scope="module")
+def clip_and_stream():
+    return paper_clip_stream(seed=1)
+
+
+@pytest.fixture(scope="module")
+def power_table(clip_and_stream):
+    frames, stream = clip_and_stream
+    return measure_mode_power(stream, frames)
+
+
+class TestVideoChain:
+    def test_full_chain_energy_saving(self, power_table):
+        """SC session -> engagement -> policy -> measured-power energy."""
+        session = generate_sc_session(seed=0)
+        segments = segment_engagement(session)
+        report = simulate_playback(segments, float(session.time_s[-1]), power_table)
+        assert 0.10 <= report.energy_saving <= 0.40
+        assert [seg.state for seg in report.segments] == [
+            "distracted", "concentrated", "tense", "relaxed",
+        ]
+
+    def test_all_modes_decode_the_same_stream(self, clip_and_stream):
+        frames, stream = clip_and_stream
+        for mode in DecoderMode:
+            out = Decoder(decoder_config_for(mode)).decode(stream)
+            assert len(out.frames) == len(frames)
+
+    def test_power_monotone_in_deleted_data(self, clip_and_stream, power_table):
+        """More deleted bytes can only reduce measured power."""
+        frames, stream = clip_and_stream
+        deletion = Decoder(decoder_config_for(DecoderMode.DELETION)).decode(stream)
+        standard = Decoder(decoder_config_for(DecoderMode.STANDARD)).decode(stream)
+        assert deletion.counters.bits_parsed < standard.counters.bits_parsed
+        assert power_table.power(DecoderMode.DELETION) < 1.0
+
+
+class TestClassifierToManager:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        corpus = emovo_like(n_per_class=12, seed=0)
+        pipeline = AffectClassifierPipeline("mlp", seed=0)
+        pipeline.train(corpus, epochs=20)
+        return pipeline
+
+    def test_waveform_to_decoder_mode(self, pipeline):
+        from repro.affect import EmotionStream
+
+        manager = AffectDrivenSystemManager(stream=EmotionStream(window=3, min_votes=2))
+        # Alias the classifier's labels onto engagement states for the demo
+        # policy: sad -> relaxed-style DF_OFF.
+        manager.video_policy.reprogram("sad", DecoderMode.DF_OFF)
+        for take in range(10):
+            wave = synthesize_utterance("sad", actor=1, sentence=take, take=take)
+            manager.observe(pipeline.classify_waveform(wave), float(take))
+        # Raw labels may flicker, but ten windows of the same ground-truth
+        # emotion must commit *some* state through the majority vote.
+        assert manager.current_emotion is not None
+        assert manager.decoder_mode() in DecoderMode
+
+    def test_waveform_to_app_kill(self, pipeline):
+        catalog = build_app_catalog(44, seed=0)
+        table = AffectTable.from_subjects(catalog, list(SUBJECTS))
+        policy = EmotionalAppPolicy(table, fallback_emotion="calm")
+        manager = AffectDrivenSystemManager(app_policy=policy)
+        for t in range(3):
+            manager.observe("excited", float(t))
+        assert policy.current_emotion == "excited"
+
+
+class TestScToPlayback:
+    def test_engagement_classifier_transfers(self):
+        train = generate_sc_session(seed=0)
+        test = generate_sc_session(seed=42)
+        classifier = SCEngagementClassifier().fit(train)
+        segments = segment_engagement(test, classifier)
+        assert segments[0][1] == "distracted"
+        labels = [label for _, label in segments]
+        assert "tense" in labels and "relaxed" in labels
+
+
+class TestAppManagementChain:
+    def test_case_study_trace_export(self, tmp_path):
+        result = run_case_study(seed=0)
+        path = tmp_path / "trace.json"
+        result.emotion.tracer.save_chrome_trace(path)
+        trace = json.loads(path.read_text())
+        assert trace
+        phases = {event["ph"] for event in trace}
+        assert {"i", "B", "E"} <= phases
+        begins = sum(1 for e in trace if e["ph"] == "B")
+        ends = sum(1 for e in trace if e["ph"] == "E")
+        assert begins == ends
+
+    def test_emulator_conserves_launch_counts(self):
+        catalog = build_app_catalog(44, seed=0)
+        from repro.core.appstudy import paper_workload
+
+        events = paper_workload(catalog, seed=2)
+        emulator = AndroidEmulator(catalog=catalog)
+        result = emulator.run(events)
+        assert result.cold_starts + result.warm_starts == len(events)
+        assert result.tracer.count("cold_start") == result.cold_starts
+        assert result.tracer.count("warm_start") == result.warm_starts
+        assert result.tracer.cold_start_bytes() == result.total_loaded_bytes

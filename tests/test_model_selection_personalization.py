@@ -1,0 +1,148 @@
+"""Tests for model selection utilities and policy personalization."""
+
+import numpy as np
+import pytest
+
+from repro.affect.model_selection import (
+    DeploymentScore,
+    cross_validate,
+    deployment_ranking,
+    evaluate_speaker_independent,
+    speaker_independent_split,
+)
+from repro.core.modes import DecoderMode
+from repro.core.personalization import (
+    BATTERY_COMPLAINT,
+    MODE_LADDER,
+    PolicyPersonalizer,
+    QUALITY_COMPLAINT,
+)
+from repro.core.video_policy import VideoModePolicy
+
+
+class TestCrossValidation:
+    def test_fold_accuracies(self, small_corpus):
+        accuracies = cross_validate("mlp", small_corpus, k=3, epochs=10)
+        assert len(accuracies) == 3
+        for accuracy in accuracies:
+            assert 0.0 <= accuracy <= 1.0
+        # Better than chance on average.
+        assert np.mean(accuracies) > 1.0 / small_corpus.n_classes
+
+    def test_invalid_k(self, small_corpus):
+        with pytest.raises(ValueError):
+            cross_validate("mlp", small_corpus, k=1)
+
+
+class TestSpeakerIndependentSplit:
+    def test_actor_sets_disjoint(self, small_corpus):
+        x_train, y_train, x_test, y_test = speaker_independent_split(
+            small_corpus, seed=0
+        )
+        assert x_train.shape[0] + x_test.shape[0] == small_corpus.x.shape[0]
+        # Rebuild actor sets from masks.
+        actors = small_corpus.actors
+        test_count = x_test.shape[0]
+        test_mask_actors = set()
+        train_mask_actors = set()
+        # Recompute the same split to get the masks.
+        rng = np.random.default_rng(0)
+        shuffled = np.unique(actors).copy()
+        rng.shuffle(shuffled)
+        n_test = max(1, int(round(0.3 * shuffled.size)))
+        test_actors = set(shuffled[:n_test].tolist())
+        mask = np.isin(actors, list(test_actors))
+        assert mask.sum() == test_count
+        assert not (set(actors[mask].tolist()) & set(actors[~mask].tolist()))
+
+    def test_invalid_fraction(self, small_corpus):
+        with pytest.raises(ValueError):
+            speaker_independent_split(small_corpus, test_fraction=0.0)
+
+    def test_evaluation_runs(self, small_corpus):
+        accuracy = evaluate_speaker_independent("mlp", small_corpus, epochs=8)
+        assert 0.0 <= accuracy <= 1.0
+
+
+class TestDeploymentRanking:
+    def test_accuracy_wins_within_budget(self):
+        ranking = deployment_ranking(
+            {"a": 0.8, "b": 0.7}, {"a": 500.0, "b": 100.0}, size_budget_kb=1024
+        )
+        assert ranking[0].architecture == "a"
+
+    def test_oversize_penalized(self):
+        ranking = deployment_ranking(
+            {"big": 0.82, "small": 0.78},
+            {"big": 4096.0, "small": 400.0},
+            size_budget_kb=1024,
+        )
+        # big pays (4 - 1) * 0.25 = 0.75 penalty and loses.
+        assert ranking[0].architecture == "small"
+        big = next(r for r in ranking if r.architecture == "big")
+        assert big.score == pytest.approx(0.82 - 0.75)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            deployment_ranking({}, {}, size_budget_kb=0)
+
+
+class TestPolicyPersonalizer:
+    def test_battery_complaints_move_toward_saving(self):
+        policy = VideoModePolicy()
+        tuner = PolicyPersonalizer(policy, threshold=2)
+        assert policy.mode_for("tense") == DecoderMode.STANDARD
+        tuner.feedback("tense", BATTERY_COMPLAINT)
+        assert policy.mode_for("tense") == DecoderMode.STANDARD  # below threshold
+        tuner.feedback("tense", BATTERY_COMPLAINT)
+        assert policy.mode_for("tense") == DecoderMode.DELETION
+
+    def test_quality_complaints_move_toward_quality(self):
+        policy = VideoModePolicy()
+        tuner = PolicyPersonalizer(policy, threshold=1)
+        assert policy.mode_for("distracted") == DecoderMode.COMBINED
+        tuner.feedback("distracted", QUALITY_COMPLAINT)
+        assert policy.mode_for("distracted") == DecoderMode.DF_OFF
+
+    def test_opposite_feedback_cancels(self):
+        policy = VideoModePolicy()
+        tuner = PolicyPersonalizer(policy, threshold=2)
+        tuner.feedback("tense", BATTERY_COMPLAINT)
+        tuner.feedback("tense", QUALITY_COMPLAINT)
+        assert tuner.pressure("tense") == 0
+        assert policy.mode_for("tense") == DecoderMode.STANDARD
+
+    def test_ladder_clamped_at_ends(self):
+        policy = VideoModePolicy()
+        tuner = PolicyPersonalizer(policy, threshold=1)
+        for _ in range(6):
+            tuner.feedback("tense", QUALITY_COMPLAINT)
+        assert policy.mode_for("tense") == DecoderMode.STANDARD  # already best
+        for _ in range(6):
+            tuner.feedback("distracted", BATTERY_COMPLAINT)
+        assert policy.mode_for("distracted") == DecoderMode.COMBINED
+
+    def test_history_records_changes(self):
+        policy = VideoModePolicy()
+        tuner = PolicyPersonalizer(policy, threshold=1)
+        tuner.feedback("relaxed", BATTERY_COMPLAINT)
+        assert tuner.history == [("relaxed", BATTERY_COMPLAINT, DecoderMode.COMBINED)]
+
+    def test_ladder_is_ordered_by_power(self):
+        """The ladder must agree with measured mode powers (fake table)."""
+        powers = {
+            DecoderMode.STANDARD: 1.0,
+            DecoderMode.DELETION: 0.894,
+            DecoderMode.DF_OFF: 0.686,
+            DecoderMode.COMBINED: 0.631,
+        }
+        ladder_powers = [powers[mode] for mode in MODE_LADDER]
+        assert ladder_powers == sorted(ladder_powers, reverse=True)
+
+    def test_invalid_inputs(self):
+        policy = VideoModePolicy()
+        with pytest.raises(ValueError):
+            PolicyPersonalizer(policy, threshold=0)
+        tuner = PolicyPersonalizer(policy)
+        with pytest.raises(ValueError):
+            tuner.feedback("tense", "meh")

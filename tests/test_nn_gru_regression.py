@@ -1,0 +1,138 @@
+"""Tests for the GRU layer, MSE loss, and valence/arousal regression."""
+
+import numpy as np
+import pytest
+
+from repro.affect.regression import ValenceArousalRegressor, circumplex_targets
+from repro.nn.gru import GRU
+from repro.nn.layers import Dense
+from repro.nn.losses import MeanSquaredError
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Adam
+from tests.test_nn_layers import check_layer_gradients
+
+
+class TestGruGradients:
+    def test_last_state_gradients(self):
+        x = np.random.default_rng(0).standard_normal((2, 4, 3))
+        check_layer_gradients(GRU(3), x, rtol=1e-3, atol=1e-6)
+
+    def test_sequence_gradients(self):
+        x = np.random.default_rng(1).standard_normal((2, 4, 3))
+        check_layer_gradients(GRU(3, return_sequences=True), x, rtol=1e-3, atol=1e-6)
+
+
+class TestGruBehaviour:
+    def test_output_shapes(self):
+        assert GRU(8).output_shape((10, 4)) == (8,)
+        assert GRU(8, return_sequences=True).output_shape((10, 4)) == (10, 8)
+
+    def test_fewer_params_than_lstm(self):
+        from repro.nn.lstm import LSTM
+
+        rng = np.random.default_rng(0)
+        gru = GRU(16)
+        lstm = LSTM(16)
+        gru.build((10, 8), rng)
+        lstm.build((10, 8), rng)
+        assert gru.n_params == pytest.approx(0.75 * lstm.n_params, rel=0.02)
+
+    def test_learns_temporal_order(self):
+        rng = np.random.default_rng(2)
+        n, t = 160, 8
+        x = np.zeros((n, t, 1))
+        y = rng.integers(0, 2, n)
+        for i in range(n):
+            x[i, 1 if y[i] == 0 else t - 2, 0] = 1.0
+        x += 0.05 * rng.standard_normal(x.shape)
+        model = Sequential([GRU(8), Dense(2)])
+        model.compile((t, 1), Adam(0.02))
+        model.fit(x, y, epochs=30)
+        assert model.evaluate(x, y) > 0.95
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            GRU(0)
+        with pytest.raises(ValueError):
+            GRU(4).build((10,), np.random.default_rng(0))
+
+
+class TestMseLoss:
+    def test_zero_for_perfect(self):
+        loss = MeanSquaredError()
+        out = np.array([[1.0, 2.0]])
+        assert loss.forward(out, out.copy()) == 0.0
+
+    def test_value(self):
+        loss = MeanSquaredError()
+        assert loss.forward(np.array([[2.0]]), np.array([[0.0]])) == pytest.approx(4.0)
+
+    def test_gradient_matches_numeric(self):
+        loss = MeanSquaredError()
+        outputs = np.random.default_rng(0).standard_normal((3, 2))
+        targets = np.random.default_rng(1).standard_normal((3, 2))
+        loss.forward(outputs, targets)
+        grad = loss.backward()
+        eps = 1e-6
+        for i in range(3):
+            for j in range(2):
+                outputs[i, j] += eps
+                hi = loss.forward(outputs, targets)
+                outputs[i, j] -= 2 * eps
+                lo = loss.forward(outputs, targets)
+                outputs[i, j] += eps
+                assert grad[i, j] == pytest.approx((hi - lo) / (2 * eps), rel=1e-4)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MeanSquaredError().forward(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_sequential_regression_api(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((150, 3))
+        y = x @ np.array([[1.0], [0.5], [-0.3]])
+        model = Sequential([Dense(8, activation="tanh"), Dense(1)])
+        model.compile((3,), Adam(0.02), loss="mse")
+        history = model.fit(x, y, epochs=60)
+        assert history["accuracy"][-1] < 0.1  # MSE, not accuracy
+        assert model.is_regression
+        with pytest.raises(RuntimeError):
+            model.predict_proba(x)
+
+    def test_unknown_loss_rejected(self):
+        model = Sequential([Dense(1)])
+        with pytest.raises(ValueError):
+            model.compile((3,), loss="hinge")
+
+
+class TestValenceArousalRegression:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        from repro.datasets import ravdess_like
+
+        return ravdess_like(n_per_class=12, seed=0)
+
+    def test_circumplex_targets_shape(self, corpus):
+        targets = circumplex_targets(corpus)
+        assert targets.shape == (corpus.x.shape[0], 2)
+        assert np.all(np.abs(targets) <= 1.0)
+
+    def test_fit_and_decode(self, corpus):
+        regressor = ValenceArousalRegressor(units=16, seed=0)
+        metrics = regressor.fit(corpus, epochs=25)
+        assert metrics["test_mse"] < 0.5  # circumplex coords are in [-1, 1]
+        _, _, x_test, y_test = corpus.split(seed=0)
+        accuracy = regressor.label_accuracy(x_test, y_test, corpus.label_names)
+        assert accuracy > 1.5 / corpus.n_classes  # well above chance
+
+    def test_points_within_circumplex(self, corpus):
+        regressor = ValenceArousalRegressor(units=8, seed=0)
+        regressor.fit(corpus, epochs=5)
+        points = regressor.predict_points(corpus.x[:10])
+        for point in points:
+            assert -1.0 <= point.valence <= 1.0
+            assert -1.0 <= point.arousal <= 1.0
+
+    def test_unfit_raises(self, corpus):
+        with pytest.raises(RuntimeError):
+            ValenceArousalRegressor().predict_points(corpus.x[:1])

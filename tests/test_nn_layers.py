@@ -1,0 +1,196 @@
+"""Gradient-checked tests for repro.nn.layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Conv1D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAveragePooling1D,
+    MaxPool1D,
+    ReLU,
+    Tanh,
+)
+
+
+def numeric_grad(fn, x, eps=1e-6):
+    """Central-difference gradient of scalar fn at x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = fn()
+        x[idx] = orig - eps
+        lo = fn()
+        x[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_layer_gradients(layer, x, rtol=1e-4, atol=1e-6):
+    """Verify input and parameter gradients against central differences."""
+    rng = np.random.default_rng(0)
+    layer.build(x.shape[1:], rng)
+    out = layer.forward(x, training=False)
+    upstream = np.random.default_rng(1).standard_normal(out.shape)
+
+    def loss():
+        return float(np.sum(layer.forward(x, training=False) * upstream))
+
+    layer.forward(x, training=False)
+    dx = layer.backward(upstream)
+    dx_num = numeric_grad(loss, x)
+    np.testing.assert_allclose(dx, dx_num, rtol=rtol, atol=atol)
+    for name, param in layer.params.items():
+        dp_num = numeric_grad(loss, param)
+        layer.forward(x, training=False)
+        layer.backward(upstream)
+        np.testing.assert_allclose(
+            layer.grads[name], dp_num, rtol=rtol, atol=atol, err_msg=name
+        )
+
+
+class TestDense:
+    def test_gradients_linear(self):
+        x = np.random.default_rng(2).standard_normal((3, 5))
+        check_layer_gradients(Dense(4), x)
+
+    def test_gradients_relu(self):
+        x = np.random.default_rng(3).standard_normal((3, 5)) + 0.1
+        check_layer_gradients(Dense(4, activation="relu"), x)
+
+    def test_gradients_tanh(self):
+        x = np.random.default_rng(4).standard_normal((3, 5))
+        check_layer_gradients(Dense(4, activation="tanh"), x)
+
+    def test_output_shape(self):
+        layer = Dense(7)
+        assert layer.output_shape((5,)) == (7,)
+
+    def test_param_count(self):
+        layer = Dense(4)
+        layer.build((5,), np.random.default_rng(0))
+        assert layer.n_params == 5 * 4 + 4
+
+    def test_rejects_bad_activation(self):
+        with pytest.raises(ValueError):
+            Dense(4, activation="gelu")
+
+    def test_rejects_nonflat_input(self):
+        with pytest.raises(ValueError):
+            Dense(4).build((5, 3), np.random.default_rng(0))
+
+
+class TestConv1D:
+    def test_gradients_same_padding(self):
+        x = np.random.default_rng(5).standard_normal((2, 6, 3))
+        check_layer_gradients(Conv1D(4, 3, padding="same"), x)
+
+    def test_gradients_valid_padding(self):
+        x = np.random.default_rng(6).standard_normal((2, 6, 3))
+        check_layer_gradients(Conv1D(4, 3, padding="valid"), x)
+
+    def test_gradients_relu(self):
+        x = np.random.default_rng(7).standard_normal((2, 6, 3))
+        check_layer_gradients(Conv1D(4, 3, activation="relu"), x)
+
+    def test_even_kernel(self):
+        x = np.random.default_rng(8).standard_normal((2, 6, 2))
+        check_layer_gradients(Conv1D(3, 4, padding="same"), x)
+
+    def test_output_shapes(self):
+        assert Conv1D(8, 3, padding="same").output_shape((10, 4)) == (10, 8)
+        assert Conv1D(8, 3, padding="valid").output_shape((10, 4)) == (8, 8)
+
+    def test_identity_kernel(self):
+        layer = Conv1D(1, 1)
+        layer.build((5, 1), np.random.default_rng(0))
+        layer.params["W"][...] = 1.0
+        layer.params["b"][...] = 0.0
+        x = np.arange(5.0).reshape(1, 5, 1)
+        assert np.allclose(layer.forward(x), x)
+
+
+class TestPooling:
+    def test_maxpool_gradients(self):
+        x = np.random.default_rng(9).standard_normal((2, 6, 3))
+        check_layer_gradients(MaxPool1D(2), x)
+
+    def test_maxpool_values(self):
+        x = np.array([[[1.0], [5.0], [2.0], [3.0]]])
+        out = MaxPool1D(2).forward(x)
+        assert out[0, :, 0].tolist() == [5.0, 3.0]
+
+    def test_maxpool_truncates_odd_tail(self):
+        x = np.random.default_rng(10).standard_normal((1, 5, 2))
+        layer = MaxPool1D(2)
+        out = layer.forward(x)
+        assert out.shape == (1, 2, 2)
+        dx = layer.backward(np.ones_like(out))
+        assert dx.shape == x.shape
+        assert np.all(dx[:, 4, :] == 0)
+
+    def test_maxpool_too_short_raises(self):
+        with pytest.raises(ValueError):
+            MaxPool1D(4).forward(np.zeros((1, 3, 1)))
+
+    def test_gap_gradients(self):
+        x = np.random.default_rng(11).standard_normal((2, 5, 3))
+        check_layer_gradients(GlobalAveragePooling1D(), x)
+
+    def test_gap_value(self):
+        x = np.arange(6.0).reshape(1, 3, 2)
+        out = GlobalAveragePooling1D().forward(x)
+        assert np.allclose(out, [[2.0, 3.0]])
+
+
+class TestActivationsAndShape:
+    def test_relu_gradients(self):
+        x = np.random.default_rng(12).standard_normal((3, 4)) + 0.05
+        check_layer_gradients(ReLU(), x)
+
+    def test_tanh_gradients(self):
+        x = np.random.default_rng(13).standard_normal((3, 4))
+        check_layer_gradients(Tanh(), x)
+
+    def test_flatten_roundtrip(self):
+        x = np.random.default_rng(14).standard_normal((2, 3, 4))
+        layer = Flatten()
+        out = layer.forward(x)
+        assert out.shape == (2, 12)
+        assert layer.backward(out).shape == x.shape
+
+    def test_flatten_output_shape(self):
+        assert Flatten().output_shape((3, 4)) == (12,)
+
+
+class TestDropout:
+    def test_identity_at_inference(self):
+        x = np.ones((4, 10))
+        layer = Dropout(0.5)
+        assert np.array_equal(layer.forward(x, training=False), x)
+
+    def test_scales_at_training(self):
+        x = np.ones((200, 50))
+        layer = Dropout(0.4, seed=0)
+        out = layer.forward(x, training=True)
+        # Inverted dropout keeps the expectation.
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+        kept = out > 0
+        assert kept.mean() == pytest.approx(0.6, abs=0.05)
+
+    def test_backward_masks_gradient(self):
+        layer = Dropout(0.5, seed=1)
+        x = np.ones((10, 10))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        assert np.array_equal(grad == 0, out == 0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)

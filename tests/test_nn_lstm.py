@@ -1,0 +1,75 @@
+"""Gradient-checked tests for the LSTM layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense
+from repro.nn.lstm import LSTM
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Adam
+from tests.test_nn_layers import check_layer_gradients
+
+
+class TestLstmGradients:
+    def test_last_state_gradients(self):
+        x = np.random.default_rng(0).standard_normal((2, 4, 3))
+        check_layer_gradients(LSTM(3), x, rtol=1e-3, atol=1e-6)
+
+    def test_sequence_gradients(self):
+        x = np.random.default_rng(1).standard_normal((2, 4, 3))
+        check_layer_gradients(
+            LSTM(3, return_sequences=True), x, rtol=1e-3, atol=1e-6
+        )
+
+
+class TestLstmShapes:
+    def test_output_shapes(self):
+        assert LSTM(8).output_shape((10, 4)) == (8,)
+        assert LSTM(8, return_sequences=True).output_shape((10, 4)) == (10, 8)
+
+    def test_param_count(self):
+        layer = LSTM(6)
+        layer.build((5, 4), np.random.default_rng(0))
+        expected = 4 * (4 * 6 + 6 * 6 + 6)
+        assert layer.n_params == expected
+
+    def test_forget_bias_initialized_to_one(self):
+        layer = LSTM(4)
+        layer.build((5, 3), np.random.default_rng(0))
+        b = layer.params["b"]
+        assert np.all(b[4:8] == 1.0)
+        assert np.all(b[:4] == 0.0)
+
+    def test_rejects_flat_input(self):
+        with pytest.raises(ValueError):
+            LSTM(4).build((10,), np.random.default_rng(0))
+
+    def test_rejects_zero_units(self):
+        with pytest.raises(ValueError):
+            LSTM(0)
+
+
+class TestLstmLearning:
+    def test_learns_temporal_order(self):
+        """An LSTM must separate sequences that differ only in ordering."""
+        rng = np.random.default_rng(2)
+        n, t = 160, 8
+        x = np.zeros((n, t, 1))
+        y = rng.integers(0, 2, n)
+        for i in range(n):
+            # Class 0: pulse early; class 1: pulse late — same total energy.
+            position = 1 if y[i] == 0 else t - 2
+            x[i, position, 0] = 1.0
+        x += 0.05 * rng.standard_normal(x.shape)
+        model = Sequential([LSTM(8), Dense(2)])
+        model.compile((t, 1), Adam(0.02))
+        model.fit(x, y, epochs=30, batch_size=32)
+        assert model.evaluate(x, y) > 0.95
+
+    def test_stateless_between_calls(self):
+        layer = LSTM(4)
+        layer.build((6, 2), np.random.default_rng(0))
+        x = np.random.default_rng(3).standard_normal((1, 6, 2))
+        first = layer.forward(x)
+        second = layer.forward(x)
+        assert np.allclose(first, second)

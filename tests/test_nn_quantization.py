@@ -1,0 +1,111 @@
+"""Tests for int8 post-training quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.layers import Dense
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Adam
+from repro.nn.quantization import (
+    INT8_MAX,
+    INT8_MIN,
+    compute_spec,
+    dequantize_tensor,
+    model_weight_bytes,
+    quantize_model,
+    quantize_tensor,
+)
+
+
+class TestTensorQuantization:
+    def test_roundtrip_error_bounded_by_scale(self):
+        rng = np.random.default_rng(0)
+        tensor = rng.standard_normal((20, 20))
+        q, spec = quantize_tensor(tensor)
+        recon = dequantize_tensor(q, spec)
+        assert np.max(np.abs(recon - tensor)) <= spec.scale * 0.5 + 1e-12
+
+    def test_int8_range(self):
+        tensor = np.linspace(-10, 10, 100)
+        q, _ = quantize_tensor(tensor)
+        assert q.dtype == np.int8
+        assert q.min() >= INT8_MIN and q.max() <= INT8_MAX
+
+    def test_constant_tensor(self):
+        q, spec = quantize_tensor(np.zeros((3, 3)))
+        assert np.all(dequantize_tensor(q, spec) == 0.0)
+
+    def test_asymmetric_range_covered(self):
+        tensor = np.array([0.0, 5.0, 10.0])
+        q, spec = quantize_tensor(tensor)
+        recon = dequantize_tensor(q, spec)
+        assert np.max(np.abs(recon - tensor)) <= spec.scale
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=hnp.array_shapes(min_dims=1, max_dims=2, max_side=16),
+            elements=st.floats(-50, 50, allow_nan=False),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip_within_half_step(self, tensor):
+        q, spec = quantize_tensor(tensor)
+        recon = dequantize_tensor(q, spec)
+        assert np.max(np.abs(recon - tensor)) <= spec.scale * 0.5 + 1e-9
+
+    def test_spec_zero_point_in_range(self):
+        spec = compute_spec(np.array([100.0, 101.0]))
+        assert INT8_MIN <= spec.zero_point <= INT8_MAX
+
+
+class TestModelQuantization:
+    def _trained_model(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((200, 6))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        model = Sequential([Dense(16, activation="relu"), Dense(2)])
+        model.compile((6,), Adam(0.01))
+        model.fit(x, y, epochs=20)
+        return model, x, y
+
+    def test_weight_bytes_4x_reduction(self):
+        model, _, _ = self._trained_model()
+        qmodel = quantize_model(model)
+        assert model_weight_bytes(model, bits=32) == 4 * qmodel.weight_bytes
+
+    def test_accuracy_within_3_percent(self):
+        model, x, y = self._trained_model()
+        float_acc = model.evaluate(x, y)
+        qacc = quantize_model(model).evaluate(x, y)
+        assert qacc >= float_acc - 0.03
+
+    def test_float_weights_restored_after_inference(self):
+        model, x, _ = self._trained_model()
+        before = model.get_weights()
+        quantize_model(model).predict(x)
+        after = model.get_weights()
+        for key in before:
+            assert np.array_equal(before[key], after[key])
+
+    def test_roundtrip_error_positive_but_small(self):
+        model, _, _ = self._trained_model()
+        qmodel = quantize_model(model)
+        err = qmodel.max_roundtrip_error()
+        weights = model.get_weights()
+        largest = max(np.abs(w).max() for w in weights.values())
+        assert 0.0 <= err <= largest / 100.0
+
+    def test_model_weight_bytes_validates_bits(self):
+        model, _, _ = self._trained_model()
+        with pytest.raises(ValueError):
+            model_weight_bytes(model, bits=7)
+
+    def test_predict_proba_shape(self):
+        model, x, _ = self._trained_model()
+        probs = quantize_model(model).predict_proba(x[:5])
+        assert probs.shape == (5, 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)

@@ -1,0 +1,189 @@
+"""Tests for losses, optimizers, metrics, and the Sequential model."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Flatten
+from repro.nn.losses import SoftmaxCrossEntropy, softmax
+from repro.nn.metrics import accuracy, confusion_matrix, macro_f1
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD, Adam
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        probs = softmax(np.random.default_rng(0).standard_normal((5, 4)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_stable_for_large_logits(self):
+        probs = softmax(np.array([[1000.0, 1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(0.5, abs=1e-6)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        assert loss.forward(logits, np.array([0, 1])) < 1e-4
+
+    def test_uniform_loss_is_log_k(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.zeros((3, 4))
+        assert loss.forward(logits, np.array([0, 1, 2])) == pytest.approx(
+            np.log(4), rel=1e-6
+        )
+
+    def test_gradient_matches_numeric(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.random.default_rng(1).standard_normal((4, 3))
+        labels = np.array([0, 2, 1, 2])
+        loss.forward(logits, labels)
+        grad = loss.backward()
+        eps = 1e-6
+        numeric = np.zeros_like(logits)
+        for i in range(logits.shape[0]):
+            for j in range(logits.shape[1]):
+                logits[i, j] += eps
+                hi = loss.forward(logits, labels)
+                logits[i, j] -= 2 * eps
+                lo = loss.forward(logits, labels)
+                logits[i, j] += eps
+                numeric[i, j] = (hi - lo) / (2 * eps)
+        loss.forward(logits, labels)
+        np.testing.assert_allclose(loss.backward(), numeric, rtol=1e-4, atol=1e-7)
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, optimizer, steps=200):
+        params = {"w": np.array([5.0, -3.0])}
+        for _ in range(steps):
+            grads = {"w": 2.0 * params["w"]}
+            optimizer.update(params, grads)
+        return params["w"]
+
+    def test_sgd_converges(self):
+        w = self._quadratic_descent(SGD(lr=0.1))
+        assert np.all(np.abs(w) < 1e-6)
+
+    def test_sgd_momentum_converges(self):
+        w = self._quadratic_descent(SGD(lr=0.05, momentum=0.9))
+        assert np.all(np.abs(w) < 1e-4)
+
+    def test_adam_converges(self):
+        w = self._quadratic_descent(Adam(lr=0.3), steps=400)
+        assert np.all(np.abs(w) < 1e-3)
+
+    def test_adam_clipnorm(self):
+        opt = Adam(lr=0.1, clipnorm=1.0)
+        params = {"w": np.zeros(3)}
+        opt.update(params, {"w": np.array([100.0, 0.0, 0.0])})
+        # First Adam step magnitude is bounded by lr regardless, but the
+        # clip must have rescaled the raw gradient before moments.
+        assert np.isfinite(params["w"]).all()
+        assert abs(opt._m["w"][0]) <= 0.11
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            Adam(lr=-1.0)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 0])) == pytest.approx(2 / 3)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_confusion_matrix(self):
+        cm = confusion_matrix(np.array([0, 0, 1, 1]), np.array([0, 1, 1, 1]), 2)
+        assert cm.tolist() == [[1, 1], [0, 2]]
+
+    def test_confusion_matrix_rows_sum_to_class_counts(self):
+        y = np.array([0, 1, 2, 2, 1, 0, 0])
+        pred = np.array([0, 2, 2, 1, 1, 0, 1])
+        cm = confusion_matrix(y, pred, 3)
+        assert cm.sum() == y.size
+        assert cm.sum(axis=1).tolist() == [3, 2, 2]
+
+    def test_macro_f1_perfect(self):
+        y = np.array([0, 1, 2])
+        assert macro_f1(y, y, 3) == pytest.approx(1.0)
+
+    def test_macro_f1_handles_absent_class(self):
+        score = macro_f1(np.array([0, 0]), np.array([0, 0]), n_classes=2)
+        assert 0.0 <= score <= 1.0
+
+
+class TestSequential:
+    def _xor_data(self):
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        x = np.tile(x, (25, 1)) + 0.02 * np.random.default_rng(0).standard_normal((100, 2))
+        y = np.tile([0, 1, 1, 0], 25)
+        return x, y
+
+    def test_learns_xor(self):
+        x, y = self._xor_data()
+        model = Sequential([Dense(16, activation="tanh"), Dense(2)])
+        model.compile((2,), Adam(0.02))
+        model.fit(x, y, epochs=60, batch_size=16)
+        assert model.evaluate(x, y) > 0.95
+
+    def test_requires_compile(self):
+        model = Sequential([Dense(2)])
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((1, 2)))
+
+    def test_add_after_compile_fails(self):
+        model = Sequential([Dense(2)])
+        model.compile((3,))
+        with pytest.raises(RuntimeError):
+            model.add(Dense(2))
+
+    def test_predict_proba_rows_sum_to_one(self):
+        model = Sequential([Dense(3)])
+        model.compile((4,))
+        probs = model.predict_proba(np.random.default_rng(1).standard_normal((7, 4)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_fit_shape_mismatch(self):
+        model = Sequential([Dense(2)])
+        model.compile((3,))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((4, 3)), np.zeros(5, dtype=int), epochs=1)
+
+    def test_history_keys_and_length(self):
+        x, y = self._xor_data()
+        model = Sequential([Dense(4, activation="relu"), Dense(2)])
+        model.compile((2,))
+        history = model.fit(x, y, epochs=3)
+        assert len(history["loss"]) == 3
+        assert len(history["accuracy"]) == 3
+
+    def test_save_load_roundtrip(self, tmp_path):
+        x, y = self._xor_data()
+        model = Sequential([Dense(8, activation="tanh"), Dense(2)], seed=3)
+        model.compile((2,), Adam(0.02))
+        model.fit(x, y, epochs=20)
+        path = tmp_path / "weights.npz"
+        model.save(path)
+        fresh = Sequential([Dense(8, activation="tanh"), Dense(2)], seed=99)
+        fresh.compile((2,))
+        fresh.load(path)
+        assert np.array_equal(fresh.predict(x), model.predict(x))
+
+    def test_set_weights_rejects_bad_keys(self):
+        model = Sequential([Dense(2)])
+        model.compile((3,))
+        with pytest.raises(ValueError):
+            model.set_weights({"bogus": np.zeros(1)})
+
+    def test_n_params(self):
+        model = Sequential([Flatten(), Dense(5), Dense(2)])
+        model.compile((3, 4))
+        assert model.n_params == (12 * 5 + 5) + (5 * 2 + 2)

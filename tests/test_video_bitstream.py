@@ -1,0 +1,151 @@
+"""Property-based tests for the bitstream and NAL layers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.bitstream import BitReader, BitWriter
+from repro.video.nal import (
+    NalType,
+    NalUnit,
+    escape_payload,
+    pack_nal_units,
+    split_nal_units,
+    unescape_payload,
+)
+
+
+class TestBitstream:
+    def test_single_bits(self):
+        w = BitWriter()
+        for bit in (1, 0, 1, 1, 0):
+            w.write_bit(bit)
+        r = BitReader(w.to_bytes())
+        assert [r.read_bit() for _ in range(5)] == [1, 0, 1, 1, 0]
+
+    def test_write_bits_value_too_large(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(8, 3)
+
+    def test_len_counts_bits(self):
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        assert len(w) == 3
+        w.write_bits(0xFF, 8)
+        assert len(w) == 11
+
+    def test_read_past_end_raises(self):
+        r = BitReader(b"")
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+    def test_ue_known_codewords(self):
+        # Classic exp-Golomb: 0 -> "1", 1 -> "010", 2 -> "011".
+        w = BitWriter()
+        w.write_ue(0)
+        assert len(w) == 1
+        w2 = BitWriter()
+        w2.write_ue(1)
+        assert len(w2) == 3
+
+    def test_ue_negative_raises(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_ue(-1)
+
+    @given(st.lists(st.integers(0, 100_000), max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_property_ue_roundtrip(self, values):
+        w = BitWriter()
+        for v in values:
+            w.write_ue(v)
+        r = BitReader(w.to_bytes())
+        assert [r.read_ue() for _ in values] == values
+
+    @given(st.lists(st.integers(-50_000, 50_000), max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_property_se_roundtrip(self, values):
+        w = BitWriter()
+        for v in values:
+            w.write_se(v)
+        r = BitReader(w.to_bytes())
+        assert [r.read_se() for _ in values] == values
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**16 - 1), st.integers(1, 16)), max_size=30
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_fixed_width_roundtrip(self, pairs):
+        pairs = [(v & ((1 << n) - 1), n) for v, n in pairs]
+        w = BitWriter()
+        for v, n in pairs:
+            w.write_bits(v, n)
+        r = BitReader(w.to_bytes())
+        assert [(r.read_bits(n), n) for _, n in pairs] == pairs
+
+    def test_bits_remaining(self):
+        r = BitReader(b"\xff")
+        assert r.bits_remaining == 8
+        r.read_bits(3)
+        assert r.bits_remaining == 5
+        assert r.bits_consumed == 3
+
+
+class TestEmulationPrevention:
+    @given(st.binary(max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_property_escape_roundtrip(self, payload):
+        assert unescape_payload(escape_payload(payload)) == payload
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_property_no_start_code_in_escaped(self, payload):
+        assert b"\x00\x00\x01" not in escape_payload(payload)
+
+    def test_known_sequences(self):
+        assert escape_payload(b"\x00\x00\x01") == b"\x00\x00\x03\x01"
+        assert escape_payload(b"\x00\x00\x04") == b"\x00\x00\x04"
+
+
+class TestNalFraming:
+    def _units(self):
+        return [
+            NalUnit(NalType.SPS, 0, b"\x00\x00\x01\x02\x03"),
+            NalUnit(NalType.SLICE_I, 0, bytes(range(256))),
+            NalUnit(NalType.SLICE_P, 1, b""),
+            NalUnit(NalType.SLICE_B, 2, b"\x00" * 40),
+        ]
+
+    def test_roundtrip(self):
+        units = self._units()
+        assert split_nal_units(pack_nal_units(units)) == units
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(list(NalType)),
+                st.integers(0, 255),
+                st.binary(max_size=200),
+            ),
+            max_size=12,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_roundtrip(self, raw):
+        units = [NalUnit(t, i, p) for t, i, p in raw]
+        assert split_nal_units(pack_nal_units(units)) == units
+
+    def test_size_accounting(self):
+        unit = NalUnit(NalType.SLICE_B, 3, b"abcd")
+        assert unit.size_bytes == 3 + 2 + 4
+
+    def test_reference_classification(self):
+        assert NalUnit(NalType.SLICE_I, 0, b"").is_reference
+        assert NalUnit(NalType.SLICE_P, 0, b"").is_reference
+        assert not NalUnit(NalType.SLICE_B, 0, b"").is_reference
+
+    def test_frame_index_range(self):
+        with pytest.raises(ValueError):
+            pack_nal_units([NalUnit(NalType.SLICE_I, 300, b"")])

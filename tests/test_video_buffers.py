@@ -1,0 +1,173 @@
+"""Tests for the circular / pre-store buffers and the Input Selector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.buffers import (
+    CircularBuffer,
+    InputSelector,
+    PreStoreBuffer,
+    RingBuffer,
+    SelectorConfig,
+    pump_through_buffers,
+)
+from repro.video.nal import NalType, NalUnit
+
+
+class TestRingBuffer:
+    def test_write_read_fifo_order(self):
+        buf = RingBuffer(8)
+        buf.write(b"abc")
+        buf.write(b"de")
+        assert buf.read(5) == b"abcde"
+
+    def test_wraparound(self):
+        buf = RingBuffer(4)
+        buf.write(b"abcd")
+        assert buf.read(2) == b"ab"
+        buf.write(b"ef")
+        assert buf.read(4) == b"cdef"
+
+    def test_overflow_rejected_not_overwritten(self):
+        buf = RingBuffer(4)
+        assert buf.write(b"abcd") == 4
+        assert buf.write(b"x") == 0
+        assert buf.rejected_writes == 1
+        assert buf.read(4) == b"abcd"
+
+    def test_partial_write(self):
+        buf = RingBuffer(4)
+        assert buf.write(b"abcdef") == 4
+        assert buf.read(6) == b"abcd"
+
+    def test_read_never_exceeds_fill(self):
+        buf = RingBuffer(8)
+        buf.write(b"ab")
+        assert buf.read(10) == b"ab"
+        assert buf.read(1) == b""
+
+    def test_counters(self):
+        buf = RingBuffer(8)
+        buf.write(b"abc")
+        buf.read(2)
+        assert buf.total_written == 3
+        assert buf.total_read == 2
+        assert buf.fill == 1
+        assert buf.free == 7
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+    def test_negative_read(self):
+        with pytest.raises(ValueError):
+            RingBuffer(4).read(-1)
+
+    @given(st.lists(st.tuples(st.binary(max_size=6), st.integers(0, 6)), max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_property_fifo_and_no_loss(self, ops):
+        """Everything written is read back exactly once, in order."""
+        buf = RingBuffer(16)
+        written = bytearray()
+        read = bytearray()
+        for data, n in ops:
+            accepted = buf.write(data)
+            written.extend(data[:accepted])
+            read.extend(buf.read(n))
+            assert 0 <= buf.fill <= buf.capacity
+        read.extend(buf.read(buf.fill))
+        assert bytes(read) == bytes(written)
+
+
+class TestPaperCapacities:
+    def test_circular_buffer_is_128_bits(self):
+        assert CircularBuffer().capacity == 16
+
+    def test_prestore_is_128x16_bits(self):
+        assert PreStoreBuffer().capacity == 256
+
+
+class TestInputSelector:
+    def _slice(self, nal_type, size, index=0):
+        payload = bytes(size - 5)  # size_bytes = 3 + 2 + len(payload)
+        return NalUnit(nal_type, index, payload)
+
+    def test_disabled_keeps_everything(self):
+        selector = InputSelector(SelectorConfig(enabled=False))
+        units = [self._slice(NalType.SLICE_B, 50)]
+        assert selector.filter_units(units) == units
+        assert selector.stats.deleted_units == 0
+
+    def test_deletes_small_b_slices(self):
+        selector = InputSelector(SelectorConfig(enabled=True, s_th=140, f=1))
+        units = [
+            self._slice(NalType.SLICE_I, 100),
+            self._slice(NalType.SLICE_B, 100, 1),
+            self._slice(NalType.SLICE_B, 200, 2),
+        ]
+        kept = selector.filter_units(units)
+        assert [u.nal_type for u in kept] == [NalType.SLICE_I, NalType.SLICE_B]
+        assert kept[1].size_bytes == 200
+        assert selector.stats.deleted_units == 1
+        assert selector.stats.deleted_bytes == 100
+
+    def test_never_deletes_i_or_sps(self):
+        selector = InputSelector(SelectorConfig(enabled=True, s_th=10_000, f=1))
+        units = [
+            self._slice(NalType.SPS, 10),
+            self._slice(NalType.SLICE_I, 10),
+        ]
+        assert selector.filter_units(units) == units
+
+    def test_f_deletes_every_fth_eligible(self):
+        selector = InputSelector(SelectorConfig(enabled=True, s_th=140, f=3))
+        units = [self._slice(NalType.SLICE_B, 100, i) for i in range(9)]
+        kept = selector.filter_units(units)
+        # m = 9 eligible, m // f = 3 deleted.
+        assert len(kept) == 6
+        assert selector.stats.deleted_units == 3
+
+    def test_threshold_is_inclusive(self):
+        selector = InputSelector(SelectorConfig(enabled=True, s_th=140, f=1))
+        kept = selector.filter_units([self._slice(NalType.SLICE_P, 140)])
+        assert kept == []
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SelectorConfig(s_th=-1)
+        with pytest.raises(ValueError):
+            SelectorConfig(f=0)
+
+    def test_bytes_scanned_counts_everything(self):
+        selector = InputSelector(SelectorConfig(enabled=True))
+        units = [self._slice(NalType.SLICE_I, 123), self._slice(NalType.SLICE_B, 77, 1)]
+        selector.filter_units(units)
+        assert selector.stats.bytes_scanned == 200
+
+
+class TestBufferPump:
+    @given(st.binary(max_size=2000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_delivers_exactly_input(self, data):
+        delivered, stats = pump_through_buffers(
+            data, PreStoreBuffer(), CircularBuffer()
+        )
+        assert delivered == data
+        assert stats.bytes_delivered == len(data)
+
+    def test_word_accounting(self):
+        data = bytes(100)
+        _, stats = pump_through_buffers(data, PreStoreBuffer(), CircularBuffer())
+        assert stats.words_to_circular == 50
+
+    def test_handshake_with_tiny_buffers(self):
+        data = bytes(range(256))
+        delivered, _ = pump_through_buffers(data, PreStoreBuffer(4), CircularBuffer(2))
+        assert delivered == data
+
+    def test_empty_payload(self):
+        delivered, stats = pump_through_buffers(b"", PreStoreBuffer(), CircularBuffer())
+        assert delivered == b""
+        assert stats.words_to_circular == 0

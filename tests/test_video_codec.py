@@ -1,0 +1,217 @@
+"""Integration tests: encoder + decoder end to end."""
+
+import numpy as np
+import pytest
+
+from repro.video.buffers import SelectorConfig
+from repro.video.decoder import Decoder, DecoderConfig
+from repro.video.encoder import (
+    Encoder,
+    EncoderConfig,
+    gop_decode_order,
+    gop_display_types,
+)
+from repro.video.frames import Frame, FrameType, synthetic_video
+from repro.video.nal import NalType, split_nal_units
+from repro.video.quality import blockiness, psnr, sequence_psnr
+
+
+class TestGopStructure:
+    def test_display_types_pattern(self):
+        types = gop_display_types(7, use_b_frames=True)
+        assert types == [
+            FrameType.I, FrameType.B, FrameType.P, FrameType.B,
+            FrameType.P, FrameType.B, FrameType.P,
+        ]
+
+    def test_no_b_frames(self):
+        types = gop_display_types(4, use_b_frames=False)
+        assert types == [FrameType.I] + [FrameType.P] * 3
+
+    def test_single_frame_gop(self):
+        assert gop_display_types(1, True) == [FrameType.I]
+
+    def test_decode_order_anchors_before_b(self):
+        types = gop_display_types(5, True)  # I B P B P
+        order = gop_decode_order(types)
+        assert order == [0, 2, 1, 4, 3]
+
+    def test_decode_order_is_permutation(self):
+        for n in range(1, 13):
+            types = gop_display_types(n, True)
+            order = gop_decode_order(types)
+            assert sorted(order) == list(range(n))
+
+
+class TestFrames:
+    def test_blank_frame(self):
+        frame = Frame.blank(32, 48)
+        assert frame.y.shape == (32, 48)
+        assert frame.u.shape == (16, 24)
+
+    def test_rejects_non_macroblock_dims(self):
+        with pytest.raises(ValueError):
+            Frame.blank(30, 48)
+
+    def test_rejects_wrong_chroma(self):
+        y = np.zeros((32, 32), dtype=np.uint8)
+        c = np.zeros((8, 8), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            Frame(y, c, c)
+
+    def test_synthetic_video_deterministic(self):
+        a = synthetic_video(3, 32, 32, seed=5)
+        b = synthetic_video(3, 32, 32, seed=5)
+        assert all(np.array_equal(x.y, y.y) for x, y in zip(a, b))
+
+    def test_motion_profile_freezes_scene(self):
+        frames = synthetic_video(
+            4, 32, 32, seed=0, motion_profile=np.zeros(4)
+        )
+        assert np.array_equal(frames[0].y, frames[3].y)
+
+    def test_motion_profile_length_checked(self):
+        with pytest.raises(ValueError):
+            synthetic_video(4, 32, 32, motion_profile=np.ones(3))
+
+
+class TestRoundtrip:
+    def test_stream_structure(self, tiny_stream):
+        units = split_nal_units(tiny_stream)
+        assert units[0].nal_type == NalType.SPS
+        types = [u.nal_type for u in units[1:]]
+        assert types[0] == NalType.SLICE_I
+        assert NalType.SLICE_P in types
+        assert NalType.SLICE_B in types
+
+    def test_decode_reconstructs_all_frames(self, tiny_clip, tiny_stream):
+        out = Decoder().decode(tiny_stream)
+        assert len(out.frames) == len(tiny_clip)
+        assert out.concealed_indices == []
+        assert out.counters.frames_decoded == len(tiny_clip)
+
+    def test_decode_quality_reasonable(self, tiny_clip, tiny_stream):
+        out = Decoder().decode(tiny_stream)
+        assert sequence_psnr(tiny_clip, out.frames) > 22.0
+
+    def test_i_only_quality_beats_low_qp(self):
+        frames = synthetic_video(2, 32, 32, seed=2)
+        hi = Encoder(EncoderConfig(gop_size=1, qp_i=12)).encode(frames)
+        lo = Encoder(EncoderConfig(gop_size=1, qp_i=40)).encode(frames)
+        psnr_hi = sequence_psnr(frames, Decoder().decode(hi).frames)
+        psnr_lo = sequence_psnr(frames, Decoder().decode(lo).frames)
+        assert psnr_hi > psnr_lo
+        assert len(hi) > len(lo)
+
+    def test_b_frames_smaller_than_p(self, tiny_stream):
+        """Bi-prediction plus the higher B QP must shrink B NAL units."""
+        units = split_nal_units(tiny_stream)
+        p_sizes = [u.size_bytes for u in units if u.nal_type == NalType.SLICE_P]
+        b_sizes = [u.size_bytes for u in units if u.nal_type == NalType.SLICE_B]
+        assert np.mean(b_sizes) < np.mean(p_sizes)
+
+    def test_decoder_counters_populated(self, tiny_clip, tiny_stream):
+        counters = Decoder().decode(tiny_stream).counters
+        assert counters.bits_parsed > 0
+        assert counters.mbs_intra > 0
+        assert counters.mbs_inter > 0
+        assert counters.mbs_bi > 0
+        assert counters.blocks_nonzero > 0
+        assert counters.df_edges > 0
+        assert counters.buffer_words > 0
+
+    def test_multi_gop(self):
+        frames = synthetic_video(10, 32, 32, seed=3)
+        stream = Encoder(EncoderConfig(gop_size=4)).encode(frames)
+        units = split_nal_units(stream)
+        i_count = sum(1 for u in units if u.nal_type == NalType.SLICE_I)
+        assert i_count == 3
+        out = Decoder().decode(stream)
+        assert len(out.frames) == 10
+        assert sequence_psnr(frames, out.frames) > 20.0
+
+    def test_dimension_mismatch_rejected(self):
+        frames = synthetic_video(2, 32, 32) + synthetic_video(1, 48, 48)
+        with pytest.raises(ValueError):
+            Encoder().encode(frames)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            Encoder().encode([])
+
+
+class TestDeblockKnob:
+    def test_df_off_increases_blockiness(self, clip_12, stream_12):
+        on = Decoder(DecoderConfig(deblock_enabled=True)).decode(stream_12)
+        off = Decoder(DecoderConfig(deblock_enabled=False)).decode(stream_12)
+        assert off.counters.df_edges == 0
+        on_blk = np.mean([blockiness(f) for f in on.frames])
+        off_blk = np.mean([blockiness(f) for f in off.frames])
+        assert off_blk > on_blk
+
+    def test_df_off_still_decodes_all_frames(self, clip_12, stream_12):
+        off = Decoder(DecoderConfig(deblock_enabled=False)).decode(stream_12)
+        assert len(off.frames) == len(clip_12)
+        assert sequence_psnr(clip_12, off.frames) > 20.0
+
+
+class TestDeletionKnob:
+    def test_deletion_conceals_frames(self, clip_12, stream_12):
+        config = DecoderConfig(selector=SelectorConfig(enabled=True, s_th=10_000, f=1))
+        out = Decoder(config).decode(stream_12)
+        # Everything but the I frame was deleted, so frames are concealed.
+        assert out.counters.selector_units_deleted > 0
+        assert len(out.concealed_indices) == out.counters.selector_units_deleted
+        assert len(out.frames) == len(clip_12)
+
+    def test_concealment_repeats_previous_frame(self, clip_12, stream_12):
+        config = DecoderConfig(selector=SelectorConfig(enabled=True, s_th=10_000, f=1))
+        out = Decoder(config).decode(stream_12)
+        first_concealed = out.concealed_indices[0]
+        assert first_concealed > 0
+        assert np.array_equal(
+            out.frames[first_concealed].y, out.frames[first_concealed - 1].y
+        )
+
+    def test_deletion_reduces_activity_and_quality(self, clip_12, stream_12):
+        plain = Decoder().decode(stream_12)
+        config = DecoderConfig(selector=SelectorConfig(enabled=True, s_th=10_000, f=1))
+        deleted = Decoder(config).decode(stream_12)
+        assert deleted.counters.blocks_total < plain.counters.blocks_total
+        assert deleted.counters.bits_parsed < plain.counters.bits_parsed
+        assert sequence_psnr(clip_12, deleted.frames) <= sequence_psnr(
+            clip_12, plain.frames
+        )
+
+    def test_i_frames_always_survive(self, stream_12):
+        config = DecoderConfig(selector=SelectorConfig(enabled=True, s_th=10**6, f=1))
+        out = Decoder(config).decode(stream_12)
+        assert out.counters.mbs_intra > 0
+        assert 0 not in out.concealed_indices
+
+
+class TestQualityMetrics:
+    def test_psnr_identical_is_infinite(self):
+        frame = Frame.blank(16, 16)
+        assert psnr(frame, frame) == float("inf")
+
+    def test_psnr_decreases_with_noise(self):
+        rng = np.random.default_rng(0)
+        base = rng.integers(0, 256, (16, 16)).astype(np.uint8)
+        small = np.clip(base + rng.integers(-2, 3, base.shape), 0, 255).astype(np.uint8)
+        large = np.clip(base + rng.integers(-40, 41, base.shape), 0, 255).astype(np.uint8)
+        assert psnr(base, small) > psnr(base, large)
+
+    def test_psnr_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((8, 8)), np.zeros((8, 16)))
+
+    def test_sequence_psnr_validates(self):
+        with pytest.raises(ValueError):
+            sequence_psnr([], [])
+
+    def test_blockiness_detects_grid(self):
+        smooth = np.full((32, 32), 100, dtype=np.uint8)
+        blocky = smooth.copy()
+        blocky[:, 4::8] = 110
+        assert blockiness(blocky) > blockiness(smooth)

@@ -1,0 +1,182 @@
+"""Tests for SSIM, rate control, and decoder robustness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video import (
+    DecodeError,
+    Decoder,
+    Encoder,
+    EncoderConfig,
+    RateController,
+    synthetic_video,
+)
+from repro.video.frames import Frame
+from repro.video.quality import ssim
+from repro.video.ratecontrol import clamp_qp
+
+
+class TestSsim:
+    def test_identical_is_one(self):
+        frame = synthetic_video(1, 32, 32, seed=0)[0]
+        assert ssim(frame, frame) == pytest.approx(1.0)
+
+    def test_degrades_with_noise(self):
+        rng = np.random.default_rng(0)
+        base = rng.integers(0, 256, (32, 32)).astype(np.uint8)
+        small = np.clip(base + rng.integers(-5, 6, base.shape), 0, 255).astype(np.uint8)
+        large = np.clip(base + rng.integers(-60, 61, base.shape), 0, 255).astype(np.uint8)
+        assert ssim(base, small) > ssim(base, large)
+
+    def test_range(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 256, (32, 32)).astype(np.uint8)
+        b = rng.integers(0, 256, (32, 32)).astype(np.uint8)
+        value = ssim(a, b)
+        assert -1.0 <= value <= 1.0
+
+    def test_structure_sensitivity(self):
+        """SSIM penalizes structural change more than uniform shift."""
+        base = np.tile(np.arange(0, 256, 8, dtype=np.uint8), (32, 1))
+        shifted = np.clip(base.astype(int) + 10, 0, 255).astype(np.uint8)
+        scrambled = base.copy()
+        rng = np.random.default_rng(2)
+        rng.shuffle(scrambled.reshape(-1))
+        assert ssim(base, shifted) > ssim(base, scrambled)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((8, 8)), np.zeros((8, 16)))
+        with pytest.raises(ValueError):
+            ssim(np.zeros((8, 8)), np.zeros((8, 8)), window=1)
+        with pytest.raises(ValueError):
+            ssim(np.zeros((4, 4)), np.zeros((4, 4)), window=8)
+
+
+class TestRateController:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateController(target_bytes_per_frame=0.0)
+        with pytest.raises(ValueError):
+            RateController(100.0, buffer_frames=0.0)
+        controller = RateController(100.0)
+        with pytest.raises(ValueError):
+            controller.update(-1)
+
+    def test_oversized_frames_raise_qp(self):
+        controller = RateController(100.0)
+        for _ in range(5):
+            controller.update(300)
+        assert controller.qp_offset() > 0
+
+    def test_undersized_frames_lower_qp(self):
+        controller = RateController(100.0)
+        for _ in range(5):
+            controller.update(20)
+        assert controller.qp_offset() < 0
+
+    def test_offset_clamped(self):
+        controller = RateController(10.0, gain=100.0, max_offset=6)
+        for _ in range(20):
+            controller.update(10_000)
+        assert controller.qp_offset() == 6
+
+    def test_clamp_qp(self):
+        assert clamp_qp(-3) == 0
+        assert clamp_qp(70) == 51
+        assert clamp_qp(26) == 26
+
+    def test_controller_steers_encoder_toward_target(self):
+        frames = synthetic_video(18, 48, 48, seed=2)
+        config = EncoderConfig(gop_size=6, qp_i=18, qp_p=20, qp_b=22)
+        uncontrolled = Encoder(config).encode(frames)
+        mean_uncontrolled = len(uncontrolled) / len(frames)
+        target = 0.6 * mean_uncontrolled
+        controller = RateController(target_bytes_per_frame=target)
+        controlled = Encoder(config, rate_controller=controller).encode(frames)
+        mean_controlled = len(controlled) / len(frames)
+        # The controller must move the realized rate at least halfway
+        # from the uncontrolled rate toward the target.
+        assert mean_controlled < (mean_uncontrolled + target) / 2 + 1.0
+
+    def test_controlled_stream_decodes(self):
+        frames = synthetic_video(12, 32, 32, seed=3)
+        controller = RateController(target_bytes_per_frame=60.0)
+        stream = Encoder(
+            EncoderConfig(gop_size=6), rate_controller=controller
+        ).encode(frames)
+        out = Decoder().decode(stream)
+        assert len(out.frames) == 12
+
+
+class TestDecoderRobustness:
+    def test_random_bytes_raise_decode_error_or_decode(self):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            blob = b"\x00\x00\x01" + bytes(
+                rng.integers(0, 256, 180, dtype=np.uint8)
+            )
+            try:
+                Decoder().decode(blob)
+            except DecodeError:
+                pass  # clean, typed failure is the contract
+
+    @given(st.binary(max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_property_arbitrary_bytes_never_crash_untyped(self, blob):
+        try:
+            Decoder().decode(blob)
+        except DecodeError:
+            pass
+
+    def test_truncated_valid_stream(self, stream_12):
+        truncated = stream_12[: len(stream_12) // 2]
+        try:
+            out = Decoder().decode(truncated)
+            # If it decodes, it decodes fewer frames than the original.
+            assert out.counters.frames_decoded < 12
+        except DecodeError:
+            pass
+
+    def test_corrupted_payload_byte(self, stream_12):
+        corrupted = bytearray(stream_12)
+        corrupted[len(corrupted) // 2] ^= 0xFF
+        try:
+            Decoder().decode(bytes(corrupted))
+        except DecodeError:
+            pass
+
+    def test_implausible_sps_rejected(self):
+        from repro.video.bitstream import BitWriter
+        from repro.video.nal import NalType, NalUnit, pack_nal_units
+
+        sps = BitWriter()
+        sps.write_ue(1 << 20)  # absurd width
+        sps.write_ue(64)
+        sps.write_ue(12)
+        sps.write_ue(10)
+        stream = pack_nal_units([NalUnit(NalType.SPS, 0, sps.to_bytes())])
+        with pytest.raises(DecodeError):
+            Decoder().decode(stream)
+
+    def test_slice_before_sps_rejected(self):
+        from repro.video.nal import NalType, NalUnit, pack_nal_units
+
+        stream = pack_nal_units([NalUnit(NalType.SLICE_I, 0, b"\x80")])
+        with pytest.raises(DecodeError):
+            Decoder().decode(stream)
+
+    def test_misaligned_dimensions_rejected(self):
+        from repro.video.bitstream import BitWriter
+        from repro.video.nal import NalType, NalUnit, pack_nal_units
+
+        sps = BitWriter()
+        sps.write_ue(50)  # not macroblock aligned
+        sps.write_ue(64)
+        sps.write_ue(12)
+        sps.write_ue(1)
+        stream = pack_nal_units([NalUnit(NalType.SPS, 0, sps.to_bytes())])
+        with pytest.raises(DecodeError):
+            Decoder().decode(stream)

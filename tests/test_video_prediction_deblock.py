@@ -1,0 +1,145 @@
+"""Tests for intra/inter prediction and the deblocking filter."""
+
+import numpy as np
+import pytest
+
+from repro.video.deblocking import boundary_strength, deblock_frame
+from repro.video.prediction import (
+    INTRA_DC,
+    INTRA_HORIZONTAL,
+    INTRA_VERTICAL,
+    best_intra_mode,
+    intra_predict_4x4,
+    motion_compensate,
+    motion_search,
+)
+
+
+class TestIntraPrediction:
+    def _plane(self):
+        plane = np.zeros((16, 16), dtype=np.int64)
+        plane[3, 4:8] = [10, 20, 30, 40]   # row above block at (4, 4)
+        plane[4:8, 3] = [50, 60, 70, 80]   # column left of it
+        return plane
+
+    def test_vertical_replicates_row_above(self):
+        pred = intra_predict_4x4(self._plane(), 4, 4, INTRA_VERTICAL)
+        assert np.array_equal(pred, np.tile([10, 20, 30, 40], (4, 1)))
+
+    def test_horizontal_replicates_left_column(self):
+        pred = intra_predict_4x4(self._plane(), 4, 4, INTRA_HORIZONTAL)
+        assert np.array_equal(pred, np.tile([[50], [60], [70], [80]], (1, 4)))
+
+    def test_dc_averages_both(self):
+        pred = intra_predict_4x4(self._plane(), 4, 4, INTRA_DC)
+        expected = round((10 + 20 + 30 + 40 + 50 + 60 + 70 + 80) / 8)
+        assert np.all(pred == expected)
+
+    def test_border_fallback_128(self):
+        plane = np.zeros((8, 8), dtype=np.int64)
+        assert np.all(intra_predict_4x4(plane, 0, 0, INTRA_VERTICAL) == 128)
+        assert np.all(intra_predict_4x4(plane, 0, 0, INTRA_HORIZONTAL) == 128)
+        assert np.all(intra_predict_4x4(plane, 0, 0, INTRA_DC) == 128)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            intra_predict_4x4(np.zeros((8, 8), dtype=np.int64), 0, 0, 9)
+
+    def test_best_mode_picks_minimum_sad(self):
+        plane = self._plane()
+        block = np.tile([10, 20, 30, 40], (4, 1))  # exactly vertical
+        mode, pred = best_intra_mode(plane, block, 4, 4)
+        assert mode == INTRA_VERTICAL
+        assert np.array_equal(pred, block)
+
+
+class TestMotion:
+    def test_search_finds_known_shift(self):
+        rng = np.random.default_rng(0)
+        ref = rng.integers(0, 256, (64, 64)).astype(np.int64)
+        target = np.zeros_like(ref)
+        # The block at (16, 16) in the target equals ref shifted by (2, -3).
+        target[16:32, 16:32] = ref[18:34, 13:29]
+        mv = motion_search(ref, target, 16, 16, size=16, search_range=4)
+        assert mv == (2, -3)
+
+    def test_zero_motion_for_identical(self):
+        rng = np.random.default_rng(1)
+        ref = rng.integers(0, 256, (32, 32)).astype(np.int64)
+        assert motion_search(ref, ref, 16, 16, size=16) == (0, 0)
+
+    def test_compensate_matches_search(self):
+        rng = np.random.default_rng(2)
+        ref = rng.integers(0, 256, (64, 64)).astype(np.int64)
+        block = motion_compensate(ref, 16, 16, (2, -3), size=16)
+        assert np.array_equal(block, ref[18:34, 13:29])
+
+    def test_compensate_clamps_at_border(self):
+        ref = np.arange(64).reshape(8, 8).astype(np.int64)
+        block = motion_compensate(ref, 0, 0, (-5, -5), size=4)
+        assert np.array_equal(block, ref[0:4, 0:4])
+
+
+class TestBoundaryStrength:
+    def test_intra_is_two(self):
+        assert boundary_strength(True, False, False, False, (0, 0), (0, 0)) == 2
+
+    def test_coded_is_one(self):
+        assert boundary_strength(False, False, True, False, (0, 0), (0, 0)) == 1
+
+    def test_mv_difference_is_one(self):
+        assert boundary_strength(False, False, False, False, (0, 0), (1, 0)) == 1
+
+    def test_quiet_edge_is_zero(self):
+        assert boundary_strength(False, False, False, False, (2, 2), (2, 2)) == 0
+
+
+class TestDeblockFrame:
+    def _blocky_plane(self):
+        plane = np.full((16, 16), 100, dtype=np.uint8)
+        plane[:, 8:] = 110  # artificial blocking edge at column 8
+        return plane
+
+    def _strengths(self, shape, value=2):
+        brows, bcols = shape[0] // 4, shape[1] // 4
+        return (
+            np.full((brows, bcols - 1), value, dtype=np.int64),
+            np.full((brows - 1, bcols), value, dtype=np.int64),
+        )
+
+    def test_smooths_block_edge(self):
+        plane = self._blocky_plane()
+        bs_v, bs_h = self._strengths(plane.shape)
+        filtered, edges = deblock_frame(plane, bs_v, bs_h, qp=30)
+        before = abs(int(plane[4, 8]) - int(plane[4, 7]))
+        after = abs(int(filtered[4, 8]) - int(filtered[4, 7]))
+        assert after < before
+        assert edges > 0
+
+    def test_zero_strength_is_identity(self):
+        plane = self._blocky_plane()
+        bs_v, bs_h = self._strengths(plane.shape, value=0)
+        filtered, edges = deblock_frame(plane, bs_v, bs_h, qp=30)
+        assert np.array_equal(filtered, plane)
+        assert edges == 0
+
+    def test_preserves_strong_real_edges(self):
+        plane = np.full((16, 16), 20, dtype=np.uint8)
+        plane[:, 8:] = 220  # genuine content edge, |p0 - q0| >= alpha
+        bs_v, bs_h = self._strengths(plane.shape)
+        filtered, _ = deblock_frame(plane, bs_v, bs_h, qp=10)
+        assert np.array_equal(filtered, plane)
+
+    def test_shape_validation(self):
+        plane = self._blocky_plane()
+        bs_v, bs_h = self._strengths(plane.shape)
+        with pytest.raises(ValueError):
+            deblock_frame(plane, bs_v[:, :-1], bs_h, qp=30)
+        with pytest.raises(ValueError):
+            deblock_frame(plane, bs_v, bs_h, qp=99)
+
+    def test_output_dtype_uint8(self):
+        plane = self._blocky_plane()
+        bs_v, bs_h = self._strengths(plane.shape)
+        filtered, _ = deblock_frame(plane, bs_v, bs_h, qp=30)
+        assert filtered.dtype == np.uint8

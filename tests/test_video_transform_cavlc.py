@@ -1,0 +1,138 @@
+"""Tests for the 4x4 transform/quantization and CAVLC-style coding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.video.bitstream import BitReader, BitWriter
+from repro.video.cavlc import (
+    ZIGZAG,
+    decode_block,
+    encode_block,
+    inverse_zigzag,
+    zigzag_scan,
+)
+from repro.video.transform import (
+    CF,
+    dequantize_and_inverse,
+    dequantize_block,
+    forward_transform_4x4,
+    inverse_transform_4x4,
+    quantize_block,
+    transform_and_quantize,
+)
+
+_blocks = hnp.arrays(np.int64, (4, 4), elements=st.integers(-255, 255))
+
+
+class TestTransform:
+    def test_forward_rows_orthogonal(self):
+        gram = CF @ CF.T
+        assert np.array_equal(np.diag(np.diag(gram)), gram)
+        assert np.diag(gram).tolist() == [4, 10, 4, 10]
+
+    def test_dc_block(self):
+        block = np.full((4, 4), 7)
+        coeffs = forward_transform_4x4(block)
+        assert coeffs[0, 0] == 16 * 7
+        assert np.count_nonzero(coeffs) == 1
+
+    def test_qp0_near_lossless(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            block = rng.integers(-100, 100, (4, 4))
+            rec = dequantize_and_inverse(transform_and_quantize(block, 0), 0)
+            assert np.abs(rec - block).max() <= 6
+
+    @given(_blocks, st.integers(0, 51))
+    @settings(max_examples=80, deadline=None)
+    def test_property_error_bounded_by_qstep(self, block, qp):
+        rec = dequantize_and_inverse(transform_and_quantize(block, qp), qp)
+        qstep = 0.625 * 2 ** (qp / 6.0)
+        # Worst case: each coefficient's deadzone rounding is off by up to
+        # 2/3 of a step and the inverse transform accumulates them with
+        # column-abs-sum 5 per axis -> 25 * (2/3) * qstep, plus the +-0.5
+        # rounding of the final >> 6.
+        assert np.abs(rec - block).max() <= 25.0 / 1.5 * qstep + 8.0
+
+    @given(st.integers(0, 45))
+    @settings(max_examples=20, deadline=None)
+    def test_property_coarser_qp_never_more_levels(self, qp):
+        block = np.random.default_rng(7).integers(-120, 120, (4, 4))
+        fine = np.abs(transform_and_quantize(block, qp)).sum()
+        coarse = np.abs(transform_and_quantize(block, qp + 6)).sum()
+        assert coarse <= fine
+
+    def test_invalid_qp(self):
+        block = np.zeros((4, 4), dtype=np.int64)
+        with pytest.raises(ValueError):
+            quantize_block(block, 52)
+        with pytest.raises(ValueError):
+            dequantize_block(block, -1)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            forward_transform_4x4(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            inverse_transform_4x4(np.zeros((4, 5)))
+
+    def test_zero_block_stays_zero(self):
+        zero = np.zeros((4, 4), dtype=np.int64)
+        assert np.all(transform_and_quantize(zero, 30) == 0)
+        assert np.all(dequantize_and_inverse(zero, 30) == 0)
+
+
+class TestZigzag:
+    def test_permutation(self):
+        assert sorted(ZIGZAG.tolist()) == list(range(16))
+
+    def test_roundtrip(self):
+        block = np.arange(16).reshape(4, 4)
+        assert np.array_equal(inverse_zigzag(zigzag_scan(block)), block)
+
+    def test_low_frequency_first(self):
+        block = np.zeros((4, 4), dtype=np.int64)
+        block[0, 0] = 9
+        scanned = zigzag_scan(block)
+        assert scanned[0] == 9
+        assert np.all(scanned[1:] == 0)
+
+
+class TestCavlc:
+    @given(_blocks)
+    @settings(max_examples=100, deadline=None)
+    def test_property_block_roundtrip(self, block):
+        w = BitWriter()
+        encode_block(w, block)
+        r = BitReader(w.to_bytes())
+        assert np.array_equal(decode_block(r), block)
+
+    def test_empty_block_is_one_codeword(self):
+        w = BitWriter()
+        encode_block(w, np.zeros((4, 4), dtype=np.int64))
+        assert len(w) == 1  # ue(0) == "1"
+
+    def test_busier_blocks_cost_more_bits(self):
+        sparse = np.zeros((4, 4), dtype=np.int64)
+        sparse[0, 0] = 3
+        dense = np.full((4, 4), 3, dtype=np.int64)
+        w1, w2 = BitWriter(), BitWriter()
+        encode_block(w1, sparse)
+        encode_block(w2, dense)
+        assert len(w2) > len(w1)
+
+    def test_corrupt_count_rejected(self):
+        w = BitWriter()
+        w.write_ue(17)
+        with pytest.raises(ValueError):
+            decode_block(BitReader(w.to_bytes()))
+
+    def test_corrupt_run_rejected(self):
+        w = BitWriter()
+        w.write_ue(1)   # one coefficient
+        w.write_ue(16)  # run past the end
+        w.write_se(1)
+        with pytest.raises(ValueError):
+            decode_block(BitReader(w.to_bytes()))
