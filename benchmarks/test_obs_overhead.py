@@ -1,0 +1,84 @@
+"""Observability benchmark: metrics snapshot + instrumentation overhead.
+
+Runs the canned end-to-end workload (the same one behind ``repro stats``)
+with the registry enabled and disabled, measures the instrumentation
+overhead, and writes ``BENCH_obs.json`` at the repo root — the first
+point of the perf trajectory every future optimisation PR compares
+against.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from benchmarks.conftest import report
+
+from repro.obs import get_registry
+from repro.obs.workload import run_canned_workload
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_obs.json"
+REPEATS = 4
+
+
+def _best_workload_time(enabled: bool) -> float:
+    """Fastest of ``REPEATS`` workload runs with the registry toggled."""
+    registry = get_registry()
+    previous = registry.enabled
+    best = float("inf")
+    try:
+        registry.enabled = enabled
+        for _ in range(REPEATS):
+            registry.reset()
+            start = time.perf_counter()
+            run_canned_workload(seed=0)
+            best = min(best, time.perf_counter() - start)
+    finally:
+        registry.enabled = previous
+    return best
+
+
+def test_obs_snapshot_and_overhead():
+    disabled_s = _best_workload_time(enabled=False)
+    enabled_s = _best_workload_time(enabled=True)
+    overhead = enabled_s / disabled_s - 1.0
+
+    # The last enabled run left a full metrics snapshot in the registry.
+    registry = get_registry()
+    snapshot = registry.snapshot()
+
+    payload = {
+        "benchmark": "obs_overhead",
+        "workload": "repro.obs.workload.run_canned_workload(seed=0)",
+        "python": platform.python_version(),
+        "repeats": REPEATS,
+        "workload_s_disabled": disabled_s,
+        "workload_s_enabled": enabled_s,
+        "overhead_fraction": overhead,
+        "metrics": snapshot,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    report(
+        "Observability overhead (canned end-to-end workload)",
+        ["registry", "best of 4 (s)"],
+        [
+            ["disabled", f"{disabled_s:.3f}"],
+            ["enabled", f"{enabled_s:.3f}"],
+            ["overhead", f"{overhead * 100:.2f}%"],
+        ],
+    )
+
+    # Default-on instrumentation must stay effectively free.
+    assert overhead < 0.05, f"instrumentation overhead {overhead:.1%} >= 5%"
+    # The snapshot must cover every layer of the stack.
+    for family in (
+        "dsp.features", "nn.", "affect.stream", "video.decoder",
+        "android.emulator",
+    ):
+        assert any(
+            key.startswith(family) for key in snapshot["counters"]
+        ), f"no {family} counters in snapshot"

@@ -17,6 +17,7 @@ from repro.nn.metrics import confusion_matrix
 from repro.nn.model import Sequential
 from repro.nn.optimizers import Adam
 from repro.nn.quantization import QuantizedModel, quantize_model
+from repro.obs import Timer
 from repro.affect.model_zoo import ModelConfig, build_model, fast_config
 
 
@@ -72,54 +73,68 @@ class AffectClassifierPipeline:
         test_fraction: float = 0.3,
     ) -> dict[str, float]:
         """Train on a stratified split; returns train/test accuracy."""
-        x_train, y_train, x_test, y_test = corpus.split(
-            test_fraction=test_fraction, seed=self.seed
-        )
-        mean = x_train.mean(axis=(0, 1), keepdims=False)
-        std = x_train.std(axis=(0, 1), keepdims=False) + 1e-8
-        x_train_n = (x_train - mean) / std
-        x_test_n = (x_test - mean) / std
-        model = build_model(
-            self.architecture,
-            input_shape=x_train.shape[1:],
-            n_classes=corpus.n_classes,
-            config=self.config,
-            seed=self.seed,
-        )
-        model.optimizer = Adam(lr, clipnorm=5.0)
-        model.fit(x_train_n, y_train, epochs=epochs, batch_size=batch_size,
-                  seed=self.seed)
-        self.classifier = TrainedClassifier(
-            model=model,
-            mean=mean,
-            std=std,
-            label_names=corpus.label_names,
-            n_frames=x_train.shape[1],
-            feature_config=corpus.feature_config,
-        )
-        self._quantized = None
-        return {
-            "train_accuracy": model.evaluate(x_train_n, y_train),
-            "test_accuracy": model.evaluate(x_test_n, y_test),
-        }
+        with Timer("affect.pipeline.train_s", span=True,
+                   attrs={"architecture": self.architecture}):
+            x_train, y_train, x_test, y_test = corpus.split(
+                test_fraction=test_fraction, seed=self.seed
+            )
+            mean = x_train.mean(axis=(0, 1), keepdims=False)
+            std = x_train.std(axis=(0, 1), keepdims=False) + 1e-8
+            x_train_n = (x_train - mean) / std
+            x_test_n = (x_test - mean) / std
+            model = build_model(
+                self.architecture,
+                input_shape=x_train.shape[1:],
+                n_classes=corpus.n_classes,
+                config=self.config,
+                seed=self.seed,
+            )
+            model.optimizer = Adam(lr, clipnorm=5.0)
+            model.fit(x_train_n, y_train, epochs=epochs, batch_size=batch_size,
+                      seed=self.seed)
+            self.classifier = TrainedClassifier(
+                model=model,
+                mean=mean,
+                std=std,
+                label_names=corpus.label_names,
+                n_frames=x_train.shape[1],
+                feature_config=corpus.feature_config,
+            )
+            self._quantized = None
+            return {
+                "train_accuracy": model.evaluate(x_train_n, y_train),
+                "test_accuracy": model.evaluate(x_test_n, y_test),
+            }
 
     def _require_trained(self) -> TrainedClassifier:
         if self.classifier is None:
             raise RuntimeError("pipeline has not been trained")
         return self.classifier
 
-    def classify_waveform(self, signal: np.ndarray) -> str:
-        """Classify one raw audio signal into an emotion-label string."""
+    def prepare_waveform(self, signal: np.ndarray) -> np.ndarray:
+        """Extract, normalize, and pad one signal to the model's frame count.
+
+        Padding happens *after* normalization, so padded frames sit at
+        zero — the training mean — instead of the out-of-distribution
+        ``(0 - mean) / std`` rows that pre-normalization zero-padding
+        would produce (the training corpora truncate to the minimum frame
+        count and never contain padded rows).
+        """
         clf = self._require_trained()
         features = extract_feature_matrix(signal, clf.feature_config)
         n = clf.n_frames
-        if features.shape[0] < n:
-            features = np.pad(features, ((0, n - features.shape[0]), (0, 0)))
-        else:
-            features = features[:n]
-        x = clf.normalize(features)[None, ...]
-        label = int(clf.model.predict(x)[0])
-        return clf.label_names[label]
+        x = clf.normalize(features[:n])
+        if x.shape[0] < n:
+            x = np.pad(x, ((0, n - x.shape[0]), (0, 0)))
+        return x
+
+    def classify_waveform(self, signal: np.ndarray) -> str:
+        """Classify one raw audio signal into an emotion-label string."""
+        with Timer("affect.pipeline.classify_s", span=True):
+            clf = self._require_trained()
+            x = self.prepare_waveform(signal)[None, ...]
+            label = int(clf.model.predict(x)[0])
+            return clf.label_names[label]
 
     def classify_features(self, x: np.ndarray) -> np.ndarray:
         """Classify a raw (unnormalized) feature batch into label indices."""

@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import Counter, deque
 from dataclasses import dataclass, field
 
+from repro.obs import get_registry
+
 
 @dataclass
 class EmotionEvent:
@@ -58,15 +60,32 @@ class EmotionStream:
         return list(self._events)
 
     def push(self, label: str, timestamp: float = 0.0) -> str | None:
-        """Feed one raw classifier label; returns the committed state."""
+        """Feed one raw classifier label; returns the committed state.
+
+        A challenger only displaces the incumbent when it *strictly*
+        out-votes it — on a tied window the incumbent state is kept
+        (hysteresis), regardless of label insertion order.
+        """
+        obs = get_registry()
+        obs.inc("affect.stream.pushes")
         self._history.append(label)
         while len(self._history) > self.window:
             self._history.popleft()
-        winner, votes = Counter(self._history).most_common(1)[0]
+        counts = Counter(self._history)
+        winner, votes = counts.most_common(1)[0]
         assert self.min_votes is not None
-        if votes >= self.min_votes and winner != self._current:
+        if (
+            winner != self._current
+            and votes >= self.min_votes
+            and votes > counts.get(self._current, 0)
+        ):
             self._current = winner
             self._events.append(EmotionEvent(timestamp=timestamp, emotion=winner))
+            obs.inc("affect.stream.commits")
+        elif self._current is not None and label != self._current:
+            # A raw label disagreeing with the committed state without
+            # changing it is exactly the flicker the stream suppresses.
+            obs.inc("affect.stream.flickers")
         return self._current
 
     def reset(self) -> None:

@@ -9,13 +9,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import get_registry
+
 
 @dataclass(frozen=True)
 class TraceEvent:
     """One traced event."""
 
     time_s: float
-    kind: str  # "cold_start" | "warm_start" | "kill" | "background"
+    kind: str  # "cold_start" | "warm_start" | "touch" | "kill" | "background"
     app: str
     detail: float = 0.0  # bytes for cold_start, 0 otherwise
 
@@ -29,6 +31,7 @@ class Tracer:
     def record(self, time_s: float, kind: str, app: str, detail: float = 0.0) -> None:
         """Append one event."""
         self.events.append(TraceEvent(time_s=time_s, kind=kind, app=app, detail=detail))
+        get_registry().inc(f"android.tracer.{kind}_events")
 
     def count(self, kind: str) -> int:
         """Number of events of one kind."""

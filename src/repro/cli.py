@@ -9,6 +9,7 @@ terminal::
     repro fig7-emulator     # emulator specification (Fig. 7 right)
     repro fig10-memory      # memory / loading-time savings (Fig. 10)
     repro fig3-models       # classifier study (Fig. 3; slow)
+    repro stats             # end-to-end workload + metrics report
 """
 
 from __future__ import annotations
@@ -137,6 +138,34 @@ def _entropy(args: argparse.Namespace) -> None:
     print(f"CAVLC saves {saving * 100:.1f}% of the bitstream")
 
 
+def _stats(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.obs import get_registry
+    from repro.obs.workload import run_canned_workload
+
+    registry = get_registry()
+    registry.reset()
+    summary = run_canned_workload(seed=args.seed)
+    if args.json or args.output:
+        report = json.dumps(
+            {"workload": summary, "metrics": registry.snapshot()},
+            indent=2, sort_keys=True,
+        )
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(report + "\n")
+            print(f"wrote metrics report to {args.output}")
+        else:
+            print(report)
+        return
+    print("== workload ==")
+    for section, values in summary.items():
+        print(f"{section}: {values}")
+    print(registry.render_text())
+
+
 def _export_trace(args: argparse.Namespace) -> None:
     from repro.core.appstudy import run_case_study
 
@@ -156,6 +185,7 @@ _COMMANDS = {
     "fig3-models": _fig3_models,
     "entropy": _entropy,
     "export-trace": _export_trace,
+    "stats": _stats,
 }
 
 
@@ -172,7 +202,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--output", type=str, default=None,
-        help="output path for export-trace",
+        help="output path for export-trace / stats",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the stats report as JSON on stdout",
     )
     args = parser.parse_args(argv)
     try:

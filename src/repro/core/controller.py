@@ -15,6 +15,7 @@ from repro.affect.stream import EmotionStream
 from repro.core.app_policy import EmotionalAppPolicy
 from repro.core.modes import DecoderMode
 from repro.core.video_policy import VideoModePolicy
+from repro.obs import get_registry
 
 
 @dataclass
@@ -27,9 +28,17 @@ class AffectDrivenSystemManager:
 
     def observe(self, raw_label: str, timestamp: float = 0.0) -> str | None:
         """Feed one raw classifier output; returns the committed state."""
+        obs = get_registry()
+        obs.inc("core.controller.observations")
+        mode_before = self.decoder_mode()
+        previous = self.stream.current
         state = self.stream.push(raw_label, timestamp)
         if state is not None and self.app_policy is not None:
             self.app_policy.set_emotion(state)
+        if state != previous:
+            obs.inc("core.controller.state_changes")
+            if self.decoder_mode() != mode_before:
+                obs.inc("core.controller.mode_changes")
         return state
 
     @property

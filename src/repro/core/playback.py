@@ -13,7 +13,7 @@ Two entry points:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.modes import DEFAULT_DELETION_PARAMS, DecoderMode, DeletionParams, decoder_config_for
 from repro.core.video_policy import VideoModePolicy

@@ -15,6 +15,7 @@ import numpy as np
 from repro.dsp.mel import mfcc
 from repro.dsp.spectral import magnitude_spectrogram
 from repro.dsp.windows import frame_signal
+from repro.obs import Timer, get_registry
 
 
 @dataclass(frozen=True)
@@ -49,6 +50,9 @@ def zero_crossing_rate(
     frames = frame_signal(signal, frame_length, hop_length)
     if frames.shape[0] == 0:
         return np.zeros(0)
+    if frames.shape[1] <= 1:
+        # Single-sample frames have no sample-to-sample transitions.
+        return np.zeros(frames.shape[0])
     signs = np.sign(frames)
     signs[signs == 0] = 1
     crossings = np.abs(np.diff(signs, axis=1)) / 2.0
@@ -124,7 +128,13 @@ def extract_feature_matrix(
 
     Columns are ``[mfcc_0..mfcc_{k-1}, zcr, rmse, pitch_hz/100, mag_mean,
     mag_std]`` — MFCCs plus zero crossing, RMS deviation, sound pitch and
-    spectral magnitude, matching Section 2.2.
+    spectral magnitude, matching Section 2.2.  When ``config.deltas`` is
+    true, ``k`` first-order MFCC delta columns (``delta_mfcc_0 ..
+    delta_mfcc_{k-1}``, see :func:`delta_features`) are appended *after*
+    ``mag_std``, giving ``config.n_features == 2k + 5`` columns in total.
+
+    Each feature stage reports its latency to the process metrics
+    registry under ``dsp.features.*`` (see :mod:`repro.obs`).
 
     Returns
     -------
@@ -132,37 +142,51 @@ def extract_feature_matrix(
     """
     if config is None:
         config = FeatureConfig()
+    obs = get_registry()
     signal = np.asarray(signal, dtype=np.float64)
-    cepstra = mfcc(
-        signal,
-        config.sample_rate,
-        n_mfcc=config.n_mfcc,
-        n_mels=config.n_mels,
-        n_fft=config.n_fft,
-        hop_length=config.hop_length,
-    )
-    zcr = zero_crossing_rate(signal, config.n_fft, config.hop_length)
-    rmse = rms_energy(signal, config.n_fft, config.hop_length)
-    pitch = pitch_track(
-        signal,
-        config.sample_rate,
-        config.n_fft,
-        config.hop_length,
-        fmin=config.pitch_fmin,
-        fmax=config.pitch_fmax,
-    )
-    mag = spectral_magnitude_stats(signal, config.n_fft, config.hop_length)
-    n = min(cepstra.shape[0], zcr.shape[0], rmse.shape[0], pitch.shape[0], mag.shape[0])
-    columns = [
-        cepstra[:n],
-        zcr[:n, None],
-        rmse[:n, None],
-        pitch[:n, None] / 100.0,
-        mag[:n],
-    ]
-    if config.deltas:
-        columns.append(delta_features(cepstra[:n]))
-    return np.concatenate(columns, axis=1)
+    with Timer("dsp.features.extract_s", span=True):
+        with Timer("dsp.features.mfcc_s"):
+            cepstra = mfcc(
+                signal,
+                config.sample_rate,
+                n_mfcc=config.n_mfcc,
+                n_mels=config.n_mels,
+                n_fft=config.n_fft,
+                hop_length=config.hop_length,
+            )
+        with Timer("dsp.features.zcr_s"):
+            zcr = zero_crossing_rate(signal, config.n_fft, config.hop_length)
+        with Timer("dsp.features.rmse_s"):
+            rmse = rms_energy(signal, config.n_fft, config.hop_length)
+        with Timer("dsp.features.pitch_s"):
+            pitch = pitch_track(
+                signal,
+                config.sample_rate,
+                config.n_fft,
+                config.hop_length,
+                fmin=config.pitch_fmin,
+                fmax=config.pitch_fmax,
+            )
+        with Timer("dsp.features.magnitude_s"):
+            mag = spectral_magnitude_stats(signal, config.n_fft, config.hop_length)
+        n = min(
+            cepstra.shape[0], zcr.shape[0], rmse.shape[0], pitch.shape[0],
+            mag.shape[0],
+        )
+        columns = [
+            cepstra[:n],
+            zcr[:n, None],
+            rmse[:n, None],
+            pitch[:n, None] / 100.0,
+            mag[:n],
+        ]
+        if config.deltas:
+            with Timer("dsp.features.deltas_s"):
+                columns.append(delta_features(cepstra[:n]))
+        matrix = np.concatenate(columns, axis=1)
+    obs.inc("dsp.features.calls")
+    obs.inc("dsp.features.frames", n)
+    return matrix
 
 
 def delta_features(features: np.ndarray) -> np.ndarray:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
 import numpy as np
@@ -10,6 +11,7 @@ from repro.nn.layers import Layer
 from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy, softmax
 from repro.nn.metrics import accuracy
 from repro.nn.optimizers import Adam, Optimizer
+from repro.obs import get_registry
 
 
 class Sequential:
@@ -124,14 +126,20 @@ class Sequential:
         rng = np.random.default_rng(seed)
         history: dict[str, list[float]] = {"loss": [], "accuracy": []}
         n = x.shape[0]
+        obs = get_registry()
         for epoch in range(epochs):
+            epoch_start = time.perf_counter()
             order = rng.permutation(n) if shuffle else np.arange(n)
             losses = []
             for start in range(0, n, batch_size):
                 idx = order[start : start + batch_size]
+                batch_start = time.perf_counter()
                 losses.append(self.train_step(x[idx], y[idx]))
+                obs.observe("nn.fit.batch_s", time.perf_counter() - batch_start)
             epoch_loss = float(np.mean(losses))
             epoch_acc = self.evaluate(x, y)
+            obs.observe("nn.fit.epoch_s", time.perf_counter() - epoch_start)
+            obs.inc("nn.fit.epochs")
             history["loss"].append(epoch_loss)
             history["accuracy"].append(epoch_acc)  # MSE when regressing
             if verbose:
@@ -149,9 +157,11 @@ class Sequential:
     def predict_values(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Raw model outputs (the regression prediction)."""
         self._check_compiled()
+        start_t = time.perf_counter()
         outputs = []
         for start in range(0, x.shape[0], batch_size):
             outputs.append(self.forward(x[start : start + batch_size]))
+        self._record_inference(x.shape[0], time.perf_counter() - start_t)
         return np.concatenate(outputs, axis=0)
 
     def predict_proba(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
@@ -159,11 +169,23 @@ class Sequential:
         self._check_compiled()
         if self.is_regression:
             raise RuntimeError("predict_proba is undefined for regression models")
+        start_t = time.perf_counter()
         outputs = []
         for start in range(0, x.shape[0], batch_size):
             logits = self.forward(x[start : start + batch_size], training=False)
             outputs.append(softmax(logits))
+        self._record_inference(x.shape[0], time.perf_counter() - start_t)
         return np.concatenate(outputs, axis=0)
+
+    @staticmethod
+    def _record_inference(n_samples: int, elapsed_s: float) -> None:
+        obs = get_registry()
+        if not obs.enabled:
+            return
+        obs.observe("nn.predict.latency_s", elapsed_s)
+        obs.inc("nn.predict.samples", n_samples)
+        if elapsed_s > 0:
+            obs.set_gauge("nn.predict.throughput_sps", n_samples / elapsed_s)
 
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Hard class labels."""

@@ -1,0 +1,40 @@
+"""Observability for the affect→management stack.
+
+The paper's pitch is a *real-time* closed loop: classifier latency,
+decoder power counters, and app-manager memory traffic are its currency.
+This package gives every layer one zero-dependency place to report those
+numbers:
+
+- :class:`MetricsRegistry` — process-wide counters, gauges, and streaming
+  histograms (p50/p95/p99 without storing samples), with JSON and text
+  export;
+- :class:`Timer` / :func:`timed` — context-manager and decorator that
+  feed latency histograms;
+- :class:`SpanEvent` — structured begin/duration records of recent
+  instrumented operations.
+
+Instrumentation is default-on but cheap: a disabled registry turns every
+``inc``/``observe``/``Timer`` into a no-op, and the enabled path is a
+dict lookup plus an integer add.  ``repro stats`` (see :mod:`repro.cli`)
+runs a canned end-to-end workload and dumps the resulting report.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.timing import SpanEvent, Timer, timed
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanEvent",
+    "Timer",
+    "get_registry",
+    "timed",
+]

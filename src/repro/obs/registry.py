@@ -1,0 +1,269 @@
+"""Process-wide metrics: counters, gauges, streaming histograms.
+
+Histograms estimate quantiles from logarithmic buckets (relative error
+bounded by the bucket base, ~3.5%) so a long-running process never stores
+individual samples.  Everything here is pure Python with no dependencies,
+and every write path short-circuits when the registry is disabled.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+from collections import deque
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.obs.timing import SpanEvent
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add ``n`` (must be >= 0) to the count."""
+        if n < 0:
+            raise ValueError("counters only increase; use a Gauge")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+
+#: Log-bucket growth factor; quantile relative error is bounded by base-1.
+_BUCKET_BASE = 1.07
+_LOG_BASE = math.log(_BUCKET_BASE)
+
+
+class Histogram:
+    """Streaming distribution summary with approximate quantiles.
+
+    Samples land in exponentially sized buckets, so memory stays O(number
+    of distinct magnitudes) while ``quantile`` stays within ~3.5% relative
+    error.  Exact count/sum/min/max are tracked alongside.  Non-positive
+    samples share one underflow bucket pinned at zero (latencies and sizes
+    are non-negative in practice).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets", "_zero")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._buckets: dict[int, int] = {}
+        self._zero = 0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self._zero += 1
+            return
+        index = math.floor(math.log(value) / _LOG_BASE)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (``q`` in [0, 1]) of all samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = self._zero
+        if cumulative >= rank:
+            return max(self.min, 0.0) if self._zero == self.count else 0.0
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if cumulative >= rank:
+                # Geometric midpoint of the bucket, clamped to the exact range.
+                estimate = _BUCKET_BASE ** (index + 0.5)
+                return min(max(estimate, self.min), self.max)
+        return self.max
+
+    def summary(self) -> dict[str, float]:
+        """Exportable summary: count, sum, min/max/mean, p50/p95/p99."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, histograms, and recent span events.
+
+    One process-wide instance (``get_registry()``) backs all built-in
+    instrumentation; independent instances can be created for tests.
+    Metric creation is thread-safe; single writes are plain float adds
+    (atomic enough under the GIL for accounting purposes).
+    """
+
+    def __init__(self, enabled: bool = True, max_spans: int = 512) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._spans: deque[SpanEvent] = deque(maxlen=max_spans)
+
+    # -- metric accessors (get-or-create) ---------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        metric = self._counters.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._counters.setdefault(name, Counter(name))
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        metric = self._gauges.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._gauges.setdefault(name, Gauge(name))
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        metric = self._histograms.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._histograms.setdefault(name, Histogram(name))
+        return metric
+
+    # -- write paths (no-ops when disabled) -------------------------------
+
+    def inc(self, name: str, n: float = 1.0) -> None:
+        """Increment counter ``name`` by ``n``."""
+        if not self.enabled:
+            return
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value``."""
+        if not self.enabled:
+            return
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name``."""
+        if not self.enabled:
+            return
+        self.histogram(name).observe(value)
+
+    def record_span(self, span: SpanEvent) -> None:
+        """Append one structured span event (bounded ring buffer)."""
+        if not self.enabled:
+            return
+        self._spans.append(span)
+
+    # -- export -----------------------------------------------------------
+
+    @property
+    def spans(self) -> list[SpanEvent]:
+        """Recent span events, oldest first."""
+        return list(self._spans)
+
+    def snapshot(self, include_spans: bool = False) -> dict:
+        """All metrics as one JSON-serializable dict."""
+        snap: dict = {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.summary() for k, h in sorted(self._histograms.items())
+            },
+        }
+        if include_spans:
+            snap["spans"] = [s.to_dict() for s in self._spans]
+        return snap
+
+    def to_json(self, indent: int = 2, include_spans: bool = False) -> str:
+        """The snapshot as a JSON string."""
+        return json.dumps(self.snapshot(include_spans=include_spans),
+                          indent=indent, sort_keys=True)
+
+    def render_text(self) -> str:
+        """Human-readable metrics report."""
+        lines: list[str] = []
+        snap = self.snapshot()
+        if snap["counters"]:
+            lines.append("== counters ==")
+            width = max(len(k) for k in snap["counters"])
+            for name, value in snap["counters"].items():
+                lines.append(f"{name:<{width}}  {value:,.0f}")
+        if snap["gauges"]:
+            lines.append("== gauges ==")
+            width = max(len(k) for k in snap["gauges"])
+            for name, value in snap["gauges"].items():
+                lines.append(f"{name:<{width}}  {value:,.4g}")
+        if snap["histograms"]:
+            lines.append("== histograms ==")
+            width = max(len(k) for k in snap["histograms"])
+            for name, h in snap["histograms"].items():
+                lines.append(
+                    f"{name:<{width}}  n={h['count']:<8,} mean={h['mean']:.6g} "
+                    f"p50={h['p50']:.6g} p95={h['p95']:.6g} "
+                    f"p99={h['p99']:.6g} max={h['max']:.6g}"
+                )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop every metric and span (names are recreated on next use)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._spans.clear()
+
+
+# Default-on; REPRO_OBS=0 (or "off"/"false") starts the process disabled.
+_GLOBAL_REGISTRY = MetricsRegistry(
+    enabled=os.environ.get("REPRO_OBS", "1").lower() not in ("0", "off", "false")
+)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry used by all built-in instrumentation."""
+    return _GLOBAL_REGISTRY

@@ -1,0 +1,105 @@
+"""Latency timing: context-manager, decorator, and span events."""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One timed operation: name, monotonic start, and duration.
+
+    ``start_s`` is a :func:`time.perf_counter` reading — meaningful for
+    ordering and deltas within a process, not wall-clock time.
+    """
+
+    name: str
+    start_s: float
+    duration_s: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+class Timer:
+    """Context manager feeding a latency histogram (seconds).
+
+    >>> with Timer("dsp.features.mfcc_s"):
+    ...     do_work()
+
+    With ``span=True`` the timing is additionally recorded as a
+    :class:`SpanEvent` in the registry's recent-span ring.  When the
+    registry is disabled the context manager does nothing at all.
+    """
+
+    __slots__ = ("name", "registry", "span", "attrs", "elapsed_s", "_start")
+
+    def __init__(
+        self,
+        name: str,
+        registry: MetricsRegistry | None = None,
+        span: bool = False,
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.registry = registry if registry is not None else get_registry()
+        self.span = span
+        self.attrs = attrs
+        self.elapsed_s: float | None = None
+        self._start = 0.0
+
+    def __enter__(self) -> Timer:
+        if self.registry.enabled:
+            self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self.registry.enabled:
+            return
+        self.elapsed_s = time.perf_counter() - self._start
+        self.registry.observe(self.name, self.elapsed_s)
+        if self.span:
+            self.registry.record_span(
+                SpanEvent(
+                    name=self.name,
+                    start_s=self._start,
+                    duration_s=self.elapsed_s,
+                    attrs=self.attrs or {},
+                )
+            )
+
+
+def timed(
+    name: str,
+    registry: MetricsRegistry | None = None,
+    span: bool = False,
+) -> Callable:
+    """Decorator recording each call's latency into histogram ``name``.
+
+    >>> @timed("affect.pipeline.train_s")
+    ... def train(...): ...
+    """
+
+    def decorate(func: Callable) -> Callable:
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            with Timer(name, registry=registry, span=span):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -1,0 +1,83 @@
+"""Canned end-to-end workload exercising every instrumented layer.
+
+``repro stats`` and the ``BENCH_obs`` benchmark both run this one
+function so their numbers describe the same work: feature extraction →
+classifier training + waveform inference → emotion stream / controller →
+video encode + decode → Android emulator replay.  Sized to finish in a
+few seconds on laptop-class hardware.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import get_registry
+
+
+def run_canned_workload(seed: int = 0) -> dict[str, object]:
+    """Run the end-to-end workload; returns a small summary of what ran.
+
+    All metrics land in the process registry (``get_registry()``); the
+    caller exports them.  Imports are deferred so ``repro.obs`` itself
+    stays dependency-free.
+    """
+    from repro.affect.pipeline import AffectClassifierPipeline
+    from repro.android.emulator import AndroidEmulator
+    from repro.android.app import build_app_catalog
+    from repro.android.monkey import MonkeyScript, WorkloadPhase
+    from repro.core.controller import AffectDrivenSystemManager
+    from repro.datasets import emovo_like
+    from repro.datasets.phone_usage import get_subject
+    from repro.datasets.speech import synthesize_utterance
+    from repro.video.decoder import Decoder
+    from repro.video.encoder import Encoder, EncoderConfig
+    from repro.video.frames import synthetic_video
+
+    # 1. Features + classifier: train a small MLP and classify one clip.
+    corpus = emovo_like(n_per_class=4, seed=seed)
+    pipeline = AffectClassifierPipeline("mlp", seed=seed)
+    accuracy = pipeline.train(corpus, epochs=3)
+    wave = synthesize_utterance("happy", actor=1, sentence=2, take=0)
+    label = pipeline.classify_waveform(wave)
+
+    # 2. Emotion stream + system manager: a flickery label sequence.
+    manager = AffectDrivenSystemManager()
+    raw_labels = ["happy", "happy", "sad", "happy", "happy",
+                  "sad", "sad", "happy", "sad", "sad", "sad"]
+    for t, raw in enumerate(raw_labels):
+        manager.observe(raw, timestamp=float(t))
+
+    # 3. Video: encode a short synthetic clip, decode it back.
+    frames = synthetic_video(8, height=32, width=48, seed=seed)
+    stream = Encoder(EncoderConfig(gop_size=4)).encode(frames)
+    decoded = Decoder().decode(stream)
+
+    # 4. Android emulator: a two-minute excited-phase monkey replay.
+    catalog = build_app_catalog(44, seed=seed)
+    events = MonkeyScript(catalog, seed=seed).generate(
+        [WorkloadPhase(get_subject(3), 120.0, "excited")]
+    )
+    result = AndroidEmulator(catalog=catalog).run(events)
+
+    registry = get_registry()
+    return {
+        "seed": seed,
+        "classifier": {
+            "architecture": pipeline.architecture,
+            "test_accuracy": accuracy["test_accuracy"],
+            "label": label,
+        },
+        "stream": {
+            "pushes": len(raw_labels),
+            "committed": manager.current_emotion,
+        },
+        "video": {
+            "stream_bytes": len(stream),
+            "frames_decoded": decoded.counters.frames_decoded,
+        },
+        "emulator": {
+            "events": len(events),
+            "cold_starts": result.cold_starts,
+            "warm_starts": result.warm_starts,
+            "kills": result.kills,
+        },
+        "metrics_enabled": registry.enabled,
+    }

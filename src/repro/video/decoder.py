@@ -27,6 +27,7 @@ from repro.video.deblocking import deblock_frame
 from repro.video.encoder import build_strength_maps
 from repro.video.entropy import EntropyCoder, ExpGolombCoder, coder_from_mode_id
 from repro.video.frames import Frame
+from repro.obs import Timer, get_registry
 from repro.video.nal import NalType, split_nal_units
 from repro.video.slice_coding import (
     MB,
@@ -102,11 +103,35 @@ class Decoder:
         Raises :class:`DecodeError` on any malformed input.
         """
         try:
-            return self._decode(stream)
+            with Timer("video.decoder.decode_s", span=True,
+                       attrs={"input_bytes": len(stream)}):
+                result = self._decode(stream)
         except DecodeError:
+            get_registry().inc("video.decoder.decode_errors")
             raise
         except (ValueError, EOFError, KeyError, IndexError) as exc:
+            get_registry().inc("video.decoder.decode_errors")
             raise DecodeError(f"corrupt bitstream: {exc}") from exc
+        self._publish_counters(result)
+        return result
+
+    @staticmethod
+    def _publish_counters(result: DecodedVideo) -> None:
+        """Mirror the per-decode activity counters into the registry."""
+        obs = get_registry()
+        if not obs.enabled:
+            return
+        c = result.counters
+        obs.inc("video.decoder.decodes")
+        obs.inc("video.decoder.frames_decoded", c.frames_decoded)
+        obs.inc("video.decoder.frames_concealed", c.frames_concealed)
+        obs.inc("video.decoder.macroblocks", c.macroblocks)
+        obs.inc("video.decoder.bits_parsed", c.bits_parsed)
+        obs.inc("video.decoder.df_edges", c.df_edges)
+        obs.inc("video.decoder.selector_units_deleted", c.selector_units_deleted)
+        obs.inc("video.decoder.selector_bytes_deleted", c.selector_bytes_deleted)
+        obs.inc("video.decoder.input_bytes", result.input_bytes)
+        obs.inc("video.decoder.decoded_bytes", result.decoded_bytes)
 
     def _decode(self, stream: bytes) -> DecodedVideo:
         counters = ActivityCounters()

@@ -1,6 +1,5 @@
 """Tests for the circumplex model and emotion stream."""
 
-import math
 
 import pytest
 from hypothesis import given, settings
@@ -108,6 +107,22 @@ class TestEmotionStream:
         for t, label in enumerate(["x", "x", "x", "y"]):
             stream.push(label, t)
         assert stream.current is None  # never reached 4 identical votes
+
+    def test_tied_vote_keeps_incumbent(self):
+        # Regression: with min_votes <= window // 2, a challenger that only
+        # *tied* the incumbent used to win on Counter insertion order.
+        stream = EmotionStream(window=4, min_votes=2)
+        for t, label in enumerate(["calm", "calm", "angry", "calm", "angry",
+                                   "calm"]):
+            stream.push(label, t)
+        # Window is [angry, calm, angry, calm] — a 2-2 tie; hysteresis
+        # must keep the committed "calm".
+        assert stream.current == "calm"
+        assert [e.emotion for e in stream.events] == ["calm"]
+        # A strict lead still switches.
+        stream.push("angry", 6)
+        stream.push("angry", 7)
+        assert stream.current == "angry"
 
     def test_reset(self):
         stream = EmotionStream(window=3)

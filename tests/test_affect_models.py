@@ -96,6 +96,27 @@ class TestPipeline:
         with pytest.raises(RuntimeError):
             pipeline.classify_features(np.zeros((1, 10, 18)))
 
+    def test_short_signal_padding_stays_in_distribution(self, trained):
+        # Regression: classify_waveform used to zero-pad the feature matrix
+        # *before* normalization, so padded frames became (0 - mean) / std
+        # spikes the model never saw during training (the corpora truncate
+        # to the minimum frame count and never pad).
+        from repro.datasets.speech import synthesize_utterance
+        from repro.dsp.features import extract_feature_matrix
+
+        pipeline, _ = trained
+        clf = pipeline.classifier
+        hop = clf.feature_config.hop_length
+        short = synthesize_utterance("happy")[: hop * (clf.n_frames // 2)]
+        n_real = extract_feature_matrix(short, clf.feature_config).shape[0]
+        assert 0 < n_real < clf.n_frames  # genuinely needs padding
+        x = pipeline.prepare_waveform(short)
+        assert x.shape == (clf.n_frames, clf.feature_config.n_features)
+        # Padded frames sit exactly at the training mean (zero after
+        # normalization) instead of out-of-distribution spikes.
+        assert np.all(x[n_real:] == 0.0)
+        assert pipeline.classify_waveform(short) in clf.label_names
+
 
 class TestSCInference:
     @pytest.fixture(scope="class")

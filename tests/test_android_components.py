@@ -1,6 +1,5 @@
 """Tests for the Android simulator components."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Tests for the emulator simulation loop, monkey workload, and services."""
 
-import numpy as np
 import pytest
 
 from repro.android.app import build_app_catalog
@@ -87,6 +86,22 @@ class TestEmulatorLoop:
         result = emulator.run(self._events([name, other, name]))
         assert result.cold_starts == 2
         assert result.warm_starts == 1
+
+    def test_repeat_launch_is_noop_touch(self, catalog_44):
+        # Regression: relaunching the app already in the foreground used to
+        # count as a warm start and charge warm_resume_s, inflating
+        # total_load_time_s for monkey scripts with repeated launches.
+        emulator = AndroidEmulator(catalog=catalog_44)
+        name = catalog_44[0].name
+        result = emulator.run(self._events([name, name, name]))
+        assert result.cold_starts == 1
+        assert result.warm_starts == 0
+        assert result.foreground_touches == 2
+        # Only the cold flash load is charged — no warm resumes.
+        assert result.total_load_time_s == emulator.flash.total_load_time_s
+        assert result.tracer.count("touch") == 2
+        assert result.tracer.count("warm_start") == 0
+        assert emulator.processes[name].state == ProcessState.FOREGROUND
 
     def test_foreground_tracking(self, catalog_44):
         emulator = AndroidEmulator(catalog=catalog_44)

@@ -1,7 +1,6 @@
 """Property-based encoder/decoder round-trip over random configurations."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,13 +2,12 @@
 
 import pytest
 
-from repro.android.app import AppSpec
 from repro.android.process import ProcessRecord
 from repro.core.affect_table import AffectTable, AppRankGenerator
 from repro.core.app_policy import EmotionalAppPolicy
 from repro.core.controller import AffectDrivenSystemManager
 from repro.core.modes import DecoderMode
-from repro.datasets.phone_usage import SUBJECTS, get_subject
+from repro.datasets.phone_usage import SUBJECTS
 
 
 class TestAffectTable:

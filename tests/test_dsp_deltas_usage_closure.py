@@ -5,7 +5,6 @@ import collections
 import numpy as np
 import pytest
 
-from repro.android.app import build_app_catalog
 from repro.android.monkey import MonkeyScript, WorkloadPhase
 from repro.datasets.phone_usage import get_subject, usage_distribution
 from repro.dsp.features import FeatureConfig, delta_features, extract_feature_matrix

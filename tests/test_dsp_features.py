@@ -38,6 +38,19 @@ class TestZeroCrossingRate:
     def test_empty(self):
         assert zero_crossing_rate(np.array([]), 512, 256).shape == (0,)
 
+    def test_single_sample_frames(self):
+        # Regression: frame_length == 1 used to divide by
+        # frames.shape[1] - 1 == 0, producing NaN/inf rates.
+        sig = np.tile([1.0, -1.0], 8)
+        zcr = zero_crossing_rate(sig, frame_length=1, hop_length=1)
+        assert zcr.shape == (sig.shape[0],)
+        assert np.all(np.isfinite(zcr))
+        # One-sample frames contain no transitions at all.
+        assert np.all(zcr == 0.0)
+
+    def test_empty_signal_single_sample_frames(self):
+        assert zero_crossing_rate(np.array([]), 1, 1).shape == (0,)
+
 
 class TestRmsEnergy:
     def test_amplitude_scaling(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hw.cmos import TECH_65NM, TechnologyProfile
+from repro.hw.cmos import TECH_65NM
 from repro.hw.power import (
     EnergyIntegrator,
     PAPER_STANDARD_SHARES,

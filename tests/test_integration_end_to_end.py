@@ -7,7 +7,6 @@ select -> decode -> power -> playback chain.
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.affect import (
@@ -135,7 +134,10 @@ class TestAppManagementChain:
         events = paper_workload(catalog, seed=2)
         emulator = AndroidEmulator(catalog=catalog)
         result = emulator.run(events)
-        assert result.cold_starts + result.warm_starts == len(events)
+        launches = (
+            result.cold_starts + result.warm_starts + result.foreground_touches
+        )
+        assert launches == len(events)
         assert result.tracer.count("cold_start") == result.cold_starts
         assert result.tracer.count("warm_start") == result.warm_starts
         assert result.tracer.cold_start_bytes() == result.total_loaded_bytes

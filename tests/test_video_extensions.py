@@ -13,7 +13,6 @@ from repro.video import (
     RateController,
     synthetic_video,
 )
-from repro.video.frames import Frame
 from repro.video.quality import ssim
 from repro.video.ratecontrol import clamp_qp
 
