@@ -1,0 +1,121 @@
+"""Resilience benchmark: quality + latency under graduated fault rates.
+
+Runs the chaos workload (the same one behind ``repro chaos``) at 0%, 5%
+and 20% per-kind fault rates, measures the resilience wrappers' overhead
+on the fault-free path (resilient vs bare loop), and writes
+``BENCH_resilience.json`` at the repo root — the degradation curve every
+future robustness PR compares against.
+
+The headline assertions: the resilient chain survives every rate with
+zero unhandled crashes, and the wrappers cost < 2% of loop time when no
+faults fire.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+from benchmarks.conftest import report
+
+from repro.obs import get_registry
+from repro.resilience.chaos import run_chaos_workload
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_resilience.json"
+FAULT_RATES = (0.0, 0.05, 0.2)
+REPEATS = 3
+WINDOWS = 24
+CLIPS = 3
+
+
+def _best_run(fault_rate: float, resilience: bool) -> dict[str, object]:
+    """Stats from the fastest of ``REPEATS`` identical chaos runs.
+
+    The runs are deterministic for a fixed seed, so taking the loop-time
+    minimum only de-noises the latency measurement — every other stat is
+    identical across repeats.
+    """
+    best: dict[str, object] | None = None
+    for _ in range(REPEATS):
+        get_registry().reset()
+        stats = run_chaos_workload(
+            seed=0, fault_rate=fault_rate, windows=WINDOWS, clips=CLIPS,
+            resilience=resilience,
+        )
+        if best is None or stats["loop_s"] < best["loop_s"]:
+            best = stats
+    assert best is not None
+    return best
+
+
+def test_resilience_degradation_curve_and_overhead():
+    curve = {f"{rate:.2f}": _best_run(rate, resilience=True)
+             for rate in FAULT_RATES}
+    bare = _best_run(0.0, resilience=False)
+    clean = curve["0.00"]
+    overhead = clean["loop_s"] / bare["loop_s"] - 1.0
+
+    payload = {
+        "benchmark": "resilience",
+        "workload": "repro.resilience.chaos.run_chaos_workload(seed=0)",
+        "python": platform.python_version(),
+        "repeats": REPEATS,
+        "windows": WINDOWS,
+        "clips": CLIPS,
+        "fault_rates": list(FAULT_RATES),
+        "curve": curve,
+        "bare_loop_s": bare["loop_s"],
+        "wrapper_overhead_fraction": overhead,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    rows = []
+    for key, stats in curve.items():
+        deg = stats["degradation"]
+        vid = stats["video"]
+        rows.append([
+            key,
+            stats["total_faults_injected"],
+            stats["crashes"],
+            f"{deg['dwell_fraction'] * 100:.0f}%",
+            f"{vid['frames_delivered']}/{vid['frames_expected']}",
+            f"{vid['mean_psnr_db']:.1f}",
+            f"{stats['loop_s']:.3f}",
+        ])
+    report(
+        "Resilience — degradation curve under fault injection",
+        ["rate", "faults", "crashes", "degraded", "frames", "PSNR dB", "loop s"],
+        rows,
+    )
+    report(
+        "Resilience — wrapper overhead on the fault-free path",
+        ["loop", "best of 3 (s)"],
+        [
+            ["bare", f"{bare['loop_s']:.3f}"],
+            ["resilient", f"{clean['loop_s']:.3f}"],
+            ["overhead", f"{overhead * 100:.2f}%"],
+        ],
+    )
+
+    # Survival: zero unhandled crashes at every rate, all frames delivered.
+    for key, stats in curve.items():
+        assert stats["crashes"] == 0, f"crashes at rate {key}: {stats['crashes']}"
+        vid = stats["video"]
+        assert vid["frames_delivered"] == vid["frames_expected"]
+
+    # The fault-free run must be genuinely fault-free and non-degraded
+    # past the majority-vote warmup.
+    assert clean["total_faults_injected"] == 0
+    assert clean["degradation"]["dwell_fraction"] < 0.25
+
+    # Degradation is graceful, not catastrophic: heavier faulting may cost
+    # quality (PSNR, degraded dwell) but never crashes (asserted above),
+    # and the heavy-rate run visibly exercises the machinery.
+    heavy = curve["0.20"]
+    assert heavy["total_faults_injected"] > 0
+    assert heavy["classifier"]["fallbacks"] > 0
+
+    # The wrappers must be effectively free when no faults fire.
+    assert overhead < 0.02, f"resilience wrapper overhead {overhead:.1%} >= 2%"

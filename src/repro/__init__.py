@@ -11,6 +11,9 @@ Subpackages
 - :mod:`repro.hw` — calibrated activity-based power / area models.
 - :mod:`repro.android` — Android-like app & memory management simulator.
 - :mod:`repro.core` — the paper's affect-driven management schemes.
+- :mod:`repro.obs` — process-wide metrics, timers, and span events.
+- :mod:`repro.errors` — the typed exception hierarchy.
+- :mod:`repro.resilience` — fault injection + graceful degradation.
 """
 
 __version__ = "1.0.0"
@@ -21,7 +24,10 @@ __all__ = [
     "core",
     "datasets",
     "dsp",
+    "errors",
     "hw",
     "nn",
+    "obs",
+    "resilience",
     "video",
 ]

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.datasets.corpora import Corpus
 from repro.dsp.features import FeatureConfig, extract_feature_matrix
+from repro.errors import ClassifierNotFitError
 from repro.nn.metrics import confusion_matrix
 from repro.nn.model import Sequential
 from repro.nn.optimizers import Adam
@@ -108,7 +109,7 @@ class AffectClassifierPipeline:
 
     def _require_trained(self) -> TrainedClassifier:
         if self.classifier is None:
-            raise RuntimeError("pipeline has not been trained")
+            raise ClassifierNotFitError("pipeline has not been trained")
         return self.classifier
 
     def prepare_waveform(self, signal: np.ndarray) -> np.ndarray:

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.datasets.uulmmac import SCSession
+from repro.errors import ClassifierNotFitError, TrainingDataError
 
 ENGAGEMENT_STATES: tuple[str, ...] = (
     "distracted",
@@ -76,7 +77,9 @@ class SCEngagementClassifier:
         for state in self.states:
             members = feats[window_labels == state]
             if members.shape[0] == 0:
-                raise ValueError(f"training session has no {state!r} windows")
+                raise TrainingDataError(
+                    f"training session has no {state!r} windows"
+                )
             centroids[state] = members.mean(axis=0)
         self._centroids = centroids
         return self
@@ -84,7 +87,7 @@ class SCEngagementClassifier:
     def predict(self, session: SCSession) -> tuple[np.ndarray, np.ndarray]:
         """Per-window predictions: ``(window_centers_s, state_labels)``."""
         if self._centroids is None or self._scale is None:
-            raise RuntimeError("classifier has not been fit")
+            raise ClassifierNotFitError("classifier has not been fit")
         centers, feats = sc_window_features(
             session.sc, session.sample_rate, self.window_s
         )

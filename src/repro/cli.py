@@ -10,6 +10,7 @@ terminal::
     repro fig10-memory      # memory / loading-time savings (Fig. 10)
     repro fig3-models       # classifier study (Fig. 3; slow)
     repro stats             # end-to-end workload + metrics report
+    repro chaos             # end-to-end workload under fault injection
 """
 
 from __future__ import annotations
@@ -166,6 +167,58 @@ def _stats(args: argparse.Namespace) -> None:
     print(registry.render_text())
 
 
+def _chaos(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.obs import get_registry
+    from repro.resilience.chaos import run_chaos_workload
+
+    registry = get_registry()
+    registry.reset()
+    stats = run_chaos_workload(
+        seed=args.seed, fault_rate=args.fault_rate, windows=args.windows
+    )
+    snapshot = registry.snapshot()
+    if args.json or args.output:
+        report = json.dumps(
+            {"chaos": stats, "metrics": snapshot}, indent=2, sort_keys=True
+        )
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(report + "\n")
+            print(f"wrote chaos report to {args.output}")
+        else:
+            print(report)
+    else:
+        counters = snapshot["counters"]
+        injected = {
+            k.rsplit(".", 1)[-1]: int(v)
+            for k, v in counters.items()
+            if k.startswith("resilience.faults_injected.")
+        }
+        deg = stats["degradation"]
+        vid = stats["video"]
+        clf = stats["classifier"]
+        print(f"== chaos run (seed={args.seed}, fault rate "
+              f"{args.fault_rate * 100:.0f}%) ==")
+        print(f"faults injected: {stats['total_faults_injected']} {injected}")
+        print(f"classifier: {clf['windows']} windows, "
+              f"{clf['failures']} failures, {clf['fallbacks']} fallbacks, "
+              f"breaker opened {clf['breaker_opened']}x")
+        print("degraded-mode dwell: "
+              f"{counters.get('resilience.degraded_dwell_s', 0.0):.0f} s "
+              f"({deg['dwell_fraction'] * 100:.0f}% of "
+              f"{clf['windows']} windows)")
+        print(f"video: {vid['frames_delivered']}/{vid['frames_expected']} "
+              f"frames delivered, {vid['units_corrupt']} corrupt units "
+              f"concealed, mean PSNR {vid['mean_psnr_db']:.1f} dB")
+        print(f"emulator: {stats['emulator']}")
+        print(f"unhandled crashes: {stats['crashes']}")
+    if stats["crashes"]:
+        raise SystemExit(1)
+
+
 def _export_trace(args: argparse.Namespace) -> None:
     from repro.core.appstudy import run_case_study
 
@@ -186,6 +239,7 @@ _COMMANDS = {
     "entropy": _entropy,
     "export-trace": _export_trace,
     "stats": _stats,
+    "chaos": _chaos,
 }
 
 
@@ -206,7 +260,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--json", action="store_true",
-        help="emit the stats report as JSON on stdout",
+        help="emit the stats/chaos report as JSON on stdout",
+    )
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.2,
+        help="per-kind fault probability for chaos (default 0.2)",
+    )
+    parser.add_argument(
+        "--windows", type=int, default=24,
+        help="classifier windows the chaos workload drives (default 24)",
     )
     args = parser.parse_args(argv)
     try:

@@ -5,6 +5,15 @@ through a smoothed :class:`EmotionStream`; the committed state drives both
 the video decoder mode (via :class:`VideoModePolicy`) and the emotional
 app manager (via :class:`EmotionalAppPolicy`).  This is the object an
 application embeds.
+
+Robustness (degradation ladder, see DESIGN.md §7): classifier output can
+stop arriving — sensor dropout, breaker-open, model crash.  With
+``stale_ttl_s`` set, a committed emotion that has not been refreshed by
+any observation within the TTL *decays to None*, and
+:meth:`decoder_mode` reverts to the policy fallback until fresh labels
+arrive.  Non-monotonic timestamps (clock skew, reordered sensor windows)
+are clamped to the last seen time so the :meth:`mode_changes` timeline
+stays ordered.
 """
 
 from __future__ import annotations
@@ -20,16 +29,42 @@ from repro.obs import get_registry
 
 @dataclass
 class AffectDrivenSystemManager:
-    """Routes a smoothed emotion stream into the two management policies."""
+    """Routes a smoothed emotion stream into the two management policies.
+
+    Parameters
+    ----------
+    stale_ttl_s:
+        Optional freshness horizon.  When set, :meth:`effective_emotion`
+        (and :meth:`decoder_mode` called with ``now``) report ``None``
+        once ``now`` is more than this many seconds past the last
+        observation — the committed state is considered stale and the
+        decoder falls back to ``video_policy.fallback``.
+    """
 
     video_policy: VideoModePolicy = field(default_factory=VideoModePolicy)
     app_policy: EmotionalAppPolicy | None = None
     stream: EmotionStream = field(default_factory=lambda: EmotionStream(window=5))
+    stale_ttl_s: float | None = None
+    _last_ts: float = field(default=float("-inf"), repr=False)
+    _stale: bool = field(default=False, repr=False)
 
     def observe(self, raw_label: str, timestamp: float = 0.0) -> str | None:
-        """Feed one raw classifier output; returns the committed state."""
+        """Feed one raw classifier output; returns the committed state.
+
+        A timestamp earlier than the last one seen is clamped to it (and
+        counted under ``core.controller.nonmonotonic_timestamps``) so the
+        event timeline can never run backwards.
+        """
         obs = get_registry()
         obs.inc("core.controller.observations")
+        if timestamp < self._last_ts:
+            obs.inc("core.controller.nonmonotonic_timestamps")
+            timestamp = self._last_ts
+        self._last_ts = timestamp
+        if self._stale:
+            # Fresh evidence ends the degraded dwell.
+            self._stale = False
+            obs.set_gauge("resilience.degraded", 0.0)
         mode_before = self.decoder_mode()
         previous = self.stream.current
         state = self.stream.push(raw_label, timestamp)
@@ -43,12 +78,48 @@ class AffectDrivenSystemManager:
 
     @property
     def current_emotion(self) -> str | None:
-        """The committed (smoothed) emotion state."""
+        """The committed (smoothed) emotion state, ignoring staleness."""
         return self.stream.current
 
-    def decoder_mode(self) -> DecoderMode:
-        """Decoder mode for the current committed state."""
+    @property
+    def last_observation_ts(self) -> float:
+        """Timestamp of the most recent observation (-inf before any)."""
+        return self._last_ts
+
+    def is_stale(self, now: float) -> bool:
+        """Whether the committed state has outlived ``stale_ttl_s``."""
+        if self.stale_ttl_s is None or self.stream.current is None:
+            return False
+        return now - self._last_ts > self.stale_ttl_s
+
+    def effective_emotion(self, now: float | None = None) -> str | None:
+        """The committed state, decayed to ``None`` once stale.
+
+        With ``now`` given and a TTL configured, a state that has not been
+        refreshed within the TTL reports ``None``; the transition is
+        counted (``core.controller.stale_decays``) and mirrored into the
+        ``resilience.degraded`` gauge.
+        """
         state = self.stream.current
+        if now is None or state is None:
+            return state
+        if self.is_stale(now):
+            if not self._stale:
+                self._stale = True
+                obs = get_registry()
+                obs.inc("core.controller.stale_decays")
+                obs.set_gauge("resilience.degraded", 1.0)
+            return None
+        return state
+
+    def decoder_mode(self, now: float | None = None) -> DecoderMode:
+        """Decoder mode for the current committed state.
+
+        Passing ``now`` applies the staleness TTL: a decayed state maps to
+        ``video_policy.fallback``, the safe mode the paper's decoder runs
+        when no (trustworthy) affect signal is available.
+        """
+        state = self.effective_emotion(now) if now is not None else self.stream.current
         if state is None:
             return self.video_policy.fallback
         return self.video_policy.mode_for(state)

@@ -15,6 +15,7 @@ import numpy as np
 from repro.dsp.mel import mfcc
 from repro.dsp.spectral import magnitude_spectrogram
 from repro.dsp.windows import frame_signal
+from repro.errors import SensorError
 from repro.obs import Timer, get_registry
 
 
@@ -120,9 +121,39 @@ def spectral_magnitude_stats(
     return np.stack([mag.mean(axis=1), mag.std(axis=1)], axis=1)
 
 
+def sanitize_signal(signal: np.ndarray, nonfinite: str = "sanitize") -> np.ndarray:
+    """Guard a raw waveform against non-finite samples.
+
+    Real sensor front ends drop out, rail, and glitch; NaN/Inf samples
+    would otherwise propagate silently through every feature stage (MFCC
+    log-energies turn a single NaN into an all-NaN column).  Policy:
+
+    - ``"sanitize"``: non-finite samples are replaced with 0.0 (silence)
+      and counted under ``dsp.features.nonfinite_samples``;
+    - ``"raise"``: raise :class:`~repro.errors.SensorError` so the caller
+      can retry the read or degrade.
+    """
+    if nonfinite not in ("sanitize", "raise"):
+        raise ValueError(f"unknown nonfinite policy {nonfinite!r}")
+    signal = np.asarray(signal, dtype=np.float64)
+    finite = np.isfinite(signal)
+    if finite.all():
+        return signal
+    n_bad = int(signal.size - np.count_nonzero(finite))
+    obs = get_registry()
+    obs.inc("dsp.features.nonfinite_samples", n_bad)
+    if nonfinite == "raise":
+        raise SensorError(
+            f"{n_bad} non-finite samples in input signal "
+            f"({signal.size} total)"
+        )
+    return np.where(finite, signal, 0.0)
+
+
 def extract_feature_matrix(
     signal: np.ndarray,
     config: FeatureConfig | None = None,
+    nonfinite: str = "sanitize",
 ) -> np.ndarray:
     """Assemble the paper's per-frame feature matrix.
 
@@ -143,7 +174,7 @@ def extract_feature_matrix(
     if config is None:
         config = FeatureConfig()
     obs = get_registry()
-    signal = np.asarray(signal, dtype=np.float64)
+    signal = sanitize_signal(signal, nonfinite=nonfinite)
     with Timer("dsp.features.extract_s", span=True):
         with Timer("dsp.features.mfcc_s"):
             cepstra = mfcc(

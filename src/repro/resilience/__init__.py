@@ -1,0 +1,34 @@
+"""Fault injection and graceful degradation for the affect→management chain.
+
+Edge deployments treat sensor dropout, model failure, and bitstream
+corruption as the common case.  This package provides:
+
+- :class:`FaultPlan` / :class:`FaultInjector` — seedable, composable,
+  deterministic fault injection across every layer;
+- :class:`CircuitBreaker`, :func:`retry_with_backoff`,
+  :func:`call_with_deadline`, :class:`ResilientClassifier` — the
+  degradation ladder (full → stale-TTL → breaker-open → neutral);
+- :func:`run_chaos_workload` — the end-to-end workload behind
+  ``repro chaos`` and ``BENCH_resilience.json``.
+
+See DESIGN.md §7 for the fault taxonomy and ladder semantics.
+"""
+
+from repro.resilience.chaos import run_chaos_workload
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.resilience.wrappers import (
+    CircuitBreaker,
+    ResilientClassifier,
+    call_with_deadline,
+    retry_with_backoff,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultPlan",
+    "ResilientClassifier",
+    "call_with_deadline",
+    "retry_with_backoff",
+    "run_chaos_workload",
+]

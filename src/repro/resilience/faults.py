@@ -1,0 +1,207 @@
+"""Deterministic, composable fault injection for the affect→management chain.
+
+A :class:`FaultPlan` declares per-fault-kind rates; a seeded
+:class:`FaultInjector` draws from one ``random.Random`` so a given
+``(plan, seed)`` always injects the identical fault sequence — chaos runs
+are reproducible bug reports, not dice rolls.  Every injected fault is
+counted under ``resilience.faults_injected.<kind>``.
+
+Fault taxonomy (DESIGN.md §7):
+
+====================  ====================================================
+sensor_dropout        a sensor read fails transiently (SensorError)
+sensor_nan            a NaN burst lands inside the captured window
+sensor_saturation     a burst of samples rails at full scale
+classifier_error      the model raises mid-inference (InjectedFault)
+classifier_latency    inference is delayed past its real-time budget
+nal_bitflip           random bit flips inside the encoded slice data
+nal_truncate          the tail of the bitstream is lost
+kill_storm            a burst of rapid app launches floods the emulator
+====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.errors import InjectedFault, SensorError
+from repro.obs import get_registry
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-kind fault probabilities (each in ``[0, 1]``) plus shape knobs."""
+
+    sensor_dropout: float = 0.0
+    sensor_nan: float = 0.0
+    sensor_saturation: float = 0.0
+    classifier_error: float = 0.0
+    classifier_latency: float = 0.0
+    nal_bitflip: float = 0.0
+    nal_truncate: float = 0.0
+    kill_storm: float = 0.0
+    # Shape knobs (not probabilities).
+    burst_fraction: float = 0.05    # fraction of a window a sensor burst covers
+    latency_spike_s: float = 0.25   # how late a delayed inference lands
+    max_bitflips: int = 8           # flips per corrupted stream
+    kill_storm_size: int = 8        # launches per storm burst
+
+    _RATE_FIELDS = (
+        "sensor_dropout", "sensor_nan", "sensor_saturation",
+        "classifier_error", "classifier_latency",
+        "nal_bitflip", "nal_truncate", "kill_storm",
+    )
+
+    def __post_init__(self) -> None:
+        for name in self._RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1], got {rate}")
+
+    @classmethod
+    def uniform(cls, rate: float, **overrides: float) -> "FaultPlan":
+        """Every fault kind at the same ``rate`` (the chaos CLI default)."""
+        values = {name: rate for name in cls._RATE_FIELDS}
+        values.update(overrides)
+        return cls(**values)
+
+    @property
+    def is_zero(self) -> bool:
+        """True when no fault kind can ever fire."""
+        return all(getattr(self, name) == 0.0 for name in self._RATE_FIELDS)
+
+    def describe(self) -> dict[str, float]:
+        """Rates and knobs as a flat dict (for reports)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class FaultInjector:
+    """Draws faults from a seeded RNG according to a :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan, seed: int = 0) -> None:
+        self.plan = plan
+        self._rng = random.Random(seed)
+        self.counts: dict[str, int] = {}
+
+    def _fire(self, kind: str) -> bool:
+        """One Bernoulli draw for ``kind``; counts and reports hits.
+
+        Always consumes exactly one draw so fault sequences stay aligned
+        across plans with different rates.
+        """
+        rate = getattr(self.plan, kind)
+        hit = self._rng.random() < rate
+        if hit:
+            self.counts[kind] = self.counts.get(kind, 0) + 1
+            get_registry().inc(f"resilience.faults_injected.{kind}")
+        return hit
+
+    @property
+    def total_injected(self) -> int:
+        """All faults injected so far."""
+        return sum(self.counts.values())
+
+    # -- sensor faults -----------------------------------------------------
+
+    def read_sensor(self, read: "callable") -> np.ndarray:
+        """Perform one sensor read, possibly failing transiently.
+
+        A ``sensor_dropout`` fault raises :class:`SensorError` *once*;
+        the caller's retry path re-invokes ``read`` and succeeds — the
+        transient-dropout model (loose electrode, bus contention).
+        """
+        if self._fire("sensor_dropout"):
+            raise SensorError("injected sensor dropout (transient)")
+        return read()
+
+    def corrupt_signal(self, signal: np.ndarray) -> np.ndarray:
+        """Inject NaN / saturation bursts into a copy of ``signal``."""
+        nan = self._fire("sensor_nan")
+        sat = self._fire("sensor_saturation")
+        if not (nan or sat):
+            return signal
+        out = np.array(signal, dtype=np.float64, copy=True)
+        n = out.shape[0]
+        burst = max(1, int(n * self.plan.burst_fraction))
+        if nan and n:
+            start = self._rng.randrange(max(1, n - burst))
+            out[start : start + burst] = np.nan
+        if sat and n:
+            start = self._rng.randrange(max(1, n - burst))
+            rail = float(np.max(np.abs(signal))) or 1.0
+            out[start : start + burst] = rail * 10.0
+        return out
+
+    # -- classifier faults -------------------------------------------------
+
+    def classifier_fault(self) -> float:
+        """Decide this inference's fate; returns extra latency in seconds.
+
+        Raises :class:`InjectedFault` on an error fault; returns
+        ``latency_spike_s`` on a latency fault (the caller simulates the
+        stall, e.g. by sleeping or charging its deadline), else 0.0.
+        """
+        if self._fire("classifier_error"):
+            raise InjectedFault("injected classifier exception")
+        if self._fire("classifier_latency"):
+            return self.plan.latency_spike_s
+        return 0.0
+
+    # -- bitstream faults --------------------------------------------------
+
+    def corrupt_stream(self, stream: bytes, protect_prefix: int = 0) -> bytes:
+        """Bit-flip and/or truncate an encoded NAL stream.
+
+        ``protect_prefix`` bytes at the head are left intact — the chaos
+        harness protects the SPS, modeling the out-of-band parameter-set
+        delivery real deployments use, so corruption hits slice data the
+        way transmission loss does.
+        """
+        flip = self._fire("nal_bitflip")
+        trunc = self._fire("nal_truncate")
+        if not (flip or trunc):
+            return stream
+        data = bytearray(stream)
+        lo = min(protect_prefix, len(data))
+        if flip and len(data) > lo:
+            n_flips = self._rng.randint(1, self.plan.max_bitflips)
+            for _ in range(n_flips):
+                pos = self._rng.randrange(lo, len(data))
+                data[pos] ^= 1 << self._rng.randrange(8)
+        if trunc and len(data) > lo:
+            keep = self._rng.randrange(lo, len(data))
+            del data[keep:]
+        return bytes(data)
+
+    # -- emulator faults ---------------------------------------------------
+
+    def storm_events(self, events: list, catalog: list) -> list:
+        """Inject kill-storm bursts into a monkey launch sequence.
+
+        Each burst rapid-fires ``kill_storm_size`` launches of distinct
+        apps within one second — the memory-pressure spike that forces
+        the kill policy to churn.  Returns a new, time-sorted list.
+        """
+        from repro.android.monkey import LaunchEvent
+
+        if not events:
+            return events
+        out = list(events)
+        names = [app.name for app in catalog]
+        for event in events:
+            if not self._fire("kill_storm"):
+                continue
+            for j in range(self.plan.kill_storm_size):
+                name = names[self._rng.randrange(len(names))]
+                out.append(
+                    LaunchEvent(
+                        time_s=event.time_s + (j + 1) / (self.plan.kill_storm_size + 1),
+                        app=name,
+                        emotion=event.emotion,
+                    )
+                )
+        out.sort(key=lambda e: e.time_s)
+        return out

@@ -1,0 +1,248 @@
+"""Resilient execution wrappers: circuit breaker, retry, deadline.
+
+The paper's closed loop is only *real-time* if it keeps producing
+decisions when a stage misbehaves.  These wrappers implement the standard
+edge-deployment defenses (cf. AHAR's adaptive fallback tiers):
+
+- :class:`CircuitBreaker` — stop hammering a failing classifier; fall
+  back to the last committed state, then neutral;
+- :func:`retry_with_backoff` — transient sensor reads get bounded,
+  deterministic retries;
+- :func:`call_with_deadline` — per-window inference watchdog: a result
+  that arrives after its real-time deadline is as useless as no result.
+
+All time is *caller-supplied workload time* (not wall clock), so every
+behavior is deterministic and unit-testable; only the deadline watchdog
+measures real elapsed CPU time, since latency is what it guards.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+from repro.errors import (
+    CircuitOpenError,
+    InferenceTimeoutError,
+    ReproError,
+)
+from repro.obs import get_registry
+
+T = TypeVar("T")
+
+#: Breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+class CircuitBreaker:
+    """Classic three-state circuit breaker on caller-supplied clocks.
+
+    ``failure_threshold`` consecutive failures open the circuit; calls
+    are refused until ``recovery_s`` of workload time has passed, after
+    which one probe call is allowed (half-open).  A probe success closes
+    the circuit; a probe failure re-opens it for another ``recovery_s``.
+    """
+
+    def __init__(self, failure_threshold: int = 3, recovery_s: float = 5.0) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_s < 0:
+            raise ValueError("recovery_s must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: float | None = None
+        self.times_opened = 0
+
+    def allow(self, now: float) -> bool:
+        """Whether a call may proceed at workload time ``now``."""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            assert self.opened_at is not None
+            if now - self.opened_at >= self.recovery_s:
+                self.state = HALF_OPEN
+                return True
+            return False
+        return True  # half-open: probe allowed
+
+    def record_success(self, now: float) -> None:
+        """Report a successful call."""
+        self.consecutive_failures = 0
+        if self.state != CLOSED:
+            self.state = CLOSED
+            self.opened_at = None
+            get_registry().set_gauge("resilience.breaker_open", 0.0)
+
+    def record_failure(self, now: float) -> None:
+        """Report a failed call; may trip the breaker."""
+        self.consecutive_failures += 1
+        tripped = (
+            self.state == HALF_OPEN
+            or self.consecutive_failures >= self.failure_threshold
+        )
+        if tripped and self.state != OPEN:
+            self.state = OPEN
+            self.opened_at = now
+            self.times_opened += 1
+            obs = get_registry()
+            obs.inc("resilience.breaker_opened")
+            obs.set_gauge("resilience.breaker_open", 1.0)
+        elif self.state == OPEN:
+            self.opened_at = now  # failures while open push recovery out
+
+    def call(self, fn: Callable[[], T], now: float) -> T:
+        """Run ``fn`` under the breaker at workload time ``now``.
+
+        Raises :class:`~repro.errors.CircuitOpenError` without calling
+        ``fn`` when the circuit is open.
+        """
+        if not self.allow(now):
+            get_registry().inc("resilience.breaker_rejections")
+            raise CircuitOpenError(
+                f"circuit open since t={self.opened_at:.3f}s "
+                f"({self.consecutive_failures} consecutive failures)"
+            )
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure(now)
+            raise
+        self.record_success(now)
+        return result
+
+
+def retry_with_backoff(
+    fn: Callable[[], T],
+    retries: int = 2,
+    base_delay_s: float = 0.05,
+    factor: float = 2.0,
+    exceptions: tuple[type[BaseException], ...] = (ReproError,),
+    sleep: Callable[[float], None] | None = None,
+) -> T:
+    """Call ``fn``, retrying up to ``retries`` times on ``exceptions``.
+
+    Backoff is exponential (``base_delay_s * factor**attempt``) but, per
+    the simulation-first design, no real sleeping happens unless a
+    ``sleep`` callable is supplied (a chaos harness passes one that
+    advances its virtual clock).  Retries are counted under
+    ``resilience.retries``; exhaustion re-raises the last error.
+    """
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    obs = get_registry()
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except exceptions:
+            if attempt >= retries:
+                obs.inc("resilience.retries_exhausted")
+                raise
+            obs.inc("resilience.retries")
+            if sleep is not None:
+                sleep(base_delay_s * factor**attempt)
+            attempt += 1
+
+
+def call_with_deadline(
+    fn: Callable[[], T], deadline_s: float, name: str = "inference"
+) -> T:
+    """Run ``fn`` and enforce a post-hoc real-time deadline.
+
+    Pure Python cannot preempt a running call, so the watchdog measures
+    the call and raises :class:`~repro.errors.InferenceTimeoutError`
+    *after* it returns when it overran — exactly how a real-time consumer
+    treats a late result: computed, but discarded.  Misses are counted
+    under ``resilience.deadline_missed``.
+    """
+    if deadline_s <= 0:
+        raise ValueError("deadline_s must be positive")
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    if elapsed > deadline_s:
+        obs = get_registry()
+        obs.inc("resilience.deadline_missed")
+        obs.observe("resilience.deadline_overrun_s", elapsed - deadline_s)
+        raise InferenceTimeoutError(
+            f"{name} took {elapsed * 1e3:.1f} ms "
+            f"(deadline {deadline_s * 1e3:.1f} ms)"
+        )
+    return result
+
+
+class ResilientClassifier:
+    """The full degradation ladder around a label-producing callable.
+
+    Wraps ``classify(signal) -> label`` with, outermost to innermost:
+    circuit breaker → retry-with-backoff → deadline watchdog.  On any
+    failure (breaker open, retries exhausted, deadline missed) the
+    wrapper *degrades instead of raising*: it returns the last
+    successfully committed label, or ``neutral_label`` if none exists yet
+    — the ladder's final rung.
+
+    :meth:`classify` returns ``(label, degraded)`` so callers can tell a
+    fresh prediction from a fallback (and e.g. withhold stale evidence
+    from the emotion stream).
+    """
+
+    def __init__(
+        self,
+        classify: Callable[..., str],
+        breaker: CircuitBreaker | None = None,
+        retries: int = 1,
+        deadline_s: float | None = None,
+        neutral_label: str = "neutral",
+        retry_exceptions: tuple[type[BaseException], ...] = (ReproError,),
+    ) -> None:
+        self._classify = classify
+        self.breaker = breaker or CircuitBreaker()
+        self.retries = retries
+        self.deadline_s = deadline_s
+        self.neutral_label = neutral_label
+        self.retry_exceptions = retry_exceptions
+        self.last_good: str | None = None
+        self.failures = 0
+        self.fallbacks = 0
+
+    @property
+    def fallback_label(self) -> str:
+        """What a degraded window reports: last good label, else neutral."""
+        return self.last_good if self.last_good is not None else self.neutral_label
+
+    def classify(self, *args, now: float = 0.0) -> tuple[str, bool]:
+        """Classify under the full ladder; never raises.
+
+        Returns ``(label, degraded)`` — ``degraded`` is True when the
+        label is a fallback rather than a fresh model output.
+        """
+
+        def guarded() -> str:
+            inner = lambda: self._classify(*args)  # noqa: E731
+            if self.deadline_s is not None:
+                timed = lambda: call_with_deadline(  # noqa: E731
+                    inner, self.deadline_s, name="classify"
+                )
+            else:
+                timed = inner
+            return retry_with_backoff(
+                timed, retries=self.retries, exceptions=self.retry_exceptions
+            )
+
+        obs = get_registry()
+        try:
+            label = self.breaker.call(guarded, now)
+        except CircuitOpenError:
+            self.fallbacks += 1
+            obs.inc("resilience.fallbacks")
+            return self.fallback_label, True
+        except Exception:
+            self.failures += 1
+            self.fallbacks += 1
+            obs.inc("resilience.classifier_failures")
+            obs.inc("resilience.fallbacks")
+            return self.fallback_label, True
+        self.last_good = label
+        return label, False

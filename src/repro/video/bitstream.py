@@ -7,6 +7,8 @@ round-trips them exactly.
 
 from __future__ import annotations
 
+from repro.errors import BitstreamEOFError, BitstreamError
+
 
 class BitWriter:
     """Append-only bit buffer (MSB first)."""
@@ -30,16 +32,16 @@ class BitWriter:
     def write_bits(self, value: int, n_bits: int) -> None:
         """Write the ``n_bits`` least-significant bits of ``value``."""
         if n_bits < 0:
-            raise ValueError("n_bits must be non-negative")
+            raise BitstreamError("n_bits must be non-negative")
         if value < 0 or (n_bits < value.bit_length()):
-            raise ValueError(f"value {value} does not fit in {n_bits} bits")
+            raise BitstreamError(f"value {value} does not fit in {n_bits} bits")
         for i in range(n_bits - 1, -1, -1):
             self.write_bit((value >> i) & 1)
 
     def write_ue(self, value: int) -> None:
         """Unsigned exp-Golomb."""
         if value < 0:
-            raise ValueError("ue values must be non-negative")
+            raise BitstreamError("ue values must be non-negative")
         code = value + 1
         n = code.bit_length()
         self.write_bits(0, n - 1)
@@ -75,9 +77,9 @@ class BitReader:
         return len(self._data) * 8 - self._pos
 
     def read_bit(self) -> int:
-        """Read the next bit (EOFError past the end)."""
+        """Read the next bit (:class:`BitstreamEOFError` past the end)."""
         if self._pos >= len(self._data) * 8:
-            raise EOFError("bitstream exhausted")
+            raise BitstreamEOFError("bitstream exhausted")
         byte = self._data[self._pos // 8]
         bit = (byte >> (7 - self._pos % 8)) & 1
         self._pos += 1
@@ -96,7 +98,7 @@ class BitReader:
         while self.read_bit() == 0:
             zeros += 1
             if zeros > 64:
-                raise ValueError("malformed exp-Golomb code")
+                raise BitstreamError("malformed exp-Golomb code")
         value = 1 << zeros
         value |= self.read_bits(zeros)
         return value - 1

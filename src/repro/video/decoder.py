@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import BitstreamError
 from repro.video.bitstream import BitReader
 from repro.video.buffers import (
     CircularBuffer,
@@ -39,21 +40,31 @@ from repro.video.slice_coding import (
 )
 
 
-class DecodeError(ValueError):
+class DecodeError(BitstreamError):
     """Raised when a bitstream cannot be decoded.
 
     Any malformed input — truncated NAL units, corrupt entropy codes,
     impossible syntax values — surfaces as this single exception type so
-    callers can handle bad streams uniformly.
+    callers can handle bad streams uniformly.  Part of the
+    :class:`~repro.errors.ReproError` hierarchy (and still a
+    ``ValueError`` for legacy callers).
     """
 
 
 @dataclass(frozen=True)
 class DecoderConfig:
-    """Decoder operating mode (the paper's two affect knobs)."""
+    """Decoder operating mode (the paper's two affect knobs).
+
+    ``error_concealment`` switches the decoder from strict parsing
+    (malformed input raises :class:`DecodeError`) to the H.264-style
+    concealment an edge deployment wants: corrupt or truncated NAL units
+    are skipped and counted, the display assembler repeats the last good
+    frame in their place, and :meth:`Decoder.decode` never raises.
+    """
 
     deblock_enabled: bool = True
     selector: SelectorConfig = field(default_factory=SelectorConfig)
+    error_concealment: bool = False
 
 
 @dataclass
@@ -73,6 +84,7 @@ class ActivityCounters:
     buffer_words: int = 0
     frames_decoded: int = 0
     frames_concealed: int = 0
+    units_corrupt: int = 0
 
     @property
     def macroblocks(self) -> int:
@@ -100,7 +112,9 @@ class Decoder:
     def decode(self, stream: bytes) -> DecodedVideo:
         """Decode a packed NAL stream.
 
-        Raises :class:`DecodeError` on any malformed input.
+        Raises :class:`DecodeError` on any malformed input — unless the
+        config enables ``error_concealment``, in which case corrupt units
+        are skipped, counted, and concealed by last-frame repeat.
         """
         try:
             with Timer("video.decoder.decode_s", span=True,
@@ -125,6 +139,7 @@ class Decoder:
         obs.inc("video.decoder.decodes")
         obs.inc("video.decoder.frames_decoded", c.frames_decoded)
         obs.inc("video.decoder.frames_concealed", c.frames_concealed)
+        obs.inc("video.decoder.units_corrupt", c.units_corrupt)
         obs.inc("video.decoder.macroblocks", c.macroblocks)
         obs.inc("video.decoder.bits_parsed", c.bits_parsed)
         obs.inc("video.decoder.df_edges", c.df_edges)
@@ -135,7 +150,8 @@ class Decoder:
 
     def _decode(self, stream: bytes) -> DecodedVideo:
         counters = ActivityCounters()
-        units = split_nal_units(stream)
+        conceal = self.config.error_concealment
+        units = split_nal_units(stream, on_error="skip" if conceal else "raise")
         selector = InputSelector(self.config.selector)
         kept = selector.filter_units(units)
         counters.selector_bytes_scanned = selector.stats.bytes_scanned
@@ -155,42 +171,57 @@ class Decoder:
             payload, pump = pump_through_buffers(unit.payload, prestore, circular)
             counters.buffer_words += pump.words_to_circular
             decoded_bytes += unit.size_bytes
-            reader = BitReader(payload)
-            if unit.nal_type == NalType.SPS:
-                width = reader.read_ue()
-                height = reader.read_ue()
-                reader.read_ue()  # gop size (informational)
-                n_frames = reader.read_ue()
-                coder = coder_from_mode_id(reader.read_ue())
-                if not (16 <= width <= 4096 and 16 <= height <= 4096):
-                    raise DecodeError(f"implausible dimensions {width}x{height}")
-                if width % 16 or height % 16:
-                    raise DecodeError("dimensions must be macroblock aligned")
-                if n_frames > 100_000:
-                    raise DecodeError("implausible frame count")
-                counters.bits_parsed += reader.bits_consumed
+            try:
+                reader = BitReader(payload)
+                if unit.nal_type == NalType.SPS:
+                    # Parse into locals and validate *before* committing, so
+                    # a corrupt SPS concealed away cannot leave partial
+                    # (garbage) dimensions behind.
+                    sps_w = reader.read_ue()
+                    sps_h = reader.read_ue()
+                    reader.read_ue()  # gop size (informational)
+                    sps_n = reader.read_ue()
+                    sps_coder = coder_from_mode_id(reader.read_ue())
+                    if not (16 <= sps_w <= 4096 and 16 <= sps_h <= 4096):
+                        raise DecodeError(
+                            f"implausible dimensions {sps_w}x{sps_h}"
+                        )
+                    if sps_w % 16 or sps_h % 16:
+                        raise DecodeError("dimensions must be macroblock aligned")
+                    if sps_n > 100_000:
+                        raise DecodeError("implausible frame count")
+                    width, height, n_frames, coder = sps_w, sps_h, sps_n, sps_coder
+                    counters.bits_parsed += reader.bits_consumed
+                    continue
+                if width == 0:
+                    raise DecodeError("slice NAL before sequence parameters")
+                qp = reader.read_ue()
+                recon = PlaneSet.blank(height, width)
+                info = FrameSideInfo.empty(height, width)
+                display = unit.frame_index
+                if unit.nal_type == NalType.SLICE_I:
+                    self._decode_i(reader, recon, info, qp, height, width, coder)
+                    counters.mbs_intra += (height // MB) * (width // MB)
+                elif unit.nal_type == NalType.SLICE_P:
+                    ref = _nearest_anchor_before(anchors, display, decoded)
+                    self._decode_p(reader, recon, ref, info, qp, height, width, coder)
+                    counters.mbs_inter += (height // MB) * (width // MB)
+                else:
+                    fwd = _nearest_anchor_before(anchors, display, decoded)
+                    bwd = _nearest_anchor_after(anchors, display, decoded)
+                    self._decode_b(
+                        reader, recon, fwd, bwd if bwd is not None else fwd,
+                        info, qp, height, width, coder,
+                    )
+                    counters.mbs_bi += (height // MB) * (width // MB)
+            except (ValueError, EOFError, KeyError, IndexError):
+                if not conceal:
+                    raise
+                # H.264-style concealment: drop the corrupt unit; the
+                # display assembler repeats the last good frame for its
+                # index.  A failed slice never reaches ``decoded``.
+                counters.units_corrupt += 1
                 continue
-            if width == 0:
-                raise ValueError("slice NAL before sequence parameters")
-            qp = reader.read_ue()
-            recon = PlaneSet.blank(height, width)
-            info = FrameSideInfo.empty(height, width)
-            display = unit.frame_index
-            if unit.nal_type == NalType.SLICE_I:
-                self._decode_i(reader, recon, info, qp, height, width, coder)
-                counters.mbs_intra += (height // MB) * (width // MB)
-            elif unit.nal_type == NalType.SLICE_P:
-                ref = _nearest_anchor_before(anchors, display, decoded)
-                self._decode_p(reader, recon, ref, info, qp, height, width, coder)
-                counters.mbs_inter += (height // MB) * (width // MB)
-            else:
-                fwd = _nearest_anchor_before(anchors, display, decoded)
-                bwd = _nearest_anchor_after(anchors, display, decoded)
-                self._decode_b(
-                    reader, recon, fwd, bwd if bwd is not None else fwd,
-                    info, qp, height, width, coder,
-                )
-                counters.mbs_bi += (height // MB) * (width // MB)
             counters.bits_parsed += reader.bits_consumed
             counters.blocks_total += info.blocks_decoded
             counters.blocks_nonzero += info.nonzero_blocks

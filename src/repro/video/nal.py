@@ -11,6 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import IntEnum
 
+from repro.errors import BitstreamError
+from repro.obs import get_registry
+
 START_CODE = b"\x00\x00\x01"
 
 
@@ -88,7 +91,7 @@ def pack_nal_units(units: list[NalUnit]) -> bytes:
     chunks: list[bytes] = []
     for unit in units:
         if unit.frame_index < 0 or unit.frame_index > 0xFF:
-            raise ValueError("frame_index must fit in one byte")
+            raise BitstreamError("frame_index must fit in one byte")
         # Escape the whole body (header + payload): the type byte is never
         # zero, so escaping guards the header/payload boundary too.
         body = bytes([int(unit.nal_type), unit.frame_index]) + unit.payload
@@ -96,8 +99,19 @@ def pack_nal_units(units: list[NalUnit]) -> bytes:
     return b"".join(chunks)
 
 
-def split_nal_units(stream: bytes) -> list[NalUnit]:
-    """Parse a byte stream back into NAL units (inverse of pack)."""
+def split_nal_units(stream: bytes, on_error: str = "raise") -> list[NalUnit]:
+    """Parse a byte stream back into NAL units (inverse of pack).
+
+    ``on_error`` selects the failure policy for malformed units:
+
+    - ``"raise"`` (default): a truncated body or unknown type byte raises
+      :class:`~repro.errors.BitstreamError`;
+    - ``"skip"``: the malformed unit is dropped and counted under the
+      ``video.nal.units_skipped`` obs counter — the error-concealment
+      path of the decoder, which repeats the last good frame instead.
+    """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"unknown on_error policy {on_error!r}")
     units: list[NalUnit] = []
     positions: list[int] = []
     search = 0
@@ -110,9 +124,18 @@ def split_nal_units(stream: bytes) -> list[NalUnit]:
     for i, start in enumerate(positions):
         end = positions[i + 1] if i + 1 < len(positions) else len(stream)
         body = unescape_payload(stream[start + len(START_CODE) : end])
-        if len(body) < 2:
-            raise ValueError("truncated NAL unit")
-        nal_type = NalType(body[0])
+        try:
+            if len(body) < 2:
+                raise BitstreamError("truncated NAL unit")
+            try:
+                nal_type = NalType(body[0])
+            except ValueError as exc:
+                raise BitstreamError(f"unknown NAL type byte {body[0]:#x}") from exc
+        except BitstreamError:
+            if on_error == "raise":
+                raise
+            get_registry().inc("video.nal.units_skipped")
+            continue
         frame_index = body[1]
         units.append(
             NalUnit(nal_type=nal_type, frame_index=frame_index, payload=body[2:])

@@ -10,9 +10,11 @@ from repro.dsp.features import (
     extract_feature_matrix,
     pitch_track,
     rms_energy,
+    sanitize_signal,
     spectral_magnitude_stats,
     zero_crossing_rate,
 )
+from repro.errors import SensorError
 
 SR = 16000.0
 
@@ -105,3 +107,48 @@ class TestFeatureMatrix:
         feats = extract_feature_matrix(sig)
         assert np.isfinite(feats).all()
         assert feats.shape[0] > 0
+
+
+class TestNonFiniteGuard:
+    """Regression: NaN/Inf used to propagate silently through extraction."""
+
+    def _nan_wave(self):
+        sig = _tone(200, n=8000)
+        sig[1000:1200] = np.nan
+        sig[4000] = np.inf
+        return sig
+
+    def test_nan_wave_sanitized_to_finite_features(self):
+        feats = extract_feature_matrix(self._nan_wave())
+        assert np.isfinite(feats).all()
+
+    def test_raise_policy_raises_sensor_error(self):
+        with pytest.raises(SensorError):
+            extract_feature_matrix(self._nan_wave(), nonfinite="raise")
+        # SensorError stays catchable as the historical ValueError too.
+        with pytest.raises(ValueError):
+            extract_feature_matrix(self._nan_wave(), nonfinite="raise")
+
+    def test_sanitize_replaces_with_silence(self):
+        sig = self._nan_wave()
+        clean = sanitize_signal(sig)
+        bad = ~np.isfinite(sig)
+        assert np.all(clean[bad] == 0.0)
+        assert np.array_equal(clean[~bad], sig[~bad])
+
+    def test_finite_signal_passes_through(self):
+        sig = _tone(100, n=2000)
+        assert np.array_equal(sanitize_signal(sig), sig)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            sanitize_signal(np.zeros(4), nonfinite="explode")
+
+    def test_counted_in_registry(self):
+        from repro.obs import get_registry
+
+        registry = get_registry()
+        before = registry.counter("dsp.features.nonfinite_samples").value
+        sanitize_signal(self._nan_wave())
+        after = registry.counter("dsp.features.nonfinite_samples").value
+        assert after - before == 201

@@ -1,0 +1,429 @@
+"""Tests for repro.errors + repro.resilience (wrappers, faults, chaos)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.controller import AffectDrivenSystemManager
+from repro.errors import (
+    BitstreamEOFError,
+    BitstreamError,
+    CircuitOpenError,
+    ClassifierNotFitError,
+    InferenceTimeoutError,
+    InjectedFault,
+    ReproError,
+    SensorError,
+)
+from repro.obs import MetricsRegistry, get_registry
+from repro.resilience import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    ResilientClassifier,
+    call_with_deadline,
+    retry_with_backoff,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc in (
+            BitstreamError("x"), BitstreamEOFError("x"), SensorError("x"),
+            ClassifierNotFitError("x"), InferenceTimeoutError("x"),
+            CircuitOpenError("x"), InjectedFault("x"),
+        ):
+            assert isinstance(exc, ReproError)
+
+    def test_legacy_builtin_compatibility(self):
+        assert issubclass(BitstreamError, ValueError)
+        assert issubclass(BitstreamEOFError, EOFError)
+        assert issubclass(SensorError, ValueError)
+        assert issubclass(ClassifierNotFitError, RuntimeError)
+
+    def test_bitstream_reader_raises_typed_eof(self):
+        from repro.video.bitstream import BitReader
+
+        with pytest.raises(BitstreamEOFError):
+            BitReader(b"").read_bit()
+
+    def test_truncated_nal_raises_typed_error(self):
+        from repro.video.nal import START_CODE, split_nal_units
+
+        with pytest.raises(BitstreamError):
+            split_nal_units(START_CODE + b"\x07")
+
+    def test_unfit_classifiers_raise_typed_error(self):
+        from repro.affect.pipeline import AffectClassifierPipeline
+        from repro.affect.sc_inference import SCEngagementClassifier
+        from repro.datasets import generate_sc_session
+
+        with pytest.raises(ClassifierNotFitError):
+            AffectClassifierPipeline("mlp").classify_waveform(np.zeros(512))
+        with pytest.raises(ClassifierNotFitError):
+            SCEngagementClassifier().predict(generate_sc_session(seed=0))
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_recovers(self):
+        breaker = CircuitBreaker(failure_threshold=2, recovery_s=5.0)
+        assert breaker.allow(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state == "closed"
+        breaker.record_failure(1.0)
+        assert breaker.state == "open"
+        assert not breaker.allow(2.0)
+        # After the recovery window one probe is allowed (half-open).
+        assert breaker.allow(6.5)
+        assert breaker.state == "half_open"
+        breaker.record_success(6.5)
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, recovery_s=2.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(3.0)  # half-open probe
+        breaker.record_failure(3.0)
+        assert breaker.state == "open"
+        assert not breaker.allow(4.0)
+        assert breaker.times_opened == 2
+
+    def test_call_raises_circuit_open(self):
+        breaker = CircuitBreaker(failure_threshold=1, recovery_s=100.0)
+        with pytest.raises(InjectedFault):
+            breaker.call(lambda: (_ for _ in ()).throw(InjectedFault("x")), 0.0)
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "fine", 1.0)
+
+    def test_success_resets_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        breaker.record_success(2.0)
+        breaker.record_failure(3.0)
+        assert breaker.state == "closed"
+
+
+class TestRetryWithBackoff:
+    def test_recovers_from_transient_failures(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise SensorError("transient")
+            return "ok"
+
+        assert retry_with_backoff(flaky, retries=3) == "ok"
+        assert len(attempts) == 3
+
+    def test_exhaustion_reraises(self):
+        def always_bad():
+            raise SensorError("down")
+
+        with pytest.raises(SensorError):
+            retry_with_backoff(always_bad, retries=2)
+
+    def test_backoff_delays_are_exponential(self):
+        delays = []
+
+        def always_bad():
+            raise SensorError("down")
+
+        with pytest.raises(SensorError):
+            retry_with_backoff(
+                always_bad, retries=3, base_delay_s=0.1, factor=2.0,
+                sleep=delays.append,
+            )
+        assert delays == [0.1, 0.2, 0.4]
+
+    def test_unlisted_exception_not_retried(self):
+        attempts = []
+
+        def typo():
+            attempts.append(1)
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            retry_with_backoff(typo, retries=5)
+        assert len(attempts) == 1
+
+
+class TestDeadline:
+    def test_fast_call_passes(self):
+        assert call_with_deadline(lambda: 42, deadline_s=10.0) == 42
+
+    def test_slow_call_raises_timeout(self):
+        import time
+
+        def slow():
+            time.sleep(0.02)
+            return 42
+
+        with pytest.raises(InferenceTimeoutError):
+            call_with_deadline(slow, deadline_s=0.001)
+
+    def test_invalid_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            call_with_deadline(lambda: 1, deadline_s=0.0)
+
+
+class TestResilientClassifier:
+    def test_fallback_ladder_last_good_then_neutral(self):
+        calls = {"n": 0}
+
+        def model(x):
+            calls["n"] += 1
+            if x == "bad":
+                raise InjectedFault("crash")
+            return x
+
+        rc = ResilientClassifier(
+            model, breaker=CircuitBreaker(failure_threshold=99), retries=0
+        )
+        # Nothing committed yet: degraded windows report neutral.
+        label, degraded = rc.classify("bad", now=0.0)
+        assert (label, degraded) == ("neutral", True)
+        label, degraded = rc.classify("happy", now=1.0)
+        assert (label, degraded) == ("happy", False)
+        # Then the last good label.
+        label, degraded = rc.classify("bad", now=2.0)
+        assert (label, degraded) == ("happy", True)
+
+    def test_breaker_open_skips_model_entirely(self):
+        calls = {"n": 0}
+
+        def always_crash(_):
+            calls["n"] += 1
+            raise InjectedFault("crash")
+
+        rc = ResilientClassifier(
+            always_crash,
+            breaker=CircuitBreaker(failure_threshold=2, recovery_s=100.0),
+            retries=0,
+        )
+        rc.classify("a", now=0.0)
+        rc.classify("a", now=1.0)
+        n_before = calls["n"]
+        label, degraded = rc.classify("a", now=2.0)
+        assert degraded and calls["n"] == n_before  # model not invoked
+        assert rc.breaker.state == "open"
+
+    def test_never_raises(self):
+        def nasty(_):
+            raise RuntimeError("untyped crash")
+
+        rc = ResilientClassifier(
+            nasty, breaker=CircuitBreaker(), retries=0,
+            retry_exceptions=(ReproError, RuntimeError),
+        )
+        for k in range(6):
+            label, degraded = rc.classify("x", now=float(k))
+            assert degraded and label == "neutral"
+
+
+class TestFaultPlan:
+    def test_uniform_sets_every_rate(self):
+        plan = FaultPlan.uniform(0.3)
+        assert plan.sensor_nan == plan.nal_bitflip == plan.kill_storm == 0.3
+        assert not plan.is_zero
+
+    def test_zero_plan_is_zero(self):
+        assert FaultPlan().is_zero
+        assert FaultPlan.uniform(0.0).is_zero
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(sensor_nan=1.5)
+
+    def test_overrides(self):
+        plan = FaultPlan.uniform(0.1, kill_storm=0.9)
+        assert plan.kill_storm == 0.9 and plan.sensor_nan == 0.1
+
+
+class TestFaultInjector:
+    def test_deterministic_for_seed(self):
+        plan = FaultPlan.uniform(0.5)
+        sig = np.linspace(-1, 1, 1000)
+        a = FaultInjector(plan, seed=7)
+        b = FaultInjector(plan, seed=7)
+        for _ in range(20):
+            np.testing.assert_array_equal(
+                a.corrupt_signal(sig), b.corrupt_signal(sig)
+            )
+        assert a.counts == b.counts
+
+    def test_zero_plan_never_fires(self):
+        injector = FaultInjector(FaultPlan(), seed=0)
+        sig = np.ones(100)
+        for _ in range(50):
+            assert injector.corrupt_signal(sig) is sig
+            assert injector.classifier_fault() == 0.0
+        assert injector.total_injected == 0
+
+    def test_nan_burst_lands_in_signal(self):
+        injector = FaultInjector(FaultPlan(sensor_nan=1.0), seed=1)
+        out = injector.corrupt_signal(np.zeros(1000))
+        assert np.isnan(out).any()
+        assert injector.counts["sensor_nan"] == 1
+
+    def test_sensor_dropout_is_transient(self):
+        injector = FaultInjector(FaultPlan(sensor_dropout=1.0), seed=0)
+        with pytest.raises(SensorError):
+            injector.read_sensor(lambda: np.zeros(4))
+
+    def test_corrupt_stream_respects_protected_prefix(self):
+        injector = FaultInjector(
+            FaultPlan(nal_bitflip=1.0, nal_truncate=1.0), seed=3
+        )
+        stream = bytes(range(256)) * 4
+        for _ in range(10):
+            out = injector.corrupt_stream(stream, protect_prefix=64)
+            assert out[:64] == stream[:64]
+            assert len(out) >= 64
+
+    def test_storm_events_sorted_and_grown(self):
+        from repro.android.app import build_app_catalog
+        from repro.android.monkey import LaunchEvent
+
+        catalog = build_app_catalog(20, seed=0)
+        base = [LaunchEvent(float(t), catalog[0].name, "happy")
+                for t in range(5)]
+        injector = FaultInjector(FaultPlan(kill_storm=1.0, kill_storm_size=4),
+                                 seed=0)
+        out = injector.storm_events(base, catalog)
+        assert len(out) == 5 + 5 * 4
+        assert all(out[i].time_s <= out[i + 1].time_s
+                   for i in range(len(out) - 1))
+
+
+class TestManagerStaleness:
+    def test_committed_state_decays_after_ttl(self):
+        mgr = AffectDrivenSystemManager(stale_ttl_s=3.0)
+        for t in range(4):
+            mgr.observe("happy", timestamp=float(t))
+        assert mgr.current_emotion == "happy"
+        assert mgr.effective_emotion(now=4.0) == "happy"
+        assert mgr.effective_emotion(now=7.1) is None
+        assert mgr.decoder_mode(now=7.1) == mgr.video_policy.fallback
+
+    def test_fresh_observation_ends_staleness(self):
+        mgr = AffectDrivenSystemManager(stale_ttl_s=2.0)
+        for t in range(3):
+            mgr.observe("happy", timestamp=float(t))
+        assert mgr.effective_emotion(now=10.0) is None
+        mgr.observe("happy", timestamp=10.0)
+        assert mgr.effective_emotion(now=10.5) == "happy"
+
+    def test_no_ttl_means_no_decay(self):
+        mgr = AffectDrivenSystemManager()
+        for t in range(3):
+            mgr.observe("happy", timestamp=float(t))
+        assert mgr.effective_emotion(now=1e9) == "happy"
+
+    def test_stale_decay_counted_once(self):
+        registry = get_registry()
+        before = registry.counter("core.controller.stale_decays").value
+        mgr = AffectDrivenSystemManager(stale_ttl_s=1.0)
+        for t in range(3):
+            mgr.observe("sad", timestamp=float(t))
+        mgr.effective_emotion(now=100.0)
+        mgr.effective_emotion(now=101.0)  # still the same dwell
+        after = registry.counter("core.controller.stale_decays").value
+        assert after - before == 1
+
+
+class TestManagerMonotonicTimestamps:
+    def test_regression_backwards_timestamp_clamped(self):
+        """Regression: out-of-order timestamps corrupted mode_changes()."""
+        registry = get_registry()
+        before = registry.counter(
+            "core.controller.nonmonotonic_timestamps"
+        ).value
+        mgr = AffectDrivenSystemManager()
+        mgr.observe("happy", timestamp=5.0)
+        mgr.observe("happy", timestamp=6.0)
+        mgr.observe("happy", timestamp=2.0)   # clock skew: clamped to 6.0
+        for t in (6.5, 7.0, 7.5):
+            mgr.observe("sad", timestamp=t)
+        after = registry.counter(
+            "core.controller.nonmonotonic_timestamps"
+        ).value
+        assert after - before == 1
+        times = [ts for ts, _ in mgr.mode_changes()]
+        assert times == sorted(times)
+        assert mgr.last_observation_ts == 7.5
+
+    def test_event_timeline_never_decreases(self):
+        mgr = AffectDrivenSystemManager()
+        raw = [("a", 0.0), ("a", 1.0), ("a", 2.0), ("b", 1.0), ("b", 1.2),
+               ("b", 3.0), ("b", 3.5)]
+        for label, t in raw:
+            mgr.observe(label, timestamp=t)
+        stamps = [e.timestamp for e in mgr.stream.events]
+        assert stamps == sorted(stamps)
+
+
+class TestChaosWorkload:
+    def test_zero_crashes_under_heavy_faults(self):
+        from repro.resilience.chaos import run_chaos_workload
+
+        registry = get_registry()
+        registry.reset()
+        stats = run_chaos_workload(seed=0, fault_rate=0.3, windows=8, clips=2)
+        assert stats["crashes"] == 0
+        assert stats["video"]["frames_delivered"] == stats["video"]["frames_expected"]
+        assert stats["total_faults_injected"] > 0
+        # Degraded dwell is reported through the registry.
+        snapshot = registry.snapshot()
+        assert "resilience.degraded_dwell_s" in snapshot["counters"]
+
+    def test_deterministic_stats(self):
+        from repro.resilience.chaos import run_chaos_workload
+
+        a = run_chaos_workload(seed=3, fault_rate=0.2, windows=6, clips=1)
+        b = run_chaos_workload(seed=3, fault_rate=0.2, windows=6, clips=1)
+        for key in ("faults_injected", "classifier", "video", "emulator"):
+            assert a[key] == b[key]
+
+    def test_fault_free_run_is_clean(self):
+        from repro.resilience.chaos import run_chaos_workload
+
+        stats = run_chaos_workload(seed=0, fault_rate=0.0, windows=6, clips=1)
+        assert stats["crashes"] == 0
+        assert stats["total_faults_injected"] == 0
+        assert stats["classifier"]["fallbacks"] == 0
+        assert stats["video"]["units_corrupt"] == 0
+
+    def test_cli_chaos_smoke(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--seed", "0", "--fault-rate", "0.2",
+                     "--windows", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "degraded-mode dwell" in out
+        assert "unhandled crashes: 0" in out
+
+
+class TestObsIsolation:
+    def test_wrappers_silent_when_registry_disabled(self):
+        registry = MetricsRegistry(enabled=False)
+        # Wrappers use the global registry; just confirm the disabled
+        # global path doesn't create metrics.
+        global_registry = get_registry()
+        was_enabled = global_registry.enabled
+        names_before = set(global_registry.snapshot()["counters"])
+        try:
+            global_registry.enabled = False
+            breaker = CircuitBreaker(failure_threshold=1)
+            breaker.record_failure(0.0)
+            with pytest.raises(SensorError):
+                retry_with_backoff(
+                    lambda: (_ for _ in ()).throw(SensorError("x")), retries=1
+                )
+        finally:
+            global_registry.enabled = was_enabled
+        names_after = set(global_registry.snapshot()["counters"])
+        assert names_after == names_before
+        assert registry.snapshot()["counters"] == {}

@@ -1,0 +1,99 @@
+"""Fuzz: a concealment decoder must survive arbitrary slice corruption.
+
+Bit-flips and truncations are applied at offsets past the SPS (parameter
+sets travel out-of-band in real deployments, so the decoder always has
+valid dimensions).  Whatever lands on slice data, the decoder with
+``error_concealment=True`` must never raise and must yield exactly one
+display frame per input frame — corrupted slices come out as last-frame
+repeats, not as exceptions or dropped frames.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.decoder import Decoder, DecoderConfig
+from repro.video.encoder import Encoder, EncoderConfig
+from repro.video.frames import synthetic_video
+from repro.video.nal import START_CODE
+
+N_FRAMES = 5
+
+
+def _encoded_stream(seed: int) -> tuple[bytes, int]:
+    """Encode a small clip; returns (stream, protected-prefix length)."""
+    frames = synthetic_video(N_FRAMES, height=32, width=48, seed=seed)
+    stream = Encoder(EncoderConfig(gop_size=3)).encode(frames)
+    second_unit = stream.find(START_CODE, len(START_CODE))
+    assert second_unit > 0
+    return stream, second_unit
+
+
+_STREAM, _PREFIX = _encoded_stream(seed=0)
+
+
+class TestConcealmentFuzz:
+    @given(
+        flips=st.lists(
+            st.tuples(
+                st.integers(0, len(_STREAM) - _PREFIX - 1),
+                st.integers(0, 7),
+            ),
+            min_size=1,
+            max_size=24,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bitflips_never_raise_and_preserve_frame_count(self, flips):
+        corrupted = bytearray(_STREAM)
+        for rel_offset, bit in flips:
+            corrupted[_PREFIX + rel_offset] ^= 1 << bit
+        decoded = Decoder(DecoderConfig(error_concealment=True)).decode(
+            bytes(corrupted)
+        )
+        assert len(decoded.frames) == N_FRAMES
+        for frame in decoded.frames:
+            assert frame.y.shape == (32, 48)
+            assert frame.y.dtype == np.uint8
+
+    @given(cut=st.integers(0, len(_STREAM) - _PREFIX))
+    @settings(max_examples=40, deadline=None)
+    def test_truncation_never_raises_and_preserves_frame_count(self, cut):
+        corrupted = _STREAM[: len(_STREAM) - cut]
+        decoded = Decoder(DecoderConfig(error_concealment=True)).decode(
+            corrupted
+        )
+        assert len(decoded.frames) == N_FRAMES
+        for frame in decoded.frames:
+            assert frame.y.shape == (32, 48)
+
+    @given(
+        cut=st.integers(1, len(_STREAM) - _PREFIX),
+        flips=st.lists(
+            st.tuples(
+                st.integers(0, len(_STREAM) - _PREFIX - 1),
+                st.integers(0, 7),
+            ),
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_combined_corruption_never_raises(self, cut, flips):
+        corrupted = bytearray(_STREAM)
+        for rel_offset, bit in flips:
+            corrupted[_PREFIX + rel_offset] ^= 1 << bit
+        corrupted = corrupted[: len(corrupted) - cut]
+        decoded = Decoder(DecoderConfig(error_concealment=True)).decode(
+            bytes(corrupted)
+        )
+        assert len(decoded.frames) == N_FRAMES
+
+    def test_pristine_stream_has_no_concealment(self):
+        decoded = Decoder(DecoderConfig(error_concealment=True)).decode(
+            _STREAM
+        )
+        assert len(decoded.frames) == N_FRAMES
+        assert decoded.counters.units_corrupt == 0
+        assert decoded.concealed_indices == []
