@@ -1,0 +1,74 @@
+"""Serving benchmark: micro-batched runtime vs sequential classification.
+
+Sweeps the batch-size x session-count grid behind ``repro serve-bench
+--full`` and writes ``BENCH_serve.json`` at the repo root — the serving
+throughput/latency surface every future scaling PR compares against.
+
+Headline assertions: at >= 16 concurrent sessions the micro-batched
+runtime's throughput (windows/sec) is strictly above the sequential
+single-window baseline, and no request is ever dropped without an
+explicit shed.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+from benchmarks.conftest import report
+
+from repro.obs import get_registry
+from repro.serve.bench import run_serve_grid
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_serve.json"
+BATCH_SIZES = (1, 8, 32, 128)
+SESSION_COUNTS = (1, 16, 256)
+SECONDS = 4.0
+
+
+def test_serve_grid_throughput_and_accounting():
+    get_registry().reset()
+    payload = run_serve_grid(
+        batch_sizes=BATCH_SIZES, session_counts=SESSION_COUNTS,
+        seconds=SECONDS, seed=0,
+    )
+    payload["platform"] = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    rows = []
+    for sessions in SESSION_COUNTS:
+        row = payload["grid"][str(sessions)]
+        seq = row["sequential"]
+        for batch in BATCH_SIZES:
+            cell = row["batched"][str(batch)]
+            served = cell["served"]
+            rows.append([
+                sessions, batch, f"{seq['windows_per_s']:.0f}",
+                f"{served['windows_per_s']:.0f}",
+                f"{cell['speedup']:.2f}x",
+                f"{served['cache_hit_rate'] * 100:.0f}%",
+                f"{served['latency_s']['p95']:.3f}",
+            ])
+    report(
+        "serving throughput (windows/sec)",
+        ["sessions", "batch", "seq w/s", "served w/s", "speedup",
+         "hit rate", "p95 (s)"],
+        rows,
+    )
+
+    for sessions in SESSION_COUNTS:
+        row = payload["grid"][str(sessions)]
+        for batch in BATCH_SIZES:
+            cell = row["batched"][str(batch)]
+            acct = cell["accounting"]
+            # The serving contract: completed + shed == submitted, always.
+            assert acct["dropped"] == 0, (sessions, batch, acct)
+            assert acct["pending_after_drain"] == 0, (sessions, batch, acct)
+            # At scale, micro-batching + caching must beat the naive loop.
+            if sessions >= 16:
+                assert cell["speedup"] > 1.0, (sessions, batch, cell["speedup"])

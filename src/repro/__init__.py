@@ -14,6 +14,8 @@ Subpackages
 - :mod:`repro.obs` — process-wide metrics, timers, and span events.
 - :mod:`repro.errors` — the typed exception hierarchy.
 - :mod:`repro.resilience` — fault injection + graceful degradation.
+- :mod:`repro.serve` — multi-session serving runtime (micro-batching,
+  window cache, admission control).
 """
 
 __version__ = "1.0.0"
@@ -29,5 +31,6 @@ __all__ = [
     "nn",
     "obs",
     "resilience",
+    "serve",
     "video",
 ]

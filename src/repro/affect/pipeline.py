@@ -131,11 +131,26 @@ class AffectClassifierPipeline:
 
     def classify_waveform(self, signal: np.ndarray) -> str:
         """Classify one raw audio signal into an emotion-label string."""
-        with Timer("affect.pipeline.classify_s", span=True):
-            clf = self._require_trained()
-            x = self.prepare_waveform(signal)[None, ...]
-            label = int(clf.model.predict(x)[0])
-            return clf.label_names[label]
+        return str(self.classify_waveforms([signal])[0])
+
+    def classify_waveforms(self, signals: list[np.ndarray]) -> np.ndarray:
+        """Classify many raw signals in one batched model call.
+
+        Feature rows are prepared per signal, stacked, and submitted to a
+        single ``predict`` — the per-call overhead of the forward pass is
+        amortised across the batch instead of paid once per window (the
+        micro-batching serving runtime in :mod:`repro.serve` relies on
+        this path).  Returns an array of emotion-label strings aligned
+        with ``signals``.
+        """
+        clf = self._require_trained()
+        if not signals:
+            return np.empty(0, dtype=object)
+        with Timer("affect.pipeline.classify_s", span=True,
+                   attrs={"batch": len(signals)}):
+            x = np.stack([self.prepare_waveform(s) for s in signals])
+            labels = clf.model.predict(x)
+            return np.array([clf.label_names[int(i)] for i in labels])
 
     def classify_features(self, x: np.ndarray) -> np.ndarray:
         """Classify a raw (unnormalized) feature batch into label indices."""

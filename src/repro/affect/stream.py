@@ -40,6 +40,7 @@ class EmotionStream:
     _history: deque = field(default_factory=deque, repr=False)
     _current: str | None = field(default=None, repr=False)
     _events: list = field(default_factory=list, repr=False)
+    _last_ts: float | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.window < 1:
@@ -59,15 +60,26 @@ class EmotionStream:
         """All committed state changes, in order."""
         return list(self._events)
 
-    def push(self, label: str, timestamp: float = 0.0) -> str | None:
+    def push(self, label: str, timestamp: float | None = None) -> str | None:
         """Feed one raw classifier label; returns the committed state.
 
         A challenger only displaces the incumbent when it *strictly*
         out-votes it — on a tied window the incumbent state is kept
         (hysteresis), regardless of label insertion order.
+
+        ``timestamp`` stamps any committed :class:`EmotionEvent`.  When
+        omitted, the stream advances a per-stream monotonic counter (one
+        virtual second past the latest timestamp seen) instead of the old
+        constant ``0.0`` default, which silently tripped the controller's
+        non-monotonic-timestamp clamp whenever callers mixed explicit and
+        defaulted pushes.
         """
         obs = get_registry()
         obs.inc("affect.stream.pushes")
+        if timestamp is None:
+            timestamp = 0.0 if self._last_ts is None else self._last_ts + 1.0
+        if self._last_ts is None or timestamp > self._last_ts:
+            self._last_ts = timestamp
         self._history.append(label)
         while len(self._history) > self.window:
             self._history.popleft()
@@ -88,8 +100,14 @@ class EmotionStream:
             obs.inc("affect.stream.flickers")
         return self._current
 
+    @property
+    def last_timestamp(self) -> float | None:
+        """Latest timestamp seen (explicit or auto); None before any push."""
+        return self._last_ts
+
     def reset(self) -> None:
         """Clear history, state, and events."""
         self._history.clear()
         self._current = None
         self._events.clear()
+        self._last_ts = None

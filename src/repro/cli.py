@@ -11,6 +11,7 @@ terminal::
     repro fig3-models       # classifier study (Fig. 3; slow)
     repro stats             # end-to-end workload + metrics report
     repro chaos             # end-to-end workload under fault injection
+    repro serve-bench       # multi-session serving runtime benchmark
 """
 
 from __future__ import annotations
@@ -219,6 +220,64 @@ def _chaos(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _serve_bench(args: argparse.Namespace) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.serve.bench import run_serve_bench, run_serve_grid
+
+    if args.full:
+        payload = run_serve_grid(seconds=args.seconds, seed=args.seed)
+        cells = []
+        for sessions, row in payload["grid"].items():
+            for batch, cell in row["batched"].items():
+                cells.append((sessions, batch, row["sequential"], cell))
+        print(f"{'sessions':>8} {'batch':>5} {'seq win/s':>10} "
+              f"{'served win/s':>12} {'speedup':>8} {'hit rate':>8}")
+        for sessions, batch, seq, cell in cells:
+            served = cell["served"]
+            print(f"{sessions:>8} {batch:>5} {seq['windows_per_s']:>10.0f} "
+                  f"{served['windows_per_s']:>12.0f} {cell['speedup']:>7.2f}x "
+                  f"{served['cache_hit_rate'] * 100:>7.1f}%")
+        dropped = sum(
+            cell["accounting"]["dropped"] for _, _, _, cell in cells
+        )
+        shed = sum(cell["accounting"]["shed"] for _, _, _, cell in cells)
+    else:
+        payload = run_serve_bench(
+            sessions=args.sessions, seconds=args.seconds, seed=args.seed,
+            max_batch=args.batch,
+        )
+        served = payload["served"]
+        seq = payload["sequential"]
+        acct = payload["accounting"]
+        print(f"== serve-bench ({args.sessions} sessions, "
+              f"{args.seconds:g} s, batch {args.batch}) ==")
+        print(f"sequential: {seq['windows_per_s']:.0f} windows/s "
+              f"({seq['windows']} windows in {seq['wall_s'] * 1e3:.0f} ms)")
+        print(f"served:     {served['windows_per_s']:.0f} windows/s "
+              f"({payload['speedup']:.2f}x), cache hit rate "
+              f"{served['cache_hit_rate'] * 100:.1f}%, "
+              f"mean batch {served['mean_batch']:.1f}")
+        lat = served["latency_s"]
+        print(f"latency (workload s): p50={lat['p50']:.3f} "
+              f"p95={lat['p95']:.3f} p99={lat['p99']:.3f}")
+        print(f"accounting: {acct['submitted']} submitted = "
+              f"{acct['completed']} completed + {acct['shed']} shed "
+              f"({acct['dropped']} dropped)")
+        dropped = acct["dropped"]
+        shed = acct["shed"]
+    path = Path(args.output or "BENCH_serve.json")
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    if shed:
+        print(f"note: {shed} requests shed to degraded results (expected "
+              "under overload; never silently dropped)")
+    if dropped:
+        # The serving contract: every window completes or sheds explicitly.
+        raise SystemExit(1)
+
+
 def _export_trace(args: argparse.Namespace) -> None:
     from repro.core.appstudy import run_case_study
 
@@ -240,6 +299,7 @@ _COMMANDS = {
     "export-trace": _export_trace,
     "stats": _stats,
     "chaos": _chaos,
+    "serve-bench": _serve_bench,
 }
 
 
@@ -269,6 +329,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--windows", type=int, default=24,
         help="classifier windows the chaos workload drives (default 24)",
+    )
+    parser.add_argument(
+        "--sessions", type=int, default=16,
+        help="concurrent synthetic sessions for serve-bench (default 16)",
+    )
+    parser.add_argument(
+        "--seconds", type=float, default=4.0,
+        help="workload seconds per serve-bench run (default 4)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=32,
+        help="serve-bench micro-batch size (default 32)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="serve-bench: sweep the batch-size x session-count grid",
     )
     args = parser.parse_args(argv)
     try:

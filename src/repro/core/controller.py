@@ -48,15 +48,20 @@ class AffectDrivenSystemManager:
     _last_ts: float = field(default=float("-inf"), repr=False)
     _stale: bool = field(default=False, repr=False)
 
-    def observe(self, raw_label: str, timestamp: float = 0.0) -> str | None:
+    def observe(self, raw_label: str, timestamp: float | None = None) -> str | None:
         """Feed one raw classifier output; returns the committed state.
 
         A timestamp earlier than the last one seen is clamped to it (and
         counted under ``core.controller.nonmonotonic_timestamps``) so the
-        event timeline can never run backwards.
+        event timeline can never run backwards.  An omitted timestamp
+        advances one virtual second past the last observation instead of
+        defaulting to a constant that would trip the clamp when mixed
+        with explicit times.
         """
         obs = get_registry()
         obs.inc("core.controller.observations")
+        if timestamp is None:
+            timestamp = 0.0 if self._last_ts == float("-inf") else self._last_ts + 1.0
         if timestamp < self._last_ts:
             obs.inc("core.controller.nonmonotonic_timestamps")
             timestamp = self._last_ts

@@ -54,6 +54,19 @@ class InjectedFault(ReproError):
     never raised in production paths."""
 
 
+class OverloadShedError(ReproError):
+    """Admission control refused a request: the serving queue is full.
+
+    Only raised by the strict admission mode; the default serving path
+    sheds to a degraded (neutral / last-good) result instead of raising.
+    """
+
+
+class SessionEvictedError(ReproError, KeyError):
+    """A serving request referenced a session that was evicted (idle TTL
+    or LRU capacity) and strict session affinity was requested."""
+
+
 __all__ = [
     "ReproError",
     "BitstreamError",
@@ -64,4 +77,6 @@ __all__ = [
     "InferenceTimeoutError",
     "CircuitOpenError",
     "InjectedFault",
+    "OverloadShedError",
+    "SessionEvictedError",
 ]

@@ -48,6 +48,15 @@ class Gauge:
         """Record the current value."""
         self.value = float(value)
 
+    def add(self, delta: float) -> None:
+        """Adjust the value by ``delta`` (queue depths, in-flight counts).
+
+        Unlike :meth:`set`, concurrent writers adjusting by deltas keep
+        the gauge consistent — a read-modify-write of a snapshot would
+        lose updates raced between the read and the set.
+        """
+        self.value += float(delta)
+
 
 #: Log-bucket growth factor; quantile relative error is bounded by base-1.
 _BUCKET_BASE = 1.07
@@ -186,6 +195,12 @@ class MetricsRegistry:
         if not self.enabled:
             return
         self.gauge(name).set(value)
+
+    def add_gauge(self, name: str, delta: float) -> None:
+        """Adjust gauge ``name`` by ``delta``."""
+        if not self.enabled:
+            return
+        self.gauge(name).add(delta)
 
     def observe(self, name: str, value: float) -> None:
         """Record ``value`` into histogram ``name``."""

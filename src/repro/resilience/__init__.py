@@ -17,6 +17,9 @@ See DESIGN.md §7 for the fault taxonomy and ladder semantics.
 from repro.resilience.chaos import run_chaos_workload
 from repro.resilience.faults import FaultInjector, FaultPlan
 from repro.resilience.wrappers import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
     CircuitBreaker,
     ResilientClassifier,
     call_with_deadline,
@@ -24,6 +27,9 @@ from repro.resilience.wrappers import (
 )
 
 __all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
     "CircuitBreaker",
     "FaultInjector",
     "FaultPlan",

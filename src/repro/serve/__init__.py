@@ -1,0 +1,42 @@
+"""Multi-session affect-serving runtime with micro-batched inference.
+
+Turns the single-user reproduction into a multi-tenant service (the
+ROADMAP's scaling north star):
+
+- :class:`~repro.serve.sessions.SessionManager` — per-user emotion
+  streams and controllers, idle-TTL plus LRU-capped;
+- :class:`~repro.serve.batcher.MicroBatcher` — cross-session windows
+  coalesced into one vectorized ``predict`` (flush-on-full /
+  flush-on-deadline, in-batch dedup of identical windows);
+- :class:`~repro.serve.cache.LRUCache` — window-hash keyed, so replayed
+  windows skip DSP and inference entirely;
+- :class:`~repro.serve.runtime.AffectServer` — the front door wiring
+  admission control, shedding, and the resilience degradation ladder
+  around the above;
+- :func:`~repro.serve.bench.run_serve_bench` — the workload behind
+  ``repro serve-bench`` and ``BENCH_serve.json``.
+
+See DESIGN.md §8 for the architecture and overload semantics.
+"""
+
+from repro.serve.batcher import BatchRequest, BatchResult, MicroBatcher
+from repro.serve.bench import run_serve_bench, run_serve_grid
+from repro.serve.cache import CacheEntry, LRUCache, window_hash
+from repro.serve.runtime import AffectServer, ServeConfig, ServeResult
+from repro.serve.sessions import Session, SessionManager
+
+__all__ = [
+    "AffectServer",
+    "BatchRequest",
+    "BatchResult",
+    "CacheEntry",
+    "LRUCache",
+    "MicroBatcher",
+    "ServeConfig",
+    "ServeResult",
+    "Session",
+    "SessionManager",
+    "run_serve_bench",
+    "run_serve_grid",
+    "window_hash",
+]

@@ -1,0 +1,187 @@
+"""Micro-batching scheduler: coalesce windows from many sessions.
+
+``Sequential.predict`` is already vectorized over rows, yet every caller
+in the single-user reproduction feeds it one window at a time, paying the
+full per-call overhead (layer dispatch, softmax, metric accounting) per
+window.  The batcher holds arriving feature rows briefly and submits them
+as one stacked call:
+
+- **flush-on-full** — the batch reaches ``max_batch`` rows;
+- **flush-on-deadline** — the *oldest* pending row has waited
+  ``max_wait_s`` of workload time (the paper's real-time constraint caps
+  how long a window may age before its decision is useless).
+
+Identical in-flight windows (same content hash) are deduplicated into a
+single model row whose result fans back out to every requester.
+
+All scheduling runs on caller-supplied workload time, like the rest of
+the repo, so behavior is deterministic and unit-testable; a lock makes
+``submit``/``flush`` safe to drive from concurrent threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import CircuitOpenError
+from repro.obs import get_registry
+from repro.resilience import CircuitBreaker
+
+
+@dataclass
+class BatchRequest:
+    """One session's window waiting for batched inference."""
+
+    session_id: str
+    key: str
+    features: np.ndarray
+    submitted_at: float
+    seq: int
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one request after a flush.
+
+    ``label_index`` is the model's class index, or ``None`` when the
+    flush degraded (batch inference failed or the breaker was open).
+    """
+
+    request: BatchRequest
+    label_index: int | None
+    degraded: bool
+    flushed_at: float
+
+
+class MicroBatcher:
+    """Accumulates :class:`BatchRequest` rows and flushes them together.
+
+    Parameters
+    ----------
+    predict_batch:
+        ``(n, ...) feature stack -> (n,) int label indices``; called once
+        per flush under the circuit breaker.
+    max_batch:
+        Flush as soon as this many rows are pending (``1`` degenerates to
+        immediate per-window inference).
+    max_wait_s:
+        Workload-time age bound on the oldest pending row.
+    breaker:
+        Shared :class:`~repro.resilience.CircuitBreaker` guarding the
+        model; while open, flushes degrade instead of calling the model.
+    """
+
+    def __init__(
+        self,
+        predict_batch: Callable[[np.ndarray], np.ndarray],
+        max_batch: int = 32,
+        max_wait_s: float = 0.05,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be non-negative")
+        self.predict_batch = predict_batch
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.breaker = breaker or CircuitBreaker()
+        self.flushes = 0
+        self.degraded_flushes = 0
+        self.rows_flushed = 0
+        self.unique_rows_flushed = 0
+        self._pending: list[BatchRequest] = []
+        self._lock = threading.Lock()
+
+    @property
+    def depth(self) -> int:
+        """Number of pending (unflushed) requests."""
+        return len(self._pending)
+
+    def oldest_deadline(self) -> float | None:
+        """Workload time at which the oldest pending row expires."""
+        with self._lock:
+            if not self._pending:
+                return None
+            return self._pending[0].submitted_at + self.max_wait_s
+
+    def submit(self, request: BatchRequest, now: float) -> list[BatchResult]:
+        """Queue one request; returns flush results when the batch fills."""
+        obs = get_registry()
+        with self._lock:
+            self._pending.append(request)
+            obs.add_gauge("serve.queue_depth", 1.0)
+            full = len(self._pending) >= self.max_batch
+        if full:
+            obs.inc("serve.batch.flush_full")
+            return self.flush(now)
+        return []
+
+    def due(self, now: float) -> bool:
+        """Whether a deadline flush is owed at workload time ``now``."""
+        deadline = self.oldest_deadline()
+        return deadline is not None and now >= deadline
+
+    def poll(self, now: float) -> list[BatchResult]:
+        """Flush if (and only if) the oldest row's deadline has passed."""
+        if not self.due(now):
+            return []
+        get_registry().inc("serve.batch.flush_deadline")
+        return self.flush(now)
+
+    def flush(self, now: float) -> list[BatchResult]:
+        """Run one batched inference over everything pending.
+
+        Identical keys share one model row.  On model failure or an open
+        breaker every drained request comes back degraded
+        (``label_index=None``) — the caller owns the fallback label.
+        """
+        with self._lock:
+            batch, self._pending = self._pending, []
+        if not batch:
+            return []
+        obs = get_registry()
+        obs.add_gauge("serve.queue_depth", -float(len(batch)))
+        obs.observe("serve.batch.size", len(batch))
+        self.flushes += 1
+        self.rows_flushed += len(batch)
+
+        row_of: dict[str, int] = {}
+        rows: list[np.ndarray] = []
+        for request in batch:
+            if request.key not in row_of:
+                row_of[request.key] = len(rows)
+                rows.append(request.features)
+            else:
+                obs.inc("serve.batch.coalesced")
+        obs.observe("serve.batch.unique_rows", len(rows))
+        self.unique_rows_flushed += len(rows)
+
+        degraded = False
+        labels: np.ndarray | None = None
+        start = time.perf_counter()
+        try:
+            labels = self.breaker.call(
+                lambda: np.asarray(self.predict_batch(np.stack(rows))), now
+            )
+        except CircuitOpenError:
+            degraded = True
+        except Exception:
+            degraded = True
+            obs.inc("serve.batch.failures")
+        if degraded:
+            self.degraded_flushes += 1
+            obs.inc("serve.batch.degraded_flushes")
+        else:
+            obs.observe("serve.predict_s", time.perf_counter() - start)
+
+        results = []
+        for request in batch:
+            index = None if labels is None else int(labels[row_of[request.key]])
+            results.append(BatchResult(request, index, degraded, now))
+        return results

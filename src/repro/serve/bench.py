@@ -1,0 +1,233 @@
+"""Serving benchmark: micro-batched runtime vs sequential classification.
+
+``repro serve-bench`` and ``benchmarks/test_serve_bench.py`` both run
+:func:`run_serve_bench`: drive N synthetic concurrent sessions through
+the :class:`~repro.serve.runtime.AffectServer` and through the naive
+baseline — a sequential ``classify_waveform`` loop over the *identical*
+window schedule — and compare wall-clock throughput (windows/sec).
+
+The synthetic workload models what multi-tenant traffic actually looks
+like: each session emits one window per period (with a per-session phase
+offset), and window *content* is drawn from a bounded pool of distinct
+utterances, so concurrent sessions frequently carry the same window —
+the redundancy that window-hash caching and in-batch coalescing exploit.
+Everything is seeded and scheduled on virtual workload time; only the
+throughput/latency measurements touch the wall clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.affect.pipeline import AffectClassifierPipeline
+from repro.obs import get_registry
+from repro.serve.runtime import AffectServer, ServeConfig
+
+#: Virtual seconds between one session's consecutive windows.
+WINDOW_PERIOD_S = 0.5
+#: Distinct utterances the synthetic traffic draws from.
+POOL_SIZE = 24
+
+
+def train_bench_pipeline(seed: int = 0,
+                         architecture: str = "mlp") -> AffectClassifierPipeline:
+    """The small classifier every bench configuration shares."""
+    from repro.datasets import emovo_like
+
+    corpus = emovo_like(n_per_class=4, seed=seed)
+    pipeline = AffectClassifierPipeline(architecture, seed=seed)
+    pipeline.train(corpus, epochs=3)
+    return pipeline
+
+
+def _make_pool(label_names: tuple[str, ...], pool_size: int,
+               seed: int) -> list[np.ndarray]:
+    """``pool_size`` distinct utterances cycling over the label set."""
+    from repro.datasets.speech import synthesize_utterance
+
+    return [
+        synthesize_utterance(
+            label_names[i % len(label_names)],
+            actor=i % 4, sentence=i % 3, take=i, seed=seed,
+        )
+        for i in range(pool_size)
+    ]
+
+
+def _make_schedule(
+    sessions: int, seconds: float, seed: int, pool_size: int,
+    period_s: float = WINDOW_PERIOD_S,
+) -> list[tuple[float, str, int]]:
+    """Time-ordered ``(now, session_id, pool_index)`` arrival events."""
+    rng = np.random.default_rng(seed)
+    offsets = rng.uniform(0.0, period_s, size=sessions)
+    events: list[tuple[float, str, int]] = []
+    ticks = int(np.ceil(seconds / period_s))
+    for k in range(ticks):
+        for s in range(sessions):
+            now = k * period_s + float(offsets[s])
+            if now >= seconds:
+                continue
+            events.append((now, f"user-{s:04d}", int(rng.integers(pool_size))))
+    events.sort(key=lambda e: e[0])
+    return events
+
+
+def _quantiles(values: list[float]) -> dict[str, float]:
+    if not values:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0}
+    array = np.asarray(values)
+    return {
+        "p50": float(np.quantile(array, 0.50)),
+        "p95": float(np.quantile(array, 0.95)),
+        "p99": float(np.quantile(array, 0.99)),
+        "mean": float(array.mean()),
+    }
+
+
+def run_sequential_baseline(
+    pipeline: AffectClassifierPipeline,
+    pool: list[np.ndarray],
+    schedule: list[tuple[float, str, int]],
+) -> dict[str, object]:
+    """The no-serving-layer path: one ``classify_waveform`` per window."""
+    start = time.perf_counter()
+    for _, _, pool_index in schedule:
+        pipeline.classify_waveform(pool[pool_index])
+    wall_s = time.perf_counter() - start
+    windows = len(schedule)
+    return {
+        "windows": windows,
+        "wall_s": wall_s,
+        "windows_per_s": windows / wall_s if wall_s > 0 else 0.0,
+    }
+
+
+def run_serve_bench(
+    sessions: int = 16,
+    seconds: float = 4.0,
+    seed: int = 0,
+    max_batch: int = 32,
+    max_wait_s: float = 0.25,
+    pool_size: int = POOL_SIZE,
+    pipeline: AffectClassifierPipeline | None = None,
+    baseline: bool = True,
+) -> dict[str, object]:
+    """Drive one serving configuration; returns a JSON-able report.
+
+    The report's ``accounting`` section carries the CI contract: every
+    submitted window must come back either completed or explicitly shed
+    (``dropped == 0``).
+    """
+    if pipeline is None:
+        pipeline = train_bench_pipeline(seed=seed)
+    clf = pipeline.classifier
+    assert clf is not None
+    pool = _make_pool(clf.label_names, pool_size, seed)
+    schedule = _make_schedule(sessions, seconds, seed, pool_size)
+
+    config = ServeConfig(
+        max_batch=max_batch,
+        max_wait_s=max_wait_s,
+        max_queue=max(max_batch * 8, 256),
+        idle_ttl_s=max(seconds, 10.0),
+        stale_ttl_s=None,
+    )
+    server = AffectServer(pipeline, config)
+    results = []
+    start = time.perf_counter()
+    for now, session_id, pool_index in schedule:
+        results.extend(server.poll(now))
+        results.extend(server.submit(session_id, pool[pool_index], now))
+    results.extend(server.drain(seconds + max_wait_s))
+    wall_s = time.perf_counter() - start
+
+    windows = len(schedule)
+    completed = [r for r in results if not r.shed]
+    shed = [r for r in results if r.shed]
+    report: dict[str, object] = {
+        "config": {
+            "sessions": sessions,
+            "seconds": seconds,
+            "seed": seed,
+            "max_batch": max_batch,
+            "max_wait_s": max_wait_s,
+            "pool_size": pool_size,
+            "window_period_s": WINDOW_PERIOD_S,
+        },
+        "served": {
+            "windows": windows,
+            "wall_s": wall_s,
+            "windows_per_s": windows / wall_s if wall_s > 0 else 0.0,
+            "latency_s": _quantiles([r.latency_s for r in completed]),
+            "cached": sum(1 for r in completed if r.cached),
+            "degraded": sum(1 for r in completed if r.degraded),
+            "cache_hit_rate": server.cache.hit_rate,
+            "batch_flushes": server.batcher.flushes,
+            "mean_batch": (
+                server.batcher.rows_flushed / max(server.batcher.flushes, 1)
+            ),
+            "coalesced_rows": (
+                server.batcher.rows_flushed - server.batcher.unique_rows_flushed
+            ),
+            "sessions_active": len(server.sessions),
+        },
+        "accounting": {
+            "submitted": server.submitted,
+            "completed": server.completed,
+            "shed": len(shed),
+            "pending_after_drain": server.pending,
+            "dropped": server.dropped,
+        },
+    }
+    if baseline:
+        seq = run_sequential_baseline(pipeline, pool, schedule)
+        report["sequential"] = seq
+        report["speedup"] = (
+            report["served"]["windows_per_s"] / seq["windows_per_s"]
+            if seq["windows_per_s"] else 0.0
+        )
+    return report
+
+
+def run_serve_grid(
+    batch_sizes: tuple[int, ...] = (1, 8, 32, 128),
+    session_counts: tuple[int, ...] = (1, 16, 256),
+    seconds: float = 4.0,
+    seed: int = 0,
+) -> dict[str, object]:
+    """The full BENCH_serve grid: batch sizes x session counts.
+
+    One pipeline and, per session count, one sequential baseline are
+    shared across the row, so every cell differs only in ``max_batch``.
+    """
+    pipeline = train_bench_pipeline(seed=seed)
+    clf = pipeline.classifier
+    assert clf is not None
+    grid: dict[str, object] = {}
+    for sessions in session_counts:
+        pool = _make_pool(clf.label_names, POOL_SIZE, seed)
+        schedule = _make_schedule(sessions, seconds, seed, POOL_SIZE)
+        sequential = run_sequential_baseline(pipeline, pool, schedule)
+        row: dict[str, object] = {"sequential": sequential, "batched": {}}
+        for max_batch in batch_sizes:
+            get_registry().reset()
+            cell = run_serve_bench(
+                sessions=sessions, seconds=seconds, seed=seed,
+                max_batch=max_batch, pipeline=pipeline, baseline=False,
+            )
+            cell["speedup"] = (
+                cell["served"]["windows_per_s"] / sequential["windows_per_s"]
+                if sequential["windows_per_s"] else 0.0
+            )
+            row["batched"][str(max_batch)] = cell
+        grid[str(sessions)] = row
+    return {
+        "grid": grid,
+        "batch_sizes": list(batch_sizes),
+        "session_counts": list(session_counts),
+        "seconds": seconds,
+        "seed": seed,
+    }

@@ -1,0 +1,106 @@
+"""Window-keyed LRU cache: repeated windows skip DSP and inference.
+
+Multi-session serving sees the same feature window many times — replayed
+audio, sessions watching the same clip, retried uploads.  The cache keys
+on a content hash of the raw window, so a hit serves straight from memory
+without touching the DSP front end or the model.  A two-stage entry
+(features now, label once inference completes) also lets in-flight
+windows share one prepared feature row across sessions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs import get_registry
+
+
+def window_hash(signal: np.ndarray) -> str:
+    """Content hash of one raw window (dtype- and shape-sensitive)."""
+    array = np.ascontiguousarray(signal)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(array.dtype).encode())
+    digest.update(str(array.shape).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """Cached work for one distinct window.
+
+    ``features`` is the prepared (normalized, padded) feature row; it is
+    available as soon as the window first passes the DSP front end.
+    ``label`` fills in when inference completes — ``None`` marks a window
+    that is in flight, whose features can still be reused.
+    """
+
+    features: np.ndarray
+    label: str | None = None
+
+
+class LRUCache:
+    """Bounded least-recently-used map with hit/miss accounting.
+
+    ``get`` refreshes recency; inserting past ``capacity`` evicts the
+    least recently used entry.  Hit/miss/eviction counts land in the
+    metrics registry under ``<metric_prefix>.{hits,misses,evictions}``
+    and are mirrored as exact integers on the instance.
+    """
+
+    def __init__(self, capacity: int = 1024,
+                 metric_prefix: str = "serve.cache") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.metric_prefix = metric_prefix
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[str, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def get(self, key: str) -> object | None:
+        """Look up ``key``; refreshes recency on hit, counts both ways."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            get_registry().inc(f"{self.metric_prefix}.misses")
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        get_registry().inc(f"{self.metric_prefix}.hits")
+        return entry
+
+    def peek(self, key: str) -> object | None:
+        """Look up ``key`` without touching recency or counters."""
+        return self._entries.get(key)
+
+    def put(self, key: str, value: object) -> None:
+        """Insert or refresh ``key``; evicts the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            get_registry().inc(f"{self.metric_prefix}.evictions")
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._entries.clear()

@@ -1,0 +1,263 @@
+"""The multi-session affect-serving runtime.
+
+:class:`AffectServer` is the front door that turns the single-user
+reproduction into a multi-tenant service:
+
+1. **Admission** — a bounded pending queue.  Over capacity, a request is
+   *shed*: the caller immediately receives the session's fallback label
+   (last live label, else neutral) marked ``shed=True`` — never silently
+   dropped.  The paper's real-time constraint makes this the right
+   failure: a late emotion decision is worthless, so under overload the
+   runtime answers *now* with the degraded rung of the ladder.
+2. **Cache** — a content-hash LRU; a window already classified skips DSP
+   *and* inference, a window already prepared (in flight) skips DSP.
+3. **Micro-batching** — cache misses join the cross-session batch and
+   are flushed full-or-deadline into one vectorized ``predict``.
+4. **Degradation** — the batched model call runs under a shared
+   :class:`~repro.resilience.CircuitBreaker`; failed flushes degrade
+   every affected request to its session fallback, and degraded labels
+   never vote in the per-session emotion stream.
+
+All scheduling uses caller-supplied workload time (deterministic, like
+the rest of the repo); a re-entrant lock makes the public API safe to
+drive from multiple threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.affect.pipeline import AffectClassifierPipeline
+from repro.errors import OverloadShedError
+from repro.obs import get_registry
+from repro.resilience import CLOSED, CircuitBreaker
+from repro.serve.batcher import BatchRequest, BatchResult, MicroBatcher
+from repro.serve.cache import CacheEntry, LRUCache, window_hash
+from repro.serve.sessions import SessionManager
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs for one :class:`AffectServer`."""
+
+    max_batch: int = 32
+    max_wait_s: float = 0.25
+    max_queue: int = 1024
+    cache_capacity: int = 2048
+    idle_ttl_s: float = 30.0
+    max_sessions: int = 4096
+    stale_ttl_s: float | None = 5.0
+    neutral_label: str = "neutral"
+    #: ``False`` sheds to a degraded result under overload (default);
+    #: ``True`` raises :class:`~repro.errors.OverloadShedError` instead.
+    strict_admission: bool = False
+
+
+@dataclass
+class ServeResult:
+    """One served window, as handed back to the session's owner."""
+
+    session_id: str
+    label: str
+    emotion: str | None
+    mode: str
+    submitted_at: float
+    completed_at: float
+    shed: bool = False
+    degraded: bool = False
+    cached: bool = False
+    seq: int = field(default=-1, repr=False)
+
+    @property
+    def latency_s(self) -> float:
+        """Workload-time latency from submission to completion."""
+        return self.completed_at - self.submitted_at
+
+
+class AffectServer:
+    """Serve many concurrent emotion sessions over one trained pipeline.
+
+    The caller pumps the runtime: :meth:`submit` for each arriving window
+    (which may return immediately completed results — cache hits, sheds,
+    or a flush-on-full), :meth:`poll` as workload time advances (deadline
+    flushes and idle-session eviction), and :meth:`drain` to force out
+    everything pending, e.g. at shutdown.  Every submitted window yields
+    exactly one :class:`ServeResult` across those calls.
+    """
+
+    def __init__(
+        self,
+        pipeline: AffectClassifierPipeline,
+        config: ServeConfig | None = None,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
+        clf = pipeline.classifier
+        if clf is None:
+            raise ValueError("pipeline must be trained before serving")
+        self.pipeline = pipeline
+        self.config = config or ServeConfig()
+        self.label_names = clf.label_names
+        neutral = self.config.neutral_label
+        if neutral not in self.label_names:
+            neutral = self.label_names[0]
+        self.neutral_label = neutral
+        self.breaker = breaker or CircuitBreaker()
+        self.batcher = MicroBatcher(
+            predict_batch=clf.predict_labels,
+            max_batch=self.config.max_batch,
+            max_wait_s=self.config.max_wait_s,
+            breaker=self.breaker,
+        )
+        self.sessions = SessionManager(
+            idle_ttl_s=self.config.idle_ttl_s,
+            max_sessions=self.config.max_sessions,
+            stale_ttl_s=self.config.stale_ttl_s,
+            neutral_label=neutral,
+        )
+        self.cache = LRUCache(capacity=self.config.cache_capacity)
+        self.submitted = 0
+        self.completed = 0
+        self.shed = 0
+        self._seq = 0
+        self._lock = threading.RLock()
+
+    # -- ingest ------------------------------------------------------------
+
+    def submit(self, session_id: str, signal: np.ndarray,
+               now: float) -> list[ServeResult]:
+        """Accept one raw window from ``session_id`` at workload time ``now``.
+
+        Returns the results this call completed: ``[]`` when the window
+        joined the pending batch, one cache-hit/shed result for this
+        window, or a whole batch worth when it triggered flush-on-full.
+        """
+        obs = get_registry()
+        with self._lock:
+            self.submitted += 1
+            obs.inc("serve.requests")
+            session = self.sessions.get_or_create(session_id, now)
+            seq = self._seq
+            self._seq += 1
+
+            if self.batcher.depth >= self.config.max_queue:
+                if self.config.strict_admission:
+                    self.submitted -= 1
+                    obs.inc("serve.rejected")
+                    raise OverloadShedError(
+                        f"queue full ({self.config.max_queue} pending)"
+                    )
+                self.shed += 1
+                session.shed_windows += 1
+                obs.inc("serve.shed")
+                label = session.fallback_label
+                emotion = session.manager.effective_emotion(now)
+                return [ServeResult(
+                    session_id=session_id, label=label, emotion=emotion,
+                    mode=session.manager.decoder_mode(now).value,
+                    submitted_at=now, completed_at=now,
+                    shed=True, degraded=True, seq=seq,
+                )]
+
+            key = window_hash(signal)
+            entry = self.cache.get(key)
+            if isinstance(entry, CacheEntry) and entry.label is not None:
+                self.completed += 1
+                emotion = session.deliver(entry.label, now, degraded=False)
+                return [ServeResult(
+                    session_id=session_id, label=entry.label, emotion=emotion,
+                    mode=session.manager.decoder_mode(now).value,
+                    submitted_at=now, completed_at=now,
+                    cached=True, seq=seq,
+                )]
+            if isinstance(entry, CacheEntry):
+                features = entry.features  # in flight: DSP already paid
+            else:
+                features = self.pipeline.prepare_waveform(signal)
+                self.cache.put(key, CacheEntry(features=features))
+            request = BatchRequest(
+                session_id=session_id, key=key, features=features,
+                submitted_at=now, seq=seq,
+            )
+            return self._finish(self.batcher.submit(request, now))
+
+    # -- pumping -----------------------------------------------------------
+
+    def poll(self, now: float) -> list[ServeResult]:
+        """Advance workload time: deadline flushes + idle-session eviction."""
+        with self._lock:
+            self.sessions.evict_idle(now)
+            return self._finish(self.batcher.poll(now))
+
+    def drain(self, now: float) -> list[ServeResult]:
+        """Force-flush everything pending (shutdown / end of workload)."""
+        with self._lock:
+            return self._finish(self.batcher.flush(now))
+
+    # -- internals ---------------------------------------------------------
+
+    def _finish(self, outcomes: list[BatchResult]) -> list[ServeResult]:
+        """Fan flush outcomes back out to their sessions."""
+        obs = get_registry()
+        results: list[ServeResult] = []
+        for outcome in outcomes:
+            request = outcome.request
+            session = self.sessions.get_or_create(
+                request.session_id, outcome.flushed_at
+            )
+            if outcome.label_index is None:
+                label = session.fallback_label
+                degraded = True
+                obs.inc("serve.degraded")
+            else:
+                label = self.label_names[outcome.label_index]
+                degraded = False
+                entry = self.cache.peek(request.key)
+                if isinstance(entry, CacheEntry):
+                    entry.label = label
+            emotion = session.deliver(label, outcome.flushed_at, degraded)
+            self.completed += 1
+            latency = outcome.flushed_at - request.submitted_at
+            obs.observe("serve.latency_s", latency)
+            results.append(ServeResult(
+                session_id=request.session_id, label=label, emotion=emotion,
+                mode=session.manager.decoder_mode(outcome.flushed_at).value,
+                submitted_at=request.submitted_at,
+                completed_at=outcome.flushed_at,
+                degraded=degraded, seq=request.seq,
+            ))
+        return results
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Windows accepted but not yet flushed."""
+        return self.batcher.depth
+
+    @property
+    def dropped(self) -> int:
+        """Requests neither completed, shed, nor pending — must stay 0."""
+        return self.submitted - self.completed - self.shed - self.pending
+
+    def stats(self) -> dict[str, object]:
+        """One JSON-able snapshot of the runtime's health."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "pending": self.pending,
+            "dropped": self.dropped,
+            "sessions_active": len(self.sessions),
+            "sessions_created": self.sessions.created,
+            "sessions_evicted_idle": self.sessions.evicted_idle,
+            "sessions_evicted_lru": self.sessions.evicted_lru,
+            "cache_hit_rate": self.cache.hit_rate,
+            "cache_entries": len(self.cache),
+            "batch_flushes": self.batcher.flushes,
+            "degraded_flushes": self.batcher.degraded_flushes,
+            "breaker_state": self.breaker.state,
+            "healthy": self.breaker.state == CLOSED and self.dropped == 0,
+        }

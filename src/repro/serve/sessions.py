@@ -1,0 +1,170 @@
+"""Per-user session state for the multi-tenant serving runtime.
+
+Each connected user owns a :class:`Session`: a smoothed
+:class:`~repro.affect.stream.EmotionStream` inside an
+:class:`~repro.core.controller.AffectDrivenSystemManager` (so every user
+gets their own committed emotion state and decoder-mode policy), plus the
+per-session rung of the degradation ladder — the last label served from a
+live inference, used as the shed/degraded fallback before dropping to
+neutral.
+
+The :class:`SessionManager` bounds memory two ways, both required on an
+edge-class host: an **idle TTL** (a user who stopped sending windows is
+forgotten) and a **hard session cap** with least-recently-active
+eviction, so a burst of new users cannot grow state without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.controller import AffectDrivenSystemManager
+from repro.errors import SessionEvictedError
+from repro.obs import get_registry
+
+
+@dataclass
+class Session:
+    """State the runtime keeps per connected user."""
+
+    session_id: str
+    manager: AffectDrivenSystemManager
+    created_at: float
+    last_active: float
+    neutral_label: str = "neutral"
+    windows: int = 0
+    degraded_windows: int = 0
+    shed_windows: int = 0
+    last_good: str | None = field(default=None, repr=False)
+
+    @property
+    def fallback_label(self) -> str:
+        """Shed/degraded result: last live label, else neutral."""
+        return self.last_good if self.last_good is not None else self.neutral_label
+
+    def deliver(self, label: str, now: float, degraded: bool) -> str | None:
+        """Feed one served label into the session's smoothed stream.
+
+        Degraded labels are *withheld* from the stream (stale evidence
+        must not vote on mood changes, mirroring the chaos workload's
+        contract) but still count toward activity.  Returns the committed
+        emotion state after the push.
+        """
+        self.windows += 1
+        self.last_active = max(self.last_active, now)
+        if degraded:
+            self.degraded_windows += 1
+            return self.manager.effective_emotion(now)
+        self.last_good = label
+        return self.manager.observe(label, timestamp=now)
+
+
+class SessionManager:
+    """Owns the session table: lookup, touch, and two-sided eviction.
+
+    Parameters
+    ----------
+    idle_ttl_s:
+        Sessions inactive longer than this are dropped by
+        :meth:`evict_idle` (workload time).
+    max_sessions:
+        Hard cap; creating one more evicts the least recently active.
+    stale_ttl_s:
+        Freshness horizon handed to each session's system manager.
+    manager_factory:
+        Builds the per-session controller (tests inject custom policies).
+    """
+
+    def __init__(
+        self,
+        idle_ttl_s: float = 30.0,
+        max_sessions: int = 4096,
+        stale_ttl_s: float | None = 5.0,
+        neutral_label: str = "neutral",
+        manager_factory: Callable[[], AffectDrivenSystemManager] | None = None,
+    ) -> None:
+        if idle_ttl_s <= 0:
+            raise ValueError("idle_ttl_s must be positive")
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.idle_ttl_s = idle_ttl_s
+        self.max_sessions = max_sessions
+        self.stale_ttl_s = stale_ttl_s
+        self.neutral_label = neutral_label
+        self._manager_factory = manager_factory or (
+            lambda: AffectDrivenSystemManager(stale_ttl_s=self.stale_ttl_s)
+        )
+        self.created = 0
+        self.evicted_idle = 0
+        self.evicted_lru = 0
+        # Ordered least- to most-recently-active.
+        self._sessions: OrderedDict[str, Session] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    def ids(self) -> list[str]:
+        """Session ids, least recently active first."""
+        return list(self._sessions)
+
+    def get(self, session_id: str) -> Session:
+        """The live session, or :class:`SessionEvictedError` if absent."""
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionEvictedError(session_id)
+        return session
+
+    def get_or_create(self, session_id: str, now: float) -> Session:
+        """Fetch-and-touch, creating (and possibly LRU-evicting) on miss."""
+        obs = get_registry()
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is not None:
+                session.last_active = max(session.last_active, now)
+                self._sessions.move_to_end(session_id)
+                return session
+            while len(self._sessions) >= self.max_sessions:
+                self._sessions.popitem(last=False)
+                self.evicted_lru += 1
+                obs.inc("serve.sessions.evicted_lru")
+                obs.inc("serve.sessions.evicted")
+            session = Session(
+                session_id=session_id,
+                manager=self._manager_factory(),
+                created_at=now,
+                last_active=now,
+                neutral_label=self.neutral_label,
+            )
+            self._sessions[session_id] = session
+            self.created += 1
+            obs.inc("serve.sessions.created")
+            obs.set_gauge("serve.sessions.active", len(self._sessions))
+            return session
+
+    def evict_idle(self, now: float) -> int:
+        """Drop every session idle past the TTL; returns how many."""
+        obs = get_registry()
+        evicted = 0
+        with self._lock:
+            # The table is only *approximately* ordered by last_active
+            # (deliveries touch sessions without reordering), so scan all;
+            # eviction is rare enough that O(n) per poll is acceptable.
+            for session_id in [
+                sid for sid, s in self._sessions.items()
+                if now - s.last_active > self.idle_ttl_s
+            ]:
+                del self._sessions[session_id]
+                evicted += 1
+            if evicted:
+                self.evicted_idle += evicted
+                obs.inc("serve.sessions.evicted_idle", evicted)
+                obs.inc("serve.sessions.evicted", evicted)
+        obs.set_gauge("serve.sessions.active", len(self._sessions))
+        return evicted

@@ -131,6 +131,34 @@ class TestEmotionStream:
         stream.reset()
         assert stream.current is None
         assert stream.events == []
+        assert stream.last_timestamp is None
+
+    def test_default_timestamps_advance_monotonically(self):
+        # Regression: push() used to default timestamp to a constant 0.0,
+        # so mixing explicit and defaulted pushes stamped events *before*
+        # earlier ones and tripped the controller's non-monotonic clamp.
+        stream = EmotionStream(window=1)
+        stream.push("a", 10.0)
+        stream.push("b")  # defaulted: must land after 10.0, not at 0.0
+        stream.push("c")
+        timestamps = [e.timestamp for e in stream.events]
+        assert timestamps == [10.0, 11.0, 12.0]
+        assert stream.last_timestamp == 12.0
+
+    def test_default_timestamps_never_run_behind_explicit(self):
+        from repro.core.controller import AffectDrivenSystemManager
+        from repro.obs import get_registry
+
+        get_registry().reset()
+        manager = AffectDrivenSystemManager()
+        manager.observe("happy", timestamp=5.0)
+        for _ in range(4):
+            manager.observe("happy")  # defaulted timestamps
+        clamps = get_registry().counter(
+            "core.controller.nonmonotonic_timestamps"
+        ).value
+        assert clamps == 0
+        assert manager.last_observation_ts > 5.0
 
     def test_invalid_window(self):
         with pytest.raises(ValueError):

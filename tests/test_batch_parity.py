@@ -1,0 +1,95 @@
+"""Batch-vs-single inference parity.
+
+The micro-batching serving runtime rests on one assumption: submitting a
+row alone or inside a batch yields the same label.  These tests pin that
+for the float model, the int8 quantized model, and the pipeline's
+waveform entry points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.affect.pipeline import AffectClassifierPipeline
+from repro.datasets.speech import synthesize_utterance
+from repro.nn.quantization import quantize_model
+
+
+@pytest.fixture(scope="module")
+def trained(small_corpus):
+    pipeline = AffectClassifierPipeline("mlp", seed=0)
+    pipeline.train(small_corpus, epochs=4)
+    return pipeline
+
+
+@pytest.fixture(scope="module")
+def feature_batch(small_corpus, trained):
+    x, _, _, _ = small_corpus.split(test_fraction=0.3, seed=0)
+    clf = trained.classifier
+    return clf.normalize(x[:16])
+
+
+class TestModelBatchParity:
+    def test_predict_single_vs_batch(self, trained, feature_batch):
+        model = trained.classifier.model
+        batched = model.predict(feature_batch)
+        singles = np.array(
+            [int(model.predict(row[None, ...])[0]) for row in feature_batch]
+        )
+        assert np.array_equal(batched, singles)
+
+    def test_predict_proba_single_vs_batch(self, trained, feature_batch):
+        model = trained.classifier.model
+        batched = model.predict_proba(feature_batch)
+        for i, row in enumerate(feature_batch):
+            single = model.predict_proba(row[None, ...])[0]
+            np.testing.assert_allclose(batched[i], single, rtol=1e-6,
+                                       atol=1e-9)
+
+    def test_predict_crosses_internal_batch_boundary(self, trained,
+                                                     feature_batch):
+        # Submitting with a tiny internal batch_size must not change labels.
+        model = trained.classifier.model
+        assert np.array_equal(
+            model.predict(feature_batch, batch_size=3),
+            model.predict(feature_batch),
+        )
+
+    def test_quantized_single_vs_batch(self, trained, feature_batch):
+        quantized = quantize_model(trained.classifier.model)
+        batched = quantized.predict(feature_batch)
+        singles = np.array(
+            [int(quantized.predict(row[None, ...])[0]) for row in feature_batch]
+        )
+        assert np.array_equal(batched, singles)
+        probas = quantized.predict_proba(feature_batch)
+        for i, row in enumerate(feature_batch):
+            np.testing.assert_allclose(
+                probas[i], quantized.predict_proba(row[None, ...])[0],
+                rtol=1e-6, atol=1e-9,
+            )
+
+
+class TestPipelineBatchParity:
+    def test_classify_waveforms_matches_loop(self, trained):
+        labels = trained.classifier.label_names
+        waves = [
+            synthesize_utterance(labels[i % len(labels)], actor=i % 4,
+                                 sentence=i % 3, take=i)
+            for i in range(6)
+        ]
+        batched = trained.classify_waveforms(waves)
+        assert batched.shape == (6,)
+        for wave, label in zip(waves, batched):
+            assert trained.classify_waveform(wave) == label
+
+    def test_classify_waveforms_empty(self, trained):
+        assert trained.classify_waveforms([]).shape == (0,)
+
+    def test_classify_waveform_still_returns_str(self, trained):
+        labels = trained.classifier.label_names
+        wave = synthesize_utterance(labels[0])
+        result = trained.classify_waveform(wave)
+        assert isinstance(result, str)
+        assert result in labels

@@ -1,0 +1,362 @@
+"""The multi-session serving runtime: cache, batcher, sessions, server."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.affect.pipeline import AffectClassifierPipeline
+from repro.datasets import emovo_like
+from repro.datasets.speech import synthesize_utterance
+from repro.errors import OverloadShedError, SessionEvictedError
+from repro.resilience import CLOSED, OPEN, CircuitBreaker
+from repro.serve import (
+    AffectServer,
+    BatchRequest,
+    LRUCache,
+    MicroBatcher,
+    ServeConfig,
+    SessionManager,
+    window_hash,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    corpus = emovo_like(n_per_class=4, seed=0)
+    p = AffectClassifierPipeline("mlp", seed=0)
+    p.train(corpus, epochs=3)
+    return p
+
+
+@pytest.fixture(scope="module")
+def waves(pipeline):
+    labels = pipeline.classifier.label_names
+    return [
+        synthesize_utterance(labels[i % len(labels)], actor=i % 4,
+                             sentence=i % 3, take=i)
+        for i in range(8)
+    ]
+
+
+class TestWindowHash:
+    def test_content_keyed(self):
+        a = np.arange(64, dtype=np.float64)
+        assert window_hash(a) == window_hash(a.copy())
+        assert window_hash(a) != window_hash(a + 1e-12)
+
+    def test_dtype_and_shape_sensitive(self):
+        a = np.zeros(16, dtype=np.float64)
+        assert window_hash(a) != window_hash(a.astype(np.float32))
+        assert window_hash(a) != window_hash(a.reshape(4, 4))
+
+    def test_non_contiguous_view(self):
+        a = np.arange(32, dtype=np.float64)
+        assert window_hash(a[::2]) == window_hash(a[::2].copy())
+
+
+class TestLRUCache:
+    def test_capacity_evicts_least_recent(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a"
+        cache.put("c", 3)  # evicts "b"
+        assert "b" not in cache
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(capacity=4)
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        assert cache.get("absent") is None
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_peek_does_not_touch(self):
+        cache = LRUCache(capacity=1)
+        cache.put("k", "v")
+        assert cache.peek("k") == "v"
+        assert cache.peek("absent") is None
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=0)
+
+
+def _request(key: str, sid: str = "s", now: float = 0.0,
+             seq: int = 0) -> BatchRequest:
+    features = np.full((2, 3), float(sum(map(ord, key))))
+    return BatchRequest(session_id=sid, key=key, features=features,
+                        submitted_at=now, seq=seq)
+
+
+class TestMicroBatcher:
+    def test_flush_on_full(self):
+        calls = []
+
+        def predict(x):
+            calls.append(x.shape[0])
+            return np.arange(x.shape[0])
+
+        batcher = MicroBatcher(predict, max_batch=3, max_wait_s=10.0)
+        assert batcher.submit(_request("a"), 0.0) == []
+        assert batcher.submit(_request("b"), 0.1) == []
+        results = batcher.submit(_request("c"), 0.2)
+        assert [r.label_index for r in results] == [0, 1, 2]
+        assert calls == [3]
+        assert batcher.depth == 0
+
+    def test_flush_on_deadline(self):
+        batcher = MicroBatcher(lambda x: np.zeros(len(x), dtype=int),
+                               max_batch=100, max_wait_s=0.5)
+        batcher.submit(_request("a", now=1.0), 1.0)
+        assert not batcher.due(1.4)
+        assert batcher.poll(1.4) == []
+        assert batcher.due(1.5)
+        results = batcher.poll(1.6)
+        assert len(results) == 1
+        assert results[0].flushed_at == 1.6
+        assert batcher.poll(1.7) == []  # nothing pending
+
+    def test_identical_windows_coalesce_to_one_row(self):
+        shapes = []
+
+        def predict(x):
+            shapes.append(x.shape[0])
+            return np.arange(x.shape[0]) + 7
+
+        batcher = MicroBatcher(predict, max_batch=4, max_wait_s=1.0)
+        batcher.submit(_request("same", sid="u1"), 0.0)
+        batcher.submit(_request("same", sid="u2"), 0.0)
+        batcher.submit(_request("same", sid="u3"), 0.0)
+        results = batcher.submit(_request("other", sid="u4"), 0.0)
+        assert shapes == [2]  # 4 requests, 2 unique windows
+        by_sid = {r.request.session_id: r.label_index for r in results}
+        assert by_sid == {"u1": 7, "u2": 7, "u3": 7, "u4": 8}
+
+    def test_failure_degrades_and_opens_breaker(self):
+        def predict(x):
+            raise RuntimeError("model crashed")
+
+        breaker = CircuitBreaker(failure_threshold=1, recovery_s=5.0)
+        batcher = MicroBatcher(predict, max_batch=1, breaker=breaker)
+        results = batcher.submit(_request("a"), 0.0)
+        assert results[0].degraded and results[0].label_index is None
+        assert breaker.state == OPEN
+        # While open, flushes shed without calling the model at all.
+        results = batcher.submit(_request("b"), 1.0)
+        assert results[0].degraded
+        assert batcher.degraded_flushes == 2
+
+    def test_breaker_recovery_restores_service(self):
+        healthy = [False]
+
+        def predict(x):
+            if not healthy[0]:
+                raise RuntimeError("down")
+            return np.zeros(len(x), dtype=int)
+
+        breaker = CircuitBreaker(failure_threshold=1, recovery_s=2.0)
+        batcher = MicroBatcher(predict, max_batch=1, breaker=breaker)
+        assert batcher.submit(_request("a"), 0.0)[0].degraded
+        healthy[0] = True
+        # Past recovery_s the half-open probe succeeds and closes it.
+        results = batcher.submit(_request("b"), 3.0)
+        assert not results[0].degraded
+        assert breaker.state == CLOSED
+
+    def test_invalid_config(self):
+        predict = lambda x: np.zeros(len(x), dtype=int)  # noqa: E731
+        with pytest.raises(ValueError):
+            MicroBatcher(predict, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(predict, max_wait_s=-1.0)
+
+
+class TestSessionManager:
+    def test_create_touch_and_order(self):
+        manager = SessionManager(idle_ttl_s=10.0, max_sessions=8)
+        manager.get_or_create("a", 0.0)
+        manager.get_or_create("b", 1.0)
+        manager.get_or_create("a", 2.0)  # touch re-orders
+        assert manager.ids() == ["b", "a"]
+        assert manager.created == 2
+
+    def test_idle_eviction(self):
+        manager = SessionManager(idle_ttl_s=5.0)
+        manager.get_or_create("old", 0.0)
+        manager.get_or_create("fresh", 4.0)
+        assert manager.evict_idle(6.0) == 1
+        assert "old" not in manager and "fresh" in manager
+        with pytest.raises(SessionEvictedError):
+            manager.get("old")
+
+    def test_lru_cap_eviction(self):
+        manager = SessionManager(idle_ttl_s=100.0, max_sessions=2)
+        manager.get_or_create("a", 0.0)
+        manager.get_or_create("b", 1.0)
+        manager.get_or_create("c", 2.0)  # evicts "a"
+        assert manager.ids() == ["b", "c"]
+        assert manager.evicted_lru == 1
+
+    def test_degraded_labels_do_not_vote(self):
+        manager = SessionManager(idle_ttl_s=10.0)
+        session = manager.get_or_create("u", 0.0)
+        for t in range(3):  # enough live votes to commit "happy"
+            session.deliver("happy", float(t), degraded=False)
+        for t in range(3, 8):
+            session.deliver("angry", float(t), degraded=True)
+        # Degraded evidence was withheld; the stream saw only "happy".
+        assert session.manager.current_emotion == "happy"
+        assert session.degraded_windows == 5
+        assert session.windows == 8
+        assert session.fallback_label == "happy"
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SessionManager(idle_ttl_s=0.0)
+        with pytest.raises(ValueError):
+            SessionManager(max_sessions=0)
+
+
+class TestAffectServer:
+    def _server(self, pipeline, **overrides) -> AffectServer:
+        defaults = dict(max_batch=4, max_wait_s=0.5, max_queue=64,
+                        idle_ttl_s=100.0, stale_ttl_s=None)
+        defaults.update(overrides)
+        return AffectServer(pipeline, ServeConfig(**defaults))
+
+    def test_requires_trained_pipeline(self):
+        with pytest.raises(ValueError):
+            AffectServer(AffectClassifierPipeline("mlp", seed=0))
+
+    def test_served_labels_match_sequential_classification(self, pipeline,
+                                                           waves):
+        server = self._server(pipeline)
+        results = []
+        for i, wave in enumerate(waves):
+            results += server.submit(f"user-{i % 2}", wave, now=0.1 * i)
+        results += server.drain(now=1.0)
+        assert len(results) == len(waves)
+        expected = {i: pipeline.classify_waveform(w)
+                    for i, w in enumerate(waves)}
+        for result in sorted(results, key=lambda r: r.seq):
+            assert not result.degraded and not result.shed
+            assert result.label == expected[result.seq]
+
+    def test_cache_hit_skips_dsp_and_inference(self, pipeline, waves):
+        server = self._server(pipeline, max_batch=1)
+        first = server.submit("u1", waves[0], now=0.0)
+        assert len(first) == 1 and not first[0].cached
+        flushes_before = server.batcher.flushes
+        # Same window from another session: served from cache, no flush.
+        second = server.submit("u2", waves[0], now=0.1)
+        assert len(second) == 1 and second[0].cached
+        assert second[0].label == first[0].label
+        assert second[0].latency_s == 0.0
+        assert server.batcher.flushes == flushes_before
+
+    def test_poll_flushes_on_deadline_and_evicts_idle(self, pipeline, waves):
+        server = self._server(pipeline, max_batch=100, max_wait_s=0.5,
+                              idle_ttl_s=2.0)
+        assert server.submit("u1", waves[0], now=0.0) == []
+        assert server.poll(now=0.4) == []
+        results = server.poll(now=0.6)
+        assert len(results) == 1 and results[0].completed_at == 0.6
+        assert len(server.sessions) == 1
+        server.poll(now=10.0)
+        assert len(server.sessions) == 0
+
+    def test_overload_sheds_to_fallback_never_drops(self, pipeline, waves):
+        server = self._server(pipeline, max_batch=100, max_wait_s=10.0,
+                              max_queue=3)
+        results = []
+        for i in range(8):
+            results += server.submit(f"u{i}", waves[i], now=0.0)
+        shed = [r for r in results if r.shed]
+        assert len(shed) == 5  # queue holds 3, the rest shed immediately
+        for result in shed:
+            assert result.degraded
+            assert result.label == server.neutral_label  # no last-good yet
+        results += server.drain(now=1.0)
+        assert server.dropped == 0
+        assert server.submitted == len(results) == 8
+
+    def test_strict_admission_raises(self, pipeline, waves):
+        server = self._server(pipeline, max_queue=1, max_wait_s=10.0,
+                              max_batch=100, strict_admission=True)
+        server.submit("u1", waves[0], now=0.0)
+        with pytest.raises(OverloadShedError):
+            server.submit("u2", waves[1], now=0.0)
+        # Rejected requests never count as submitted (nothing to account).
+        assert server.submitted == 1
+        assert server.dropped == 0
+
+    def test_batch_failure_degrades_to_session_fallback(self, pipeline,
+                                                        waves):
+        server = self._server(pipeline, max_batch=1)
+        good = server.submit("u1", waves[0], now=0.0)[0]
+        assert not good.degraded
+        server.batcher.predict_batch = lambda x: (_ for _ in ()).throw(
+            RuntimeError("model crashed")
+        )
+        degraded = server.submit("u1", waves[1], now=1.0)[0]
+        assert degraded.degraded
+        assert degraded.label == good.label  # last live label, not neutral
+        stats = server.stats()
+        assert stats["degraded_flushes"] == 1
+        assert not stats["healthy"] or stats["breaker_state"] == CLOSED
+
+    def test_stats_shape(self, pipeline, waves):
+        server = self._server(pipeline)
+        server.submit("u1", waves[0], now=0.0)
+        server.drain(now=1.0)
+        stats = server.stats()
+        assert stats["submitted"] == stats["completed"] == 1
+        assert stats["dropped"] == 0 and stats["healthy"]
+        assert stats["sessions_active"] == 1
+
+    def test_concurrent_submitters_account_exactly(self, pipeline, waves):
+        server = self._server(pipeline, max_batch=8, max_wait_s=0.1)
+        results, errors = [], []
+        lock = threading.Lock()
+
+        def drive(worker: int) -> None:
+            try:
+                for i in range(16):
+                    out = server.submit(f"w{worker}", waves[(worker + i) % 8],
+                                        now=float(i))
+                    with lock:
+                        results.extend(out)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=drive, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        results.extend(server.drain(now=100.0))
+        assert errors == []
+        assert server.submitted == 64
+        assert len(results) == 64
+        assert server.dropped == 0
+
+
+class TestServeBenchSmoke:
+    def test_small_run_accounts_and_reports(self, pipeline):
+        from repro.serve.bench import run_serve_bench
+
+        report = run_serve_bench(sessions=4, seconds=1.0, seed=1,
+                                 max_batch=8, pipeline=pipeline)
+        acct = report["accounting"]
+        assert acct["dropped"] == 0
+        assert acct["submitted"] == acct["completed"] + acct["shed"]
+        assert report["sequential"]["windows"] == report["served"]["windows"]
+        assert report["speedup"] > 0.0
