@@ -9,9 +9,10 @@ terminal::
     repro fig7-emulator     # emulator specification (Fig. 7 right)
     repro fig10-memory      # memory / loading-time savings (Fig. 10)
     repro fig3-models       # classifier study (Fig. 3; slow)
-    repro stats             # end-to-end workload + metrics report
+    repro stats             # end-to-end workload + metrics/SLO report
     repro chaos             # end-to-end workload under fault injection
     repro serve-bench       # multi-session serving runtime benchmark
+    repro trace             # per-request trace capture (Perfetto JSON)
 """
 
 from __future__ import annotations
@@ -144,14 +145,31 @@ def _stats(args: argparse.Namespace) -> None:
     import json
 
     from repro.obs import get_registry
+    from repro.obs.export import prometheus_text
+    from repro.obs.slo import evaluate_slos, render_slo_report
     from repro.obs.workload import run_canned_workload
 
     registry = get_registry()
     registry.reset()
     summary = run_canned_workload(seed=args.seed)
-    if args.json or args.output:
+    fmt = "json" if args.json else args.format
+    if fmt == "prom":
+        exposition = prometheus_text(registry)
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(exposition)
+            print(f"wrote Prometheus exposition to {args.output}")
+        else:
+            print(exposition, end="")
+        return
+    if fmt == "json" or args.output:
         report = json.dumps(
-            {"workload": summary, "metrics": registry.snapshot()},
+            {
+                "workload": summary,
+                "metrics": registry.snapshot(),
+                "slos": [v.to_dict() for v in evaluate_slos(registry)],
+            },
             indent=2, sort_keys=True,
         )
         if args.output:
@@ -166,6 +184,7 @@ def _stats(args: argparse.Namespace) -> None:
     for section, values in summary.items():
         print(f"{section}: {values}")
     print(registry.render_text())
+    print(render_slo_report(evaluate_slos(registry)))
 
 
 def _chaos(args: argparse.Namespace) -> None:
@@ -220,6 +239,54 @@ def _chaos(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _trace(args: argparse.Namespace) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.obs import get_registry
+    from repro.obs.export import (
+        chrome_trace_events,
+        render_trace_tree,
+        spans_to_jsonl,
+    )
+    from repro.obs.slo import evaluate_slos, render_slo_report
+    from repro.serve.bench import run_trace_workload, serve_chain_coverage
+
+    registry = get_registry()
+    registry.reset()
+    report, spans = run_trace_workload(
+        sessions=args.sessions, seconds=args.seconds, seed=args.seed,
+        max_batch=args.batch, sample_rate=args.sample_rate,
+    )
+    path = Path(args.output or "trace.json")
+    events = chrome_trace_events(spans)
+    path.write_text(json.dumps(
+        {"traceEvents": events, "displayTimeUnit": "ms"}
+    ) + "\n")
+    if args.jsonl:
+        Path(args.jsonl).write_text(spans_to_jsonl(spans))
+    coverage = serve_chain_coverage(spans)
+    print(render_trace_tree(spans, max_traces=args.max_traces))
+    print()
+    acct = report["accounting"]
+    print(f"== trace ({args.sessions} sessions, {args.seconds:g} s, "
+          f"sample rate {args.sample_rate:g}) ==")
+    print(f"windows: {acct['submitted']} submitted, {acct['completed']} "
+          f"completed, {acct['shed']} shed")
+    print(f"spans: {len(spans)} across "
+          f"{len({s.trace_id for s in spans})} traces")
+    print(f"chain coverage: {coverage['covered']}/{coverage['windows']} "
+          f"completed windows ({coverage['coverage'] * 100:.1f}%)")
+    print(render_slo_report(evaluate_slos(registry)))
+    print(f"wrote {len(events)} trace events to {path}")
+    if args.jsonl:
+        print(f"wrote {len(spans)} spans to {args.jsonl}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    if coverage["coverage"] < 0.95:
+        # The tracing contract: completed windows must be attributable.
+        raise SystemExit(1)
+
+
 def _serve_bench(args: argparse.Namespace) -> None:
     import json
     from pathlib import Path
@@ -244,10 +311,20 @@ def _serve_bench(args: argparse.Namespace) -> None:
         )
         shed = sum(cell["accounting"]["shed"] for _, _, _, cell in cells)
     else:
+        from repro.obs import get_registry
+        from repro.serve.bench import measure_trace_overhead, train_bench_pipeline
+
+        get_registry().reset()
+        pipeline = train_bench_pipeline(seed=args.seed)
         payload = run_serve_bench(
             sessions=args.sessions, seconds=args.seconds, seed=args.seed,
-            max_batch=args.batch,
+            max_batch=args.batch, pipeline=pipeline,
         )
+        if not args.no_trace_overhead:
+            payload["trace_overhead"] = measure_trace_overhead(
+                pipeline, sessions=args.sessions, seconds=args.seconds,
+                seed=args.seed, max_batch=args.batch,
+            )
         served = payload["served"]
         seq = payload["sequential"]
         acct = payload["accounting"]
@@ -262,6 +339,17 @@ def _serve_bench(args: argparse.Namespace) -> None:
         lat = served["latency_s"]
         print(f"latency (workload s): p50={lat['p50']:.3f} "
               f"p95={lat['p95']:.3f} p99={lat['p99']:.3f}")
+        stages = served.get("stages", {})
+        for stage in sorted(stages):
+            s = stages[stage]
+            print(f"stage {stage:<10} n={s['count']:<6,.0f} "
+                  f"mean={s['mean'] * 1e3:.3f} ms p95={s['p95'] * 1e3:.3f} ms")
+        overhead = payload.get("trace_overhead")
+        if overhead:
+            print(f"trace overhead: {overhead['overhead_frac'] * 100:+.2f}% "
+                  f"(on {overhead['tracing_on_wall_s'] * 1e3:.0f} ms vs "
+                  f"off {overhead['tracing_off_wall_s'] * 1e3:.0f} ms, "
+                  f"best of {overhead['repeats']})")
         print(f"accounting: {acct['submitted']} submitted = "
               f"{acct['completed']} completed + {acct['shed']} shed "
               f"({acct['dropped']} dropped)")
@@ -300,6 +388,7 @@ _COMMANDS = {
     "stats": _stats,
     "chaos": _chaos,
     "serve-bench": _serve_bench,
+    "trace": _trace,
 }
 
 
@@ -315,12 +404,32 @@ def main(argv: list[str] | None = None) -> int:
         help="samples per emotion class for fig3-models",
     )
     parser.add_argument(
-        "--output", type=str, default=None,
-        help="output path for export-trace / stats",
+        "--output", "--out", type=str, default=None, dest="output",
+        help="output path for export-trace / stats / trace",
     )
     parser.add_argument(
         "--json", action="store_true",
         help="emit the stats/chaos report as JSON on stdout",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "prom"), default="text",
+        help="stats output format (prom = Prometheus text exposition)",
+    )
+    parser.add_argument(
+        "--sample-rate", type=float, default=1.0,
+        help="head-sampling probability for trace (default 1.0)",
+    )
+    parser.add_argument(
+        "--max-traces", type=int, default=3,
+        help="trace trees to print before truncating (default 3)",
+    )
+    parser.add_argument(
+        "--jsonl", type=str, default=None,
+        help="also write the trace's spans as JSONL to this path",
+    )
+    parser.add_argument(
+        "--no-trace-overhead", action="store_true",
+        help="serve-bench: skip the tracing-on vs tracing-off overhead arm",
     )
     parser.add_argument(
         "--fault-rate", type=float, default=0.2,

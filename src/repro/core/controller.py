@@ -25,6 +25,7 @@ from repro.core.app_policy import EmotionalAppPolicy
 from repro.core.modes import DecoderMode
 from repro.core.video_policy import VideoModePolicy
 from repro.obs import get_registry
+from repro.obs.trace import get_tracer
 
 
 @dataclass
@@ -77,8 +78,16 @@ class AffectDrivenSystemManager:
             self.app_policy.set_emotion(state)
         if state != previous:
             obs.inc("core.controller.state_changes")
-            if self.decoder_mode() != mode_before:
+            mode_after = self.decoder_mode()
+            if mode_after != mode_before:
                 obs.inc("core.controller.mode_changes")
+                # Mode commits are the decisions the whole chain exists to
+                # make; stamp them onto whatever request is in flight.
+                get_tracer().annotate("controller.mode_commit", {
+                    "emotion": state,
+                    "mode": mode_after.value,
+                    "previous_mode": mode_before.value,
+                })
         return state
 
     @property
@@ -114,6 +123,8 @@ class AffectDrivenSystemManager:
                 obs = get_registry()
                 obs.inc("core.controller.stale_decays")
                 obs.set_gauge("resilience.degraded", 1.0)
+                get_tracer().annotate("controller.stale_decay",
+                                      {"last_ts": self._last_ts})
             return None
         return state
 

@@ -17,6 +17,7 @@ from repro.dsp.spectral import magnitude_spectrogram
 from repro.dsp.windows import frame_signal
 from repro.errors import SensorError
 from repro.obs import Timer, get_registry
+from repro.obs.trace import get_tracer
 
 
 @dataclass(frozen=True)
@@ -175,7 +176,11 @@ def extract_feature_matrix(
         config = FeatureConfig()
     obs = get_registry()
     signal = sanitize_signal(signal, nonfinite=nonfinite)
-    with Timer("dsp.features.extract_s", span=True):
+    # Nested under whatever request is in flight (serve traces); a no-op
+    # for standalone feature extraction.
+    with get_tracer().stage("dsp.extract",
+                            attrs={"samples": int(signal.shape[0])}), \
+            Timer("dsp.features.extract_s", span=True):
         with Timer("dsp.features.mfcc_s"):
             cepstra = mfcc(
                 signal,

@@ -12,6 +12,7 @@ from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy, softmax
 from repro.nn.metrics import accuracy
 from repro.nn.optimizers import Adam, Optimizer
 from repro.obs import get_registry
+from repro.obs.trace import get_tracer
 
 
 class Sequential:
@@ -170,10 +171,12 @@ class Sequential:
         if self.is_regression:
             raise RuntimeError("predict_proba is undefined for regression models")
         start_t = time.perf_counter()
-        outputs = []
-        for start in range(0, x.shape[0], batch_size):
-            logits = self.forward(x[start : start + batch_size], training=False)
-            outputs.append(softmax(logits))
+        with get_tracer().stage("nn.predict", attrs={"rows": int(x.shape[0])}):
+            outputs = []
+            for start in range(0, x.shape[0], batch_size):
+                logits = self.forward(x[start : start + batch_size],
+                                      training=False)
+                outputs.append(softmax(logits))
         self._record_inference(x.shape[0], time.perf_counter() - start_t)
         return np.concatenate(outputs, axis=0)
 

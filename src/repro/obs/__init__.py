@@ -3,20 +3,25 @@
 The paper's pitch is a *real-time* closed loop: classifier latency,
 decoder power counters, and app-manager memory traffic are its currency.
 This package gives every layer one zero-dependency place to report those
-numbers:
+numbers — and, since PR 5, to *follow one request* through them:
 
 - :class:`MetricsRegistry` — process-wide counters, gauges, and streaming
-  histograms (p50/p95/p99 without storing samples), with JSON and text
-  export;
+  histograms (p50/p95/p99 without storing samples), with JSON, text, and
+  Prometheus export; :func:`labeled` builds canonical labeled series;
 - :class:`Timer` / :func:`timed` — context-manager and decorator that
   feed latency histograms;
-- :class:`SpanEvent` — structured begin/duration records of recent
-  instrumented operations.
+- :class:`Tracer` / :class:`TraceContext` (:mod:`repro.obs.trace`) —
+  per-request span trees propagated via ``contextvars``, deterministic
+  IDs, head sampling, bounded ring storage;
+- exporters (:mod:`repro.obs.export`) — Prometheus text exposition,
+  Chrome-trace/Perfetto JSON, JSONL span logs, and text trace trees;
+- SLOs (:mod:`repro.obs.slo`) — declared objectives evaluated into
+  error-budget/burn-rate verdicts.
 
 Instrumentation is default-on but cheap: a disabled registry turns every
-``inc``/``observe``/``Timer`` into a no-op, and the enabled path is a
-dict lookup plus an integer add.  ``repro stats`` (see :mod:`repro.cli`)
-runs a canned end-to-end workload and dumps the resulting report.
+``inc``/``observe``/``Timer``/span into a no-op, and the enabled path is
+a dict lookup plus an integer add.  ``repro stats`` and ``repro trace``
+(see :mod:`repro.cli`) run canned workloads and dump the reports.
 """
 
 from repro.obs.registry import (
@@ -25,16 +30,31 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    labeled,
 )
-from repro.obs.timing import SpanEvent, Timer, timed
+from repro.obs.timing import (
+    SpanEvent,
+    Timer,
+    process_epoch,
+    timed,
+    wall_time_of,
+)
+from repro.obs.trace import Span, TraceContext, Tracer, get_tracer
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Span",
     "SpanEvent",
     "Timer",
+    "TraceContext",
+    "Tracer",
     "get_registry",
+    "get_tracer",
+    "labeled",
+    "process_epoch",
     "timed",
+    "wall_time_of",
 ]

@@ -1,0 +1,239 @@
+"""Exporters: Prometheus text, Chrome trace events, JSONL, trace trees.
+
+Everything the registry and tracer collect leaves the process through
+one of these four views:
+
+- :func:`prometheus_text` — the standard text exposition format, so the
+  registry can be scraped (or just diffed) without client libraries;
+- :func:`chrome_trace_events` / :func:`chrome_trace_json` — the Chrome
+  trace-event format, loadable in https://ui.perfetto.dev or
+  ``chrome://tracing`` for a per-request waterfall of the serve chain;
+- :func:`spans_to_jsonl` — one span per line for grep/jq pipelines;
+- :func:`render_trace_tree` — a terminal-friendly indented tree view.
+
+All exporters are pure functions of already-collected data; they take
+the registry/span list, never global state, so tests can feed them
+synthetic inputs.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Iterable
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timing import wall_time_of
+from repro.obs.trace import Span
+
+# -- Prometheus text exposition ---------------------------------------------
+
+#: Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*.
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LABELED = re.compile(r"^(?P<name>[^{]+)\{(?P<labels>.*)\}$")
+
+
+def _prom_name(name: str) -> str:
+    """A repro metric name as a valid Prometheus metric name."""
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"repro_{sanitized}"
+
+
+def _split_labels(key: str) -> tuple[str, str]:
+    """Split a canonical ``name{k="v"}`` registry key into (name, labels)."""
+    match = _LABELED.match(key)
+    if match is None:
+        return key, ""
+    return match.group("name"), match.group("labels")
+
+
+def _fmt(value: float) -> str:
+    """A float in exposition format (integers without the trailing .0)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The whole registry in Prometheus text exposition format.
+
+    Counters and gauges map directly; histograms export as summaries
+    (``quantile`` labels plus ``_sum``/``_count``).  Labeled series
+    created via :func:`repro.obs.registry.labeled` regain their label
+    sets, merged under one ``# TYPE`` declaration per family.
+    """
+    snap = registry.snapshot()
+    lines: list[str] = []
+
+    def emit_family(kind: str, entries: dict[str, float]) -> None:
+        families: dict[str, list[tuple[str, float]]] = {}
+        for key, value in entries.items():
+            name, labels = _split_labels(key)
+            families.setdefault(name, []).append((labels, value))
+        for name in sorted(families):
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} {kind}")
+            for labels, value in sorted(families[name]):
+                suffix = f"{{{labels}}}" if labels else ""
+                lines.append(f"{prom}{suffix} {_fmt(value)}")
+
+    emit_family("counter", snap["counters"])
+    emit_family("gauge", snap["gauges"])
+
+    families: dict[str, list[tuple[str, dict]]] = {}
+    for key, summary in snap["histograms"].items():
+        name, labels = _split_labels(key)
+        families.setdefault(name, []).append((labels, summary))
+    for name in sorted(families):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} summary")
+        for labels, summary in sorted(families[name]):
+            for q_label, q_key in (("0.5", "p50"), ("0.95", "p95"),
+                                   ("0.99", "p99")):
+                merged = f'quantile="{q_label}"'
+                if labels:
+                    merged = f"{labels},{merged}"
+                lines.append(f"{prom}{{{merged}}} {_fmt(summary[q_key])}")
+            suffix = f"{{{labels}}}" if labels else ""
+            lines.append(f"{prom}_sum{suffix} {_fmt(summary['sum'])}")
+            lines.append(f"{prom}_count{suffix} {_fmt(summary['count'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- Chrome trace events (Perfetto) -----------------------------------------
+
+def _trace_tids(spans: Iterable[Span]) -> dict[str, int]:
+    """A stable small thread ID per trace (one Perfetto lane per request)."""
+    tids: dict[str, int] = {}
+    for span in spans:
+        if span.trace_id not in tids:
+            tids[span.trace_id] = len(tids) + 1
+    return tids
+
+
+def chrome_trace_events(spans: list[Span]) -> list[dict]:
+    """Spans as Chrome trace events (``ph: X`` plus instants and flows).
+
+    Each trace gets its own ``tid`` lane under one ``pid``, timestamps
+    are absolute wall-clock microseconds (epoch-anchored), span events
+    become instant (``ph: i``) events, and fan-in links become flow
+    (``s``/``f``) pairs from the linked span to the linking one.
+    """
+    tids = _trace_tids(spans)
+    span_tid = {s.span_id: tids[s.trace_id] for s in spans}
+    events: list[dict] = []
+    flow_id = 0
+    for span in spans:
+        tid = tids[span.trace_id]
+        start_us = wall_time_of(span.start_perf_s) * 1e6
+        end_perf = (span.end_perf_s if span.end_perf_s is not None
+                    else span.start_perf_s)
+        args = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "status": span.status,
+        }
+        if span.workload_time is not None:
+            args["workload_time"] = span.workload_time
+        args.update(span.attrs)
+        events.append({
+            "name": span.name,
+            "ph": "X",
+            "ts": start_us,
+            "dur": max((end_perf - span.start_perf_s) * 1e6, 0.0),
+            "pid": 1,
+            "tid": tid,
+            "cat": span.name.split(".", 1)[0],
+            "args": args,
+        })
+        for annotation in span.events:
+            events.append({
+                "name": annotation.name,
+                "ph": "i",
+                "ts": wall_time_of(annotation.perf_s) * 1e6,
+                "pid": 1,
+                "tid": tid,
+                "s": "t",
+                "cat": "event",
+                "args": dict(annotation.attrs),
+            })
+        for link in span.links:
+            flow_id += 1
+            linked_tid = span_tid.get(link.span_id)
+            if linked_tid is None:
+                continue
+            events.append({
+                "name": "link", "ph": "s", "id": flow_id, "ts": start_us,
+                "pid": 1, "tid": linked_tid, "cat": "link",
+            })
+            events.append({
+                "name": "link", "ph": "f", "bp": "e", "id": flow_id,
+                "ts": start_us + 1.0, "pid": 1, "tid": tid, "cat": "link",
+            })
+    return events
+
+
+def chrome_trace_json(spans: list[Span], indent: int | None = None) -> str:
+    """A complete Perfetto-loadable JSON document for ``spans``."""
+    return json.dumps(
+        {"traceEvents": chrome_trace_events(spans), "displayTimeUnit": "ms"},
+        indent=indent,
+    )
+
+
+# -- JSONL span log ----------------------------------------------------------
+
+def spans_to_jsonl(spans: list[Span]) -> str:
+    """One compact JSON object per line, oldest span first."""
+    return "\n".join(
+        json.dumps(span.to_dict(), sort_keys=True) for span in spans
+    ) + ("\n" if spans else "")
+
+
+# -- text tree view -----------------------------------------------------------
+
+def render_trace_tree(spans: list[Span], max_traces: int | None = None) -> str:
+    """Indented per-request trees: span durations, events, and links.
+
+    Orphan spans (parent fell out of the ring) surface as extra roots
+    rather than disappearing.
+    """
+    by_trace: dict[str, list[Span]] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+    lines: list[str] = []
+    for n, (trace_id, members) in enumerate(by_trace.items()):
+        if max_traces is not None and n >= max_traces:
+            lines.append(f"... {len(by_trace) - max_traces} more traces")
+            break
+        ids = {s.span_id for s in members}
+        children: dict[str | None, list[Span]] = {}
+        for span in members:
+            parent = span.parent_id if span.parent_id in ids else None
+            children.setdefault(parent, []).append(span)
+        for bucket in children.values():
+            bucket.sort(key=lambda s: s.start_perf_s)
+        lines.append(f"trace {trace_id}")
+
+        def walk(span: Span, depth: int) -> None:
+            flags = "" if span.status == "ok" else f" [{span.status}]"
+            lines.append(
+                f"{'  ' * depth}- {span.name}  {span.duration_s * 1e3:.3f} ms"
+                f"{flags}"
+            )
+            for annotation in span.events:
+                lines.append(f"{'  ' * (depth + 1)}* {annotation.name}")
+            if span.links:
+                lines.append(
+                    f"{'  ' * (depth + 1)}~ links: "
+                    + ", ".join(c.trace_id[-8:] for c in span.links)
+                )
+            for child in children.get(span.span_id, []):
+                walk(child, depth + 1)
+
+        for root in children.get(None, []):
+            walk(root, 1)
+    return "\n".join(lines)

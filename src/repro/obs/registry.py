@@ -63,6 +63,21 @@ _BUCKET_BASE = 1.07
 _LOG_BASE = math.log(_BUCKET_BASE)
 
 
+def labeled(name: str, **labels: object) -> str:
+    """Canonical labeled-metric name: ``name{k="v",...}`` (sorted keys).
+
+    The registry stores labeled series as flat entries under this
+    canonical string, so ``labeled("serve.stage_s", stage="dsp")`` always
+    maps to the same series and the Prometheus exporter
+    (:func:`repro.obs.export.prometheus_text`) can split the family name
+    from its label set without a second data structure.
+    """
+    if not labels:
+        return name
+    body = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{body}}}"
+
+
 class Histogram:
     """Streaming distribution summary with approximate quantiles.
 
@@ -113,7 +128,14 @@ class Histogram:
         rank = q * self.count
         cumulative = self._zero
         if cumulative >= rank:
-            return max(self.min, 0.0) if self._zero == self.count else 0.0
+            # q falls in (or below) the non-positive bucket.  Its samples
+            # span [min, 0] when any were negative — returning 0.0 there
+            # (the old behavior) over-reported low quantiles for
+            # mixed-sign data.  With no underflow samples this branch is
+            # only reachable at q == 0, where the exact min is known.
+            if self._zero == 0:
+                return self.min
+            return min(self.min, 0.0)
         for index in sorted(self._buckets):
             cumulative += self._buckets[index]
             if cumulative >= rank:
@@ -121,6 +143,27 @@ class Histogram:
                 estimate = _BUCKET_BASE ** (index + 0.5)
                 return min(max(estimate, self.min), self.max)
         return self.max
+
+    def fraction_below(self, threshold: float) -> float:
+        """Approximate fraction of samples ``<= threshold`` (SLO math).
+
+        Exact for the non-positive bucket; positive buckets count when
+        their geometric midpoint (the same estimate :meth:`quantile`
+        reports) is within the threshold, so the error is bounded by the
+        bucket base like every other estimate here.  Returns 1.0 for an
+        empty histogram — no samples means no violations.
+        """
+        if self.count == 0:
+            return 1.0
+        if threshold >= self.max:
+            return 1.0
+        if threshold < 0.0 or threshold < self.min:
+            return 0.0
+        good = self._zero
+        for index, n in self._buckets.items():
+            if _BUCKET_BASE ** (index + 0.5) <= threshold:
+                good += n
+        return good / self.count
 
     def summary(self) -> dict[str, float]:
         """Exportable summary: count, sum, min/max/mean, p50/p95/p99."""
@@ -212,26 +255,38 @@ class MetricsRegistry:
         """Append one structured span event (bounded ring buffer)."""
         if not self.enabled:
             return
-        self._spans.append(span)
+        with self._lock:
+            self._spans.append(span)
 
     # -- export -----------------------------------------------------------
 
     @property
     def spans(self) -> list[SpanEvent]:
         """Recent span events, oldest first."""
-        return list(self._spans)
+        with self._lock:
+            return list(self._spans)
 
     def snapshot(self, include_spans: bool = False) -> dict:
-        """All metrics as one JSON-serializable dict."""
+        """All metrics as one JSON-serializable dict.
+
+        The metric tables are copied under the registry lock: serve
+        threads create metrics concurrently, and iterating the live
+        dicts raced those inserts (``RuntimeError: dictionary changed
+        size during iteration``).  Values are read outside the lock —
+        single float reads are atomic under the GIL.
+        """
+        with self._lock:
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+            histograms = list(self._histograms.items())
+            spans = list(self._spans) if include_spans else []
         snap: dict = {
-            "counters": {k: c.value for k, c in sorted(self._counters.items())},
-            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
-            "histograms": {
-                k: h.summary() for k, h in sorted(self._histograms.items())
-            },
+            "counters": {k: c.value for k, c in sorted(counters)},
+            "gauges": {k: g.value for k, g in sorted(gauges)},
+            "histograms": {k: h.summary() for k, h in sorted(histograms)},
         }
         if include_spans:
-            snap["spans"] = [s.to_dict() for s in self._spans]
+            snap["spans"] = [s.to_dict() for s in spans]
         return snap
 
     def to_json(self, indent: int = 2, include_spans: bool = False) -> str:

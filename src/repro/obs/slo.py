@@ -1,0 +1,208 @@
+"""Service-level objectives over the metrics registry.
+
+The paper's closed loop is only useful while it is *timely*: a window
+answered late, an emotion decision made on stale evidence, or a request
+shed under overload all consume the same thing — the service's error
+budget.  This module declares those objectives as data, evaluates them
+against a :class:`~repro.obs.registry.MetricsRegistry`, and renders
+pass/fail verdicts with budget math, mirroring how latency-bound serving
+benchmarks (MLPerf server scenarios, Clipper's SLO-driven adaptation)
+report compliance instead of bare averages.
+
+Two objective kinds cover the stack:
+
+- ``latency`` — at least ``target`` of samples in histogram ``metric``
+  must fall at or under ``threshold`` seconds (uses
+  :meth:`~repro.obs.registry.Histogram.fraction_below`);
+- ``ratio`` — the ratio of counter ``metric`` over counter
+  ``denominator`` must stay at or under ``threshold``.
+
+Both express an **error budget**: the tolerated bad fraction
+(``1 - target`` for latency, ``threshold`` for ratios).  ``burn_rate``
+is the observed bad fraction divided by that budget — 1.0 means the
+window exactly spent its budget, above 1.0 means the objective is being
+violated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.registry import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One declared objective, evaluated against the registry.
+
+    Parameters
+    ----------
+    name:
+        Short identifier (``serve-p95-latency``).
+    kind:
+        ``"latency"`` or ``"ratio"`` (see module docstring).
+    metric:
+        Histogram name (latency) or numerator counter name (ratio).
+    threshold:
+        Latency bound in seconds, or the ratio ceiling.
+    target:
+        Required good fraction for latency objectives (e.g. ``0.95``);
+        unused for ratios (their budget *is* the threshold).
+    denominator:
+        Denominator counter for ratio objectives.
+    description:
+        One line for reports.
+    """
+
+    name: str
+    kind: str
+    metric: str
+    threshold: float
+    target: float = 0.95
+    denominator: str | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("latency", "ratio"):
+            raise ValueError(f"unknown SLO kind: {self.kind!r}")
+        if self.kind == "ratio" and self.denominator is None:
+            raise ValueError("ratio objectives need a denominator counter")
+        if self.kind == "latency" and not 0.0 < self.target <= 1.0:
+            raise ValueError("target must be in (0, 1]")
+        if self.threshold < 0:
+            raise ValueError("threshold must be non-negative")
+
+
+@dataclass(frozen=True)
+class SLOVerdict:
+    """The outcome of evaluating one objective.
+
+    ``bad_fraction`` is the observed violation rate, ``error_budget``
+    the tolerated one, ``burn_rate`` their ratio (``0.0`` when the
+    budget itself is zero and nothing was bad), and ``budget_remaining``
+    the unspent share of the budget clamped to ``[0, 1]``.
+    """
+
+    objective: SLObjective
+    ok: bool
+    value: float
+    bad_fraction: float
+    error_budget: float
+    burn_rate: float
+    budget_remaining: float
+    samples: float
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable form (flat, objective fields inlined)."""
+        return {
+            "name": self.objective.name,
+            "kind": self.objective.kind,
+            "metric": self.objective.metric,
+            "threshold": self.objective.threshold,
+            "target": self.objective.target,
+            "description": self.objective.description,
+            "ok": self.ok,
+            "value": self.value,
+            "bad_fraction": self.bad_fraction,
+            "error_budget": self.error_budget,
+            "burn_rate": self.burn_rate,
+            "budget_remaining": self.budget_remaining,
+            "samples": self.samples,
+        }
+
+
+#: The serving stack's default objectives.  Thresholds describe the
+#: canned CI workloads (workload-time latencies, synthetic traffic), not
+#: a production promise — deployments declare their own tuple.
+DEFAULT_SLOS: tuple[SLObjective, ...] = (
+    SLObjective(
+        name="serve-p95-latency",
+        kind="latency",
+        metric="serve.latency_s",
+        threshold=0.5,
+        target=0.95,
+        description="95% of windows complete within 0.5 s end to end",
+    ),
+    SLObjective(
+        name="emotion-staleness",
+        kind="ratio",
+        metric="core.controller.stale_decays",
+        denominator="core.controller.observations",
+        threshold=0.05,
+        description="stale-decay episodes stay under 5% of observations",
+    ),
+    SLObjective(
+        name="shed-rate",
+        kind="ratio",
+        metric="serve.shed",
+        denominator="serve.requests",
+        threshold=0.01,
+        description="at most 1% of requests shed under overload",
+    ),
+)
+
+
+def evaluate_slo(registry: MetricsRegistry,
+                 objective: SLObjective) -> SLOVerdict:
+    """Evaluate one objective against the registry's current state."""
+    if objective.kind == "latency":
+        hist = registry.histogram(objective.metric)
+        good = hist.fraction_below(objective.threshold)
+        bad = 1.0 - good
+        budget = 1.0 - objective.target
+        ok = good >= objective.target
+        value = hist.quantile(objective.target) if hist.count else 0.0
+        samples = float(hist.count)
+    else:
+        numerator = registry.counter(objective.metric).value
+        denominator = registry.counter(objective.denominator or "").value
+        bad = numerator / denominator if denominator else 0.0
+        budget = objective.threshold
+        ok = bad <= objective.threshold
+        value = bad
+        samples = denominator
+    if budget > 0:
+        burn = bad / budget
+    else:
+        burn = 0.0 if bad == 0.0 else float("inf")
+    return SLOVerdict(
+        objective=objective,
+        ok=ok,
+        value=value,
+        bad_fraction=bad,
+        error_budget=budget,
+        burn_rate=burn,
+        budget_remaining=max(0.0, min(1.0, 1.0 - burn)),
+        samples=samples,
+    )
+
+
+def evaluate_slos(
+    registry: MetricsRegistry,
+    objectives: tuple[SLObjective, ...] = DEFAULT_SLOS,
+) -> list[SLOVerdict]:
+    """Evaluate every objective; order follows the declaration tuple."""
+    return [evaluate_slo(registry, objective) for objective in objectives]
+
+
+def render_slo_report(verdicts: list[SLOVerdict]) -> str:
+    """Terminal-friendly verdict table with budget math."""
+    if not verdicts:
+        return "(no objectives declared)"
+    lines = ["== SLOs =="]
+    width = max(len(v.objective.name) for v in verdicts)
+    for verdict in verdicts:
+        mark = "PASS" if verdict.ok else "FAIL"
+        burn = ("inf" if verdict.burn_rate == float("inf")
+                else f"{verdict.burn_rate:.2f}")
+        lines.append(
+            f"{mark}  {verdict.objective.name:<{width}}  "
+            f"bad={verdict.bad_fraction * 100:.2f}% "
+            f"budget={verdict.error_budget * 100:.2f}% "
+            f"burn={burn} "
+            f"remaining={verdict.budget_remaining * 100:.0f}% "
+            f"(n={verdict.samples:g})"
+        )
+        if verdict.objective.description:
+            lines.append(f"      {verdict.objective.description}")
+    return "\n".join(lines)

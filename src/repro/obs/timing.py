@@ -9,13 +9,33 @@ from typing import Any, Callable
 
 from repro.obs.registry import MetricsRegistry, get_registry
 
+#: Process epoch: one (wall clock, perf counter) pair captured at import.
+#: Anchoring every monotonic reading to this single pair turns
+#: perf-counter timestamps into absolute wall-clock times without losing
+#: monotonic precision — required by the Perfetto/Chrome-trace exporters
+#: and by anyone correlating spans across processes.
+_EPOCH_WALL_S = time.time()
+_EPOCH_PERF_S = time.perf_counter()
+
+
+def process_epoch() -> tuple[float, float]:
+    """The ``(time.time(), time.perf_counter())`` pair captured at import."""
+    return _EPOCH_WALL_S, _EPOCH_PERF_S
+
+
+def wall_time_of(perf_s: float) -> float:
+    """Convert a :func:`time.perf_counter` reading to Unix wall time."""
+    return _EPOCH_WALL_S + (perf_s - _EPOCH_PERF_S)
+
 
 @dataclass(frozen=True)
 class SpanEvent:
     """One timed operation: name, monotonic start, and duration.
 
     ``start_s`` is a :func:`time.perf_counter` reading — meaningful for
-    ordering and deltas within a process, not wall-clock time.
+    ordering and deltas within a process.  :meth:`to_dict` additionally
+    reports ``wall_start_s``, the same instant anchored to the process
+    epoch (:func:`process_epoch`), so exports carry absolute timestamps.
     """
 
     name: str
@@ -23,11 +43,17 @@ class SpanEvent:
     duration_s: float
     attrs: dict[str, Any] = field(default_factory=dict)
 
+    @property
+    def wall_start_s(self) -> float:
+        """Absolute (Unix) start time, via the process epoch anchor."""
+        return wall_time_of(self.start_s)
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable form."""
         out: dict[str, Any] = {
             "name": self.name,
             "start_s": self.start_s,
+            "wall_start_s": self.wall_start_s,
             "duration_s": self.duration_s,
         }
         if self.attrs:

@@ -1,0 +1,605 @@
+"""Per-request distributed-style tracing for the affect-serving chain.
+
+The metrics layer (:mod:`repro.obs.registry`) aggregates; this module
+*follows one request*.  A window entering the serve runtime gets a root
+span; every stage it crosses (cache, DSP, batched inference, controller)
+hangs a child span or an event off it, so tail latency is attributable
+to a stage instead of vanishing into a p99.
+
+Design constraints, matching the rest of the repo:
+
+- **zero dependencies** — pure stdlib (``contextvars``, ``threading``);
+- **deterministic** — span/trace IDs derive from a seeded counter plus
+  the caller's workload time, never from wall clock or ``os.urandom``,
+  so two identical runs emit identical traces and tests can assert on
+  IDs;
+- **bounded** — finished spans land in a ring (default 4096); a
+  long-running server never grows tracing state without bound;
+- **cheap when off** — a disabled registry or a head-sampling miss
+  yields a shared no-op span; the hot path is one ``ContextVar.get``
+  and an attribute check.
+
+Propagation uses :mod:`contextvars`: :meth:`Tracer.span` installs the
+new span as the ambient parent for the dynamic extent of the ``with``
+block, so deeply nested layers (``dsp.features`` under
+``affect.pipeline`` under ``serve``) parent correctly without passing
+handles through every signature.  Fan-in stages (micro-batch flushes
+serving many sessions) instead carry *links*: the batch span records the
+:class:`TraceContext` of every member window it served.
+
+Span timestamps are :func:`time.perf_counter` readings anchored to the
+process wall-clock epoch (see :func:`repro.obs.timing.wall_time_of`), so
+exports carry absolute times while in-process math keeps monotonic
+precision.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from typing import Any
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+
+class TraceContext:
+    """Identity of one span: where it lives in which request tree.
+
+    ``trace_id`` names the whole request tree (16 hex bytes), ``span_id``
+    this node (8 hex bytes), ``parent_id`` the enclosing span (``None``
+    for a root).  ``sampled=False`` marks a tree dropped by head
+    sampling — descendants inherit the decision and record nothing.
+
+    A hand-rolled slotted class, not a dataclass: one is built per span
+    on the serve hot path, and ``@dataclass(frozen=True)`` costs ~3x as
+    much per instantiation.  Treat instances as immutable.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "sampled")
+
+    def __init__(self, trace_id: str, span_id: str,
+                 parent_id: str | None = None, sampled: bool = True) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.sampled = sampled
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceContext):
+            return NotImplemented
+        return (self.trace_id == other.trace_id
+                and self.span_id == other.span_id
+                and self.parent_id == other.parent_id
+                and self.sampled == other.sampled)
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id))
+
+    def __repr__(self) -> str:
+        return (f"TraceContext(trace_id={self.trace_id!r}, "
+                f"span_id={self.span_id!r}, parent_id={self.parent_id!r}, "
+                f"sampled={self.sampled!r})")
+
+
+class SpanAnnotation:
+    """A point-in-time event inside a span (cache hit, breaker trip...)."""
+
+    __slots__ = ("name", "perf_s", "attrs")
+
+    def __init__(self, name: str, perf_s: float,
+                 attrs: dict[str, Any] | None = None) -> None:
+        self.name = name
+        self.perf_s = perf_s
+        self.attrs: dict[str, Any] = attrs if attrs is not None else {}
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (monotonic timestamp; exporters anchor)."""
+        out: dict[str, Any] = {"name": self.name, "perf_s": self.perf_s}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+class Span:
+    """One timed node of a request tree.
+
+    Spans are created by a :class:`Tracer` (never directly), mutated
+    while open (:meth:`set_attr`, :meth:`add_event`, :meth:`add_link`),
+    and become immutable facts in the tracer's ring once :meth:`end`
+    runs.  ``start_perf_s``/``end_perf_s`` are perf-counter readings; a
+    caller may override both to record a span for an interval it
+    measured itself (e.g. re-attributing one shared batched inference to
+    each member window).
+
+    Attribute/event/link storage and the :class:`TraceContext` view are
+    allocated lazily: most serve-path spans never grow events or links
+    and never have their context read, and skipping those allocations is
+    what keeps a fully-traced cache hit within the <2% overhead budget.
+    A recorded span is always sampled — unsampled trees collapse into
+    the shared :data:`NOOP_SPAN` at creation time.
+    """
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start_perf_s",
+                 "end_perf_s", "status", "workload_time",
+                 "_attrs", "_events", "_links", "_context", "_tracer")
+
+    #: Class-level so ``parent=`` accepts a Span or a TraceContext alike.
+    sampled = True
+
+    def __init__(
+        self,
+        tracer: Tracer | None,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None,
+        start_perf_s: float,
+        workload_time: float | None = None,
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_perf_s = start_perf_s
+        self.end_perf_s: float | None = None
+        self.status = "ok"
+        self.workload_time = workload_time
+        self._attrs = attrs
+        self._events: list[SpanAnnotation] | None = None
+        self._links: list[TraceContext] | None = None
+        self._context: TraceContext | None = None
+        self._tracer = tracer
+
+    # -- lazy views ---------------------------------------------------------
+
+    @property
+    def context(self) -> TraceContext:
+        """This span's identity, materialized on first read."""
+        ctx = self._context
+        if ctx is None:
+            ctx = self._context = TraceContext(
+                self.trace_id, self.span_id, self.parent_id, self.sampled
+            )
+        return ctx
+
+    @property
+    def attrs(self) -> dict[str, Any]:
+        return self._attrs if self._attrs is not None else {}
+
+    @property
+    def events(self) -> list[SpanAnnotation]:
+        return self._events if self._events is not None else []
+
+    @property
+    def links(self) -> list[TraceContext]:
+        return self._links if self._links is not None else []
+
+    @property
+    def recording(self) -> bool:
+        """Whether mutations will be kept (sampled and not yet ended)."""
+        return self.end_perf_s is None
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds (0.0 while still open)."""
+        if self.end_perf_s is None:
+            return 0.0
+        return self.end_perf_s - self.start_perf_s
+
+    # -- mutation while open ----------------------------------------------
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach one key/value attribute."""
+        if self.end_perf_s is None:
+            if self._attrs is None:
+                self._attrs = {}
+            self._attrs[key] = value
+
+    def add_event(self, name: str, attrs: dict[str, Any] | None = None,
+                  perf_s: float | None = None) -> None:
+        """Record a point-in-time annotation inside this span."""
+        if self.end_perf_s is not None:
+            return
+        if self._events is None:
+            self._events = []
+        self._events.append(SpanAnnotation(
+            name, time.perf_counter() if perf_s is None else perf_s, attrs
+        ))
+
+    def add_link(self, context: TraceContext) -> None:
+        """Link another trace's span (fan-in: batch → member windows)."""
+        if self.end_perf_s is None and context.sampled:
+            if self._links is None:
+                self._links = []
+            self._links.append(context)
+
+    def end(self, error: BaseException | None = None,
+            end_perf_s: float | None = None) -> None:
+        """Close the span and hand it to the tracer's ring (idempotent)."""
+        if self.end_perf_s is not None:
+            return
+        self.end_perf_s = time.perf_counter() if end_perf_s is None else end_perf_s
+        if error is not None:
+            self.status = "error"
+            if self._attrs is None:
+                self._attrs = {}
+            self._attrs.setdefault("error", type(error).__name__)
+        if self._tracer is not None:
+            self._tracer._record(self)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (one JSONL line per span)."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_perf_s": self.start_perf_s,
+            "end_perf_s": self.end_perf_s,
+            "duration_s": self.duration_s,
+            "status": self.status,
+        }
+        if self.workload_time is not None:
+            out["workload_time"] = self.workload_time
+        if self._attrs:
+            out["attrs"] = dict(self._attrs)
+        if self._events:
+            out["events"] = [e.to_dict() for e in self._events]
+        if self._links:
+            out["links"] = [
+                {"trace_id": c.trace_id, "span_id": c.span_id}
+                for c in self._links
+            ]
+        return out
+
+
+class _NoopSpan(Span):
+    """Shared sink for unsampled/disabled traces: every method is a no-op."""
+
+    sampled = False
+
+    def __init__(self) -> None:
+        super().__init__(
+            tracer=None,
+            name="noop",
+            trace_id="0" * 32,
+            span_id="0" * 16,
+            parent_id=None,
+            start_perf_s=0.0,
+        )
+
+    @property
+    def recording(self) -> bool:  # noqa: D102 - inherited meaning
+        return False
+
+    def set_attr(self, key: str, value: Any) -> None:
+        return
+
+    def add_event(self, name: str, attrs: dict[str, Any] | None = None,
+                  perf_s: float | None = None) -> None:
+        return
+
+    def add_link(self, context: TraceContext) -> None:
+        return
+
+    def end(self, error: BaseException | None = None,
+            end_perf_s: float | None = None) -> None:
+        return
+
+
+#: The one no-op span every dropped trace shares (no per-call allocation).
+NOOP_SPAN = _NoopSpan()
+
+#: Ambient current span for contextvars propagation.
+_CURRENT_SPAN: ContextVar[Span | None] = ContextVar("repro_current_span",
+                                                    default=None)
+
+
+class _SpanScope:
+    """``with``-body for one open span: install as ambient, end on exit.
+
+    Hand-rolled instead of ``@contextlib.contextmanager`` — the generator
+    protocol costs ~1µs per entry, which dominates a cache-hit window's
+    tracing budget when three scopes open per request.
+    """
+
+    __slots__ = ("span", "_token")
+
+    def __init__(self, span: Span) -> None:
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self._token = _CURRENT_SPAN.set(self.span)
+        return self.span
+
+    def __exit__(self, exc_type: object, exc: BaseException | None,
+                 tb: object) -> bool:
+        _CURRENT_SPAN.reset(self._token)
+        self.span.end(error=exc)
+        return False
+
+
+class _ActivateScope:
+    """Install an already-open span as ambient; never ends it."""
+
+    __slots__ = ("span", "_token")
+
+    def __init__(self, span: Span) -> None:
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self._token = _CURRENT_SPAN.set(self.span)
+        return self.span
+
+    def __exit__(self, exc_type: object, exc: BaseException | None,
+                 tb: object) -> bool:
+        _CURRENT_SPAN.reset(self._token)
+        return False
+
+
+class _NoopScope:
+    """Shared scope for dropped spans: touches nothing, yields the noop."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return NOOP_SPAN
+
+    def __exit__(self, exc_type: object, exc: BaseException | None,
+                 tb: object) -> bool:
+        return False
+
+
+#: The one scope every dropped span shares (no allocation, no contextvar
+#: churn — safe because the noop never needs to shadow a live ambient
+#: parent: a child opened under it would be unsampled anyway).
+_NOOP_SCOPE = _NoopScope()
+
+
+class Tracer:
+    """Creates spans, propagates context, and stores finished trees.
+
+    Parameters
+    ----------
+    registry:
+        The metrics registry whose ``enabled`` flag gates all tracing
+        (defaults to the process registry).  Head-sampling drops are
+        mirrored into it under ``obs.trace.sampled_out``; kept-span
+        counts live on the tracer itself (:attr:`finished_total`) to
+        keep the per-span cost down.
+    max_spans:
+        Ring capacity for finished spans.
+    sample_rate:
+        Head-sampling probability in ``[0, 1]``; the decision is made
+        once per root span, deterministically from the trace ID, and
+        inherited by every descendant.
+    seed:
+        Seeds the ID stream; two tracers with equal seeds fed equal
+        workloads emit identical IDs.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        max_spans: int = 4096,
+        sample_rate: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in [0, 1]")
+        self.registry = registry if registry is not None else get_registry()
+        self.sample_rate = sample_rate
+        self.seed = seed
+        # next() on an itertools.count is atomic in CPython — the hot
+        # path takes no lock for span identity.
+        self._ticks = itertools.count()
+        self._span_prefix = format(seed & 0xFFFFFF, "06x")
+        self._trace_prefix = format(seed & 0xFFFFFFFF, "08x")
+        self._finished: deque[Span] = deque(maxlen=max_spans)
+        #: Spans recorded over the tracer's lifetime (ring may evict).
+        self.finished_total = 0
+        self._lock = threading.Lock()
+
+    # -- configuration ------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Tracing is active iff the backing registry is enabled."""
+        return self.registry.enabled and self.sample_rate > 0.0
+
+    def configure(self, sample_rate: float | None = None,
+                  seed: int | None = None) -> None:
+        """Re-tune sampling/ID generation (e.g. per benchmark run)."""
+        if sample_rate is not None:
+            if not 0.0 <= sample_rate <= 1.0:
+                raise ValueError("sample_rate must be in [0, 1]")
+            self.sample_rate = sample_rate
+        if seed is not None:
+            self.seed = seed
+            self._span_prefix = format(seed & 0xFFFFFF, "06x")
+            self._trace_prefix = format(seed & 0xFFFFFFFF, "08x")
+
+    def clear(self) -> None:
+        """Drop all finished spans and restart the ID counter."""
+        with self._lock:
+            self._finished.clear()
+            self.finished_total = 0
+            self._ticks = itertools.count()
+
+    # -- deterministic identity --------------------------------------------
+
+    def _trace_id(self, workload_time: float) -> str:
+        """One 16-byte trace ID from the seeded counter + workload time.
+
+        When every trace is kept (``sample_rate >= 1.0``) the ID is a
+        cheap seed-prefixed counter — nobody reads its bits.  Under
+        fractional sampling it is hashed (blake2b) so the head sampler
+        can treat the top bits as a uniform draw.
+        """
+        if self.sample_rate >= 1.0:
+            # +1 keeps the very first ID at seed 0 distinct from the
+            # all-zero NOOP_SPAN identity.
+            return self._trace_prefix + format(
+                (next(self._ticks) + 1) & 0xFFFFFFFFFFFFFFFFFFFFFFFF, "024x"
+            )
+        digest = hashlib.blake2b(
+            f"{self.seed}:{next(self._ticks)}:{workload_time:.9f}".encode(),
+            digest_size=16,
+        )
+        return digest.hexdigest()
+
+    def _span_id(self) -> str:
+        """One 8-byte span ID: seed prefix + counter (cheap hot path)."""
+        return self._span_prefix + format(
+            (next(self._ticks) + 1) & 0xFFFFFFFFFF, "010x"
+        )
+
+    def _sampled(self, trace_id: str) -> bool:
+        """Deterministic head-sampling verdict for a fresh trace ID."""
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            return False
+        # The ID is already a uniform hash; its top 8 hex digits are a
+        # uniform draw in [0, 1) — no extra RNG state to carry.
+        draw = int(trace_id[:8], 16) / float(0x100000000)
+        return draw < self.sample_rate
+
+    # -- span lifecycle -----------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        workload_time: float = 0.0,
+        attrs: dict[str, Any] | None = None,
+        parent: TraceContext | Span | None = None,
+        root: bool = False,
+        start_perf_s: float | None = None,
+    ) -> Span:
+        """Open one span; the caller must :meth:`Span.end` it.
+
+        ``parent`` overrides the ambient contextvar parent and may be a
+        :class:`TraceContext` or an open :class:`Span` (cheaper — no
+        context materialization); ``root=True`` forces a fresh trace
+        even when an ambient span exists.  The span is *not* installed
+        as the ambient current span — use :meth:`span` /
+        :meth:`activate` for that.  The span takes ownership of
+        ``attrs``; pass a fresh dict.
+        """
+        if not self.enabled:  # disabled registry or sample_rate == 0
+            return NOOP_SPAN
+        if parent is None and not root:
+            parent = _CURRENT_SPAN.get()
+        if parent is not None and not root:
+            if not parent.sampled:
+                return NOOP_SPAN
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        else:
+            trace_id = self._trace_id(workload_time)
+            if not self._sampled(trace_id):
+                self.registry.inc("obs.trace.sampled_out")
+                return NOOP_SPAN
+            parent_id = None
+        return Span(
+            self,
+            name,
+            trace_id,
+            self._span_id(),
+            parent_id,
+            time.perf_counter() if start_perf_s is None else start_perf_s,
+            workload_time,
+            attrs,
+        )
+
+    def span(
+        self,
+        name: str,
+        workload_time: float = 0.0,
+        attrs: dict[str, Any] | None = None,
+        parent: TraceContext | Span | None = None,
+        root: bool = False,
+    ) -> _SpanScope | _NoopScope:
+        """Open a span, install it as the ambient parent, end on exit.
+
+        Returns a reusable context manager; an exception inside the
+        ``with`` block marks the span ``status="error"`` and re-raises.
+        """
+        opened = self.start_span(name, workload_time=workload_time,
+                                 attrs=attrs, parent=parent, root=root)
+        if opened is NOOP_SPAN:
+            return _NOOP_SCOPE
+        return _SpanScope(opened)
+
+    def stage(
+        self,
+        name: str,
+        workload_time: float = 0.0,
+        attrs: dict[str, Any] | None = None,
+    ) -> _SpanScope | _NoopScope:
+        """A child span *only when already inside a trace*, else a no-op.
+
+        Library layers (DSP, model predict) use this so their work nests
+        under whatever request is in flight without minting root traces
+        for every standalone call — a training loop calling ``predict``
+        thousands of times must not flood the span ring.
+        """
+        ambient = _CURRENT_SPAN.get()
+        if ambient is None or not ambient.sampled:
+            return _NOOP_SCOPE
+        return self.span(name, workload_time=workload_time, attrs=attrs)
+
+    def activate(self, span: Span) -> _ActivateScope:
+        """Install an already-open span as the ambient parent (no end)."""
+        return _ActivateScope(span)
+
+    def current(self) -> Span | None:
+        """The ambient span, or ``None`` outside any ``span``/``activate``."""
+        return _CURRENT_SPAN.get()
+
+    def annotate(self, name: str, attrs: dict[str, Any] | None = None) -> None:
+        """Add an event to the ambient span, if one is recording.
+
+        Deep layers (circuit breaker, controller) call this without
+        holding a span handle; outside any trace it is a no-op.
+        """
+        span = _CURRENT_SPAN.get()
+        if span is not None:
+            span.add_event(name, attrs)
+
+    # -- storage ------------------------------------------------------------
+
+    def _record(self, span: Span) -> None:
+        # A plain counter under the ring lock, not a registry counter:
+        # one registry.inc per finished span is measurable on the serve
+        # hot path; ``finished_total`` survives ring eviction.
+        with self._lock:
+            self._finished.append(span)
+            self.finished_total += 1
+
+    @property
+    def spans(self) -> list[Span]:
+        """Finished spans, oldest first (copied under the lock)."""
+        with self._lock:
+            return list(self._finished)
+
+    def traces(self) -> dict[str, list[Span]]:
+        """Finished spans grouped by ``trace_id`` (insertion-ordered)."""
+        grouped: dict[str, list[Span]] = {}
+        for span in self.spans:
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+
+#: Process-wide tracer mirroring ``get_registry()``.
+_GLOBAL_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer used by all built-in instrumentation."""
+    return _GLOBAL_TRACER

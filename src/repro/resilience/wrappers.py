@@ -27,6 +27,7 @@ from repro.errors import (
     ReproError,
 )
 from repro.obs import get_registry
+from repro.obs.trace import get_tracer
 
 T = TypeVar("T")
 
@@ -63,6 +64,7 @@ class CircuitBreaker:
             assert self.opened_at is not None
             if now - self.opened_at >= self.recovery_s:
                 self.state = HALF_OPEN
+                get_tracer().annotate("breaker.half_open", {"now": now})
                 return True
             return False
         return True  # half-open: probe allowed
@@ -74,6 +76,7 @@ class CircuitBreaker:
             self.state = CLOSED
             self.opened_at = None
             get_registry().set_gauge("resilience.breaker_open", 0.0)
+            get_tracer().annotate("breaker.closed", {"now": now})
 
     def record_failure(self, now: float) -> None:
         """Report a failed call; may trip the breaker."""
@@ -89,6 +92,10 @@ class CircuitBreaker:
             obs = get_registry()
             obs.inc("resilience.breaker_opened")
             obs.set_gauge("resilience.breaker_open", 1.0)
+            get_tracer().annotate("breaker.open", {
+                "now": now,
+                "consecutive_failures": self.consecutive_failures,
+            })
         elif self.state == OPEN:
             self.opened_at = now  # failures while open push recovery out
 

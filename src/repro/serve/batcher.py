@@ -29,19 +29,30 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import CircuitOpenError
-from repro.obs import get_registry
+from repro.obs import get_registry, labeled
+from repro.obs.trace import Span, TraceContext, get_tracer
 from repro.resilience import CircuitBreaker
+
+_STAGE_PREDICT = labeled("serve.stage_s", stage="predict")
 
 
 @dataclass
 class BatchRequest:
-    """One session's window waiting for batched inference."""
+    """One session's window waiting for batched inference.
+
+    ``root_span``/``batch_span`` carry the window's trace through the
+    fan-in: the runtime opens both at submit, the flush links the shared
+    batch trace to every member, and the runtime closes them when the
+    result fans back out.  ``None`` when tracing is off or unsampled.
+    """
 
     session_id: str
     key: str
     features: np.ndarray
     submitted_at: float
     seq: int
+    root_span: Span | None = None
+    batch_span: Span | None = None
 
 
 @dataclass
@@ -50,12 +61,17 @@ class BatchResult:
 
     ``label_index`` is the model's class index, or ``None`` when the
     flush degraded (batch inference failed or the breaker was open).
+    ``flush_context`` identifies the shared flush trace serving this
+    request; ``predict_window`` is the perf-counter interval of the one
+    batched model call, so per-window traces can re-attribute it.
     """
 
     request: BatchRequest
     label_index: int | None
     degraded: bool
     flushed_at: float
+    flush_context: TraceContext | None = None
+    predict_window: tuple[float, float] | None = None
 
 
 class MicroBatcher:
@@ -140,6 +156,12 @@ class MicroBatcher:
         Identical keys share one model row.  On model failure or an open
         breaker every drained request comes back degraded
         (``label_index=None``) — the caller owns the fallback label.
+
+        Tracing: the flush is a *fan-in*, so it gets its own root span
+        (``serve.flush``) carrying links to every member window's trace;
+        the single model call is a ``serve.predict`` child whose interval
+        is handed back in each :class:`BatchResult` for per-window
+        attribution.
         """
         with self._lock:
             batch, self._pending = self._pending, []
@@ -162,26 +184,54 @@ class MicroBatcher:
         obs.observe("serve.batch.unique_rows", len(rows))
         self.unique_rows_flushed += len(rows)
 
+        tracer = get_tracer()
+        flush_span = tracer.start_span(
+            "serve.flush", workload_time=now, root=True,
+            attrs={"batch": len(batch), "unique_rows": len(rows)},
+        )
+        for request in batch:
+            if request.root_span is not None:
+                flush_span.add_link(request.root_span.context)
+
         degraded = False
         labels: np.ndarray | None = None
+        predict_span = tracer.start_span(
+            "serve.predict", workload_time=now, parent=flush_span,
+            attrs={"rows": len(rows)},
+        )
+        predict_error: Exception | None = None
         start = time.perf_counter()
         try:
-            labels = self.breaker.call(
-                lambda: np.asarray(self.predict_batch(np.stack(rows))), now
-            )
-        except CircuitOpenError:
+            with tracer.activate(predict_span):
+                labels = self.breaker.call(
+                    lambda: np.asarray(self.predict_batch(np.stack(rows))), now
+                )
+        except CircuitOpenError as exc:
             degraded = True
-        except Exception:
+            predict_error = exc
+        except Exception as exc:
             degraded = True
+            predict_error = exc
             obs.inc("serve.batch.failures")
+        predict_end = time.perf_counter()
+        predict_span.end(error=predict_error)
         if degraded:
             self.degraded_flushes += 1
             obs.inc("serve.batch.degraded_flushes")
+            flush_span.set_attr("degraded", True)
         else:
-            obs.observe("serve.predict_s", time.perf_counter() - start)
+            obs.observe("serve.predict_s", predict_end - start)
+            obs.observe(_STAGE_PREDICT, predict_end - start)
+        flush_span.end(error=predict_error)
+        flush_context = (flush_span.context if flush_span.context.sampled
+                         else None)
 
         results = []
         for request in batch:
             index = None if labels is None else int(labels[row_of[request.key]])
-            results.append(BatchResult(request, index, degraded, now))
+            results.append(BatchResult(
+                request, index, degraded, now,
+                flush_context=flush_context,
+                predict_window=None if degraded else (start, predict_end),
+            ))
         return results

@@ -17,12 +17,14 @@ throughput/latency measurements touch the wall clock.
 
 from __future__ import annotations
 
+import re
 import time
 
 import numpy as np
 
 from repro.affect.pipeline import AffectClassifierPipeline
-from repro.obs import get_registry
+from repro.obs import get_registry, get_tracer
+from repro.obs.trace import Span
 from repro.serve.runtime import AffectServer, ServeConfig
 
 #: Virtual seconds between one session's consecutive windows.
@@ -73,6 +75,26 @@ def _make_schedule(
             events.append((now, f"user-{s:04d}", int(rng.integers(pool_size))))
     events.sort(key=lambda e: e[0])
     return events
+
+
+#: Canonical labeled-series key for per-stage serve latencies.
+_STAGE_KEY = re.compile(r'^serve\.stage_s\{stage="(?P<stage>[^"]+)"\}$')
+
+
+def _stage_summaries() -> dict[str, dict[str, float]]:
+    """Per-stage latency summaries (``serve.stage_s{stage=...}``).
+
+    Read from the process registry, so the numbers cover everything
+    served since the last reset — the CLI resets per run, the grid per
+    cell.
+    """
+    histograms = get_registry().snapshot()["histograms"]
+    stages: dict[str, dict[str, float]] = {}
+    for key, summary in histograms.items():
+        match = _STAGE_KEY.match(key)
+        if match is not None:
+            stages[match.group("stage")] = summary
+    return stages
 
 
 def _quantiles(values: list[float]) -> dict[str, float]:
@@ -173,6 +195,7 @@ def run_serve_bench(
                 server.batcher.rows_flushed - server.batcher.unique_rows_flushed
             ),
             "sessions_active": len(server.sessions),
+            "stages": _stage_summaries(),
         },
         "accounting": {
             "submitted": server.submitted,
@@ -190,6 +213,138 @@ def run_serve_bench(
             if seq["windows_per_s"] else 0.0
         )
     return report
+
+
+def run_trace_workload(
+    sessions: int = 8,
+    seconds: float = 2.0,
+    seed: int = 0,
+    max_batch: int = 8,
+    sample_rate: float = 1.0,
+    pipeline: AffectClassifierPipeline | None = None,
+) -> tuple[dict[str, object], list[Span]]:
+    """The canned multi-session workload with tracing on.
+
+    Clears the process tracer, reseeds its deterministic ID stream, runs
+    :func:`run_serve_bench` (no sequential baseline), and returns the
+    bench report plus every finished span — the input for the Perfetto /
+    JSONL exporters and the ``repro trace`` tree view.
+    """
+    tracer = get_tracer()
+    previous_rate = tracer.sample_rate
+    tracer.configure(sample_rate=sample_rate, seed=seed)
+    tracer.clear()
+    try:
+        report = run_serve_bench(
+            sessions=sessions, seconds=seconds, seed=seed,
+            max_batch=max_batch, pipeline=pipeline, baseline=False,
+        )
+        return report, tracer.spans
+    finally:
+        tracer.configure(sample_rate=previous_rate)
+
+
+def serve_chain_coverage(spans: list[Span]) -> dict[str, object]:
+    """How many completed windows carry a full, consistent span chain.
+
+    A completed (non-shed) ``serve.window`` trace is *covered* when
+
+    - every non-root span's ``parent_id`` resolves inside its trace, and
+    - the expected stage chain is present: a ``cache.hit`` event on the
+      root plus ``serve.controller`` for cache hits, ``serve.batch`` (+
+      ``serve.predict`` unless the flush degraded) →
+      ``serve.controller`` otherwise.
+
+    This is the PR's acceptance metric: ``coverage`` must stay ≥ 0.95 on
+    the canned workload.
+    """
+    by_trace: dict[str, list[Span]] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+    windows = 0
+    covered = 0
+    for members in by_trace.values():
+        roots = [s for s in members if s.name == "serve.window"]
+        if not roots:
+            continue
+        root = roots[0]
+        if root.attrs.get("shed"):
+            continue
+        windows += 1
+        ids = {s.span_id for s in members}
+        consistent = all(
+            s.parent_id is None or s.parent_id in ids for s in members
+        )
+        names = {s.name for s in members}
+        if root.attrs.get("cached"):
+            if not any(e.name == "cache.hit" for e in root.events):
+                continue
+            chain = {"serve.controller"}
+        elif root.attrs.get("degraded"):
+            chain = {"serve.batch", "serve.controller"}
+        else:
+            chain = {"serve.batch", "serve.predict", "serve.controller"}
+        if consistent and chain <= names:
+            covered += 1
+    return {
+        "windows": windows,
+        "covered": covered,
+        "coverage": covered / windows if windows else 1.0,
+    }
+
+
+def measure_trace_overhead(
+    pipeline: AffectClassifierPipeline,
+    sessions: int = 16,
+    seconds: float = 4.0,
+    seed: int = 0,
+    max_batch: int = 32,
+    repeats: int = 12,
+) -> dict[str, float]:
+    """Wall-clock cost of tracing: identical runs, sampling 1.0 vs 0.0.
+
+    The arms are *interleaved* (off, on, off, on, ...) and each reports
+    its best-of-``repeats`` wall time.  A single back-to-back pair would
+    confound tracing cost with machine drift — on a busy host the
+    run-to-run spread of this ~100ms workload is several times the
+    effect being measured; interleaving exposes both arms to the same
+    drift phases and the min filters the additive noise, which is what
+    makes the number reproducible.  One unmeasured warmup pair primes
+    caches and the allocator.  The acceptance bound for the 16-session
+    config is ``overhead_frac < 0.02``.
+    """
+    tracer = get_tracer()
+    previous_rate = tracer.sample_rate
+
+    def one_run(rate: float) -> float:
+        tracer.configure(sample_rate=rate)
+        tracer.clear()
+        report = run_serve_bench(
+            sessions=sessions, seconds=seconds, seed=seed,
+            max_batch=max_batch, pipeline=pipeline, baseline=False,
+        )
+        return float(report["served"]["wall_s"])  # type: ignore[index]
+
+    try:
+        one_run(0.0)
+        one_run(1.0)
+        off_wall_s = float("inf")
+        on_wall_s = float("inf")
+        for _ in range(repeats):
+            off_wall_s = min(off_wall_s, one_run(0.0))
+            on_wall_s = min(on_wall_s, one_run(1.0))
+    finally:
+        tracer.configure(sample_rate=previous_rate)
+        tracer.clear()
+    overhead = on_wall_s / off_wall_s - 1.0 if off_wall_s > 0 else 0.0
+    return {
+        "sessions": sessions,
+        "seconds": seconds,
+        "repeats": repeats,
+        "tracing_off_wall_s": off_wall_s,
+        "tracing_on_wall_s": on_wall_s,
+        "overhead_frac": overhead,
+    }
 
 
 def run_serve_grid(

@@ -26,17 +26,24 @@ drive from multiple threads.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.affect.pipeline import AffectClassifierPipeline
 from repro.errors import OverloadShedError
-from repro.obs import get_registry
+from repro.obs import get_registry, labeled
+from repro.obs.trace import NOOP_SPAN, get_tracer
 from repro.resilience import CLOSED, CircuitBreaker
 from repro.serve.batcher import BatchRequest, BatchResult, MicroBatcher
 from repro.serve.cache import CacheEntry, LRUCache, window_hash
 from repro.serve.sessions import SessionManager
+
+#: Labeled stage-latency series, built once — ``labeled()`` sorts and
+#: joins its labels on every call, which is measurable per window.
+_STAGE_DSP = labeled("serve.stage_s", stage="dsp")
+_STAGE_CONTROLLER = labeled("serve.stage_s", stage="controller")
 
 
 @dataclass(frozen=True)
@@ -135,25 +142,38 @@ class AffectServer:
         window, or a whole batch worth when it triggered flush-on-full.
         """
         obs = get_registry()
+        tracer = get_tracer()
         with self._lock:
             self.submitted += 1
             obs.inc("serve.requests")
             session = self.sessions.get_or_create(session_id, now)
             seq = self._seq
             self._seq += 1
+            root = tracer.start_span(
+                "serve.window", workload_time=now, root=True,
+                attrs={"session": session_id, "seq": seq},
+            )
 
             if self.batcher.depth >= self.config.max_queue:
                 if self.config.strict_admission:
                     self.submitted -= 1
                     obs.inc("serve.rejected")
-                    raise OverloadShedError(
+                    error = OverloadShedError(
                         f"queue full ({self.config.max_queue} pending)"
                     )
+                    root.add_event("admission.rejected",
+                                   {"queue_depth": self.batcher.depth})
+                    root.end(error=error)
+                    raise error
                 self.shed += 1
                 session.shed_windows += 1
                 obs.inc("serve.shed")
                 label = session.fallback_label
                 emotion = session.manager.effective_emotion(now)
+                root.add_event("admission.shed",
+                               {"queue_depth": self.batcher.depth})
+                root.set_attr("shed", True)
+                root.end()
                 return [ServeResult(
                     session_id=session_id, label=label, emotion=emotion,
                     mode=session.manager.decoder_mode(now).value,
@@ -165,7 +185,15 @@ class AffectServer:
             entry = self.cache.get(key)
             if isinstance(entry, CacheEntry) and entry.label is not None:
                 self.completed += 1
-                emotion = session.deliver(entry.label, now, degraded=False)
+                # Cache hits are span *events*, not child spans: they
+                # take no measurable time, and the hit path is hot
+                # enough that an extra span per window is what pushes
+                # tracing overhead past its budget.
+                root.add_event("cache.hit", {"key": key[:8]})
+                emotion = self._deliver(session, entry.label, now,
+                                        degraded=False, root=root)
+                root.set_attr("cached", True)
+                root.end()
                 return [ServeResult(
                     session_id=session_id, label=entry.label, emotion=emotion,
                     mode=session.manager.decoder_mode(now).value,
@@ -174,12 +202,22 @@ class AffectServer:
                 )]
             if isinstance(entry, CacheEntry):
                 features = entry.features  # in flight: DSP already paid
+                root.add_event("cache.features_hit", {"key": key[:8]})
             else:
-                features = self.pipeline.prepare_waveform(signal)
+                start = time.perf_counter()
+                with tracer.span("serve.dsp", workload_time=now,
+                                 parent=root):
+                    features = self.pipeline.prepare_waveform(signal)
+                obs.observe(_STAGE_DSP, time.perf_counter() - start)
                 self.cache.put(key, CacheEntry(features=features))
             request = BatchRequest(
                 session_id=session_id, key=key, features=features,
                 submitted_at=now, seq=seq,
+                root_span=root,
+                batch_span=tracer.start_span(
+                    "serve.batch", workload_time=now, parent=root,
+                    attrs={"key": key[:8]},
+                ),
             )
             return self._finish(self.batcher.submit(request, now))
 
@@ -198,12 +236,35 @@ class AffectServer:
 
     # -- internals ---------------------------------------------------------
 
+    def _deliver(self, session, label: str, now: float, degraded: bool,
+                 root) -> str | None:
+        """Push one label into the session under a controller stage span."""
+        tracer = get_tracer()
+        start = time.perf_counter()
+        parent = root if root is not None else NOOP_SPAN
+        with tracer.span("serve.controller", workload_time=now, parent=parent,
+                         attrs={"label": label, "degraded": degraded}):
+            emotion = session.deliver(label, now, degraded)
+        get_registry().observe(_STAGE_CONTROLLER,
+                               time.perf_counter() - start)
+        return emotion
+
     def _finish(self, outcomes: list[BatchResult]) -> list[ServeResult]:
-        """Fan flush outcomes back out to their sessions."""
+        """Fan flush outcomes back out to their sessions.
+
+        Each member window's trace is completed here: the waiting
+        ``serve.batch`` span links the shared flush trace and adopts a
+        per-window copy of the batched ``serve.predict`` interval, the
+        controller delivery runs as a ``serve.controller`` child, and
+        the root closes with the final label.
+        """
         obs = get_registry()
+        tracer = get_tracer()
         results: list[ServeResult] = []
         for outcome in outcomes:
             request = outcome.request
+            root = request.root_span
+            batch_span = request.batch_span
             session = self.sessions.get_or_create(
                 request.session_id, outcome.flushed_at
             )
@@ -217,10 +278,37 @@ class AffectServer:
                 entry = self.cache.peek(request.key)
                 if isinstance(entry, CacheEntry):
                     entry.label = label
-            emotion = session.deliver(label, outcome.flushed_at, degraded)
+            if batch_span is not None:
+                if outcome.flush_context is not None:
+                    batch_span.add_link(outcome.flush_context)
+                    batch_span.set_attr("flush_trace",
+                                        outcome.flush_context.trace_id)
+                if degraded:
+                    batch_span.add_event("flush.degraded")
+                if outcome.predict_window is not None:
+                    # Re-attribute the one shared model call to this
+                    # window's own trace so every tree shows its predict
+                    # cost (marked shared; the real span lives in the
+                    # linked serve.flush trace).
+                    shared = tracer.start_span(
+                        "serve.predict",
+                        workload_time=outcome.flushed_at,
+                        parent=batch_span,
+                        start_perf_s=outcome.predict_window[0],
+                        attrs={"shared": True},
+                    )
+                    shared.end(end_perf_s=outcome.predict_window[1])
+                batch_span.end()
+            emotion = self._deliver(session, label, outcome.flushed_at,
+                                    degraded, root)
             self.completed += 1
             latency = outcome.flushed_at - request.submitted_at
             obs.observe("serve.latency_s", latency)
+            if root is not None:
+                root.set_attr("label", label)
+                if degraded:
+                    root.set_attr("degraded", True)
+                root.end()
             results.append(ServeResult(
                 session_id=request.session_id, label=label, emotion=emotion,
                 mode=session.manager.decoder_mode(outcome.flushed_at).value,

@@ -1,12 +1,16 @@
 """Tests for the observability subsystem (repro.obs) and its hooks."""
 
 import json
+import os
+import subprocess
+import sys
+import threading
 
 import numpy as np
 import pytest
 
 from repro.obs import MetricsRegistry, SpanEvent, Timer, get_registry, timed
-from repro.obs.registry import Histogram
+from repro.obs.registry import Histogram, labeled
 
 
 class TestCountersAndGauges:
@@ -78,6 +82,85 @@ class TestHistogram:
             "count", "sum", "min", "max", "mean", "p50", "p95", "p99",
         }
 
+    def test_single_sample_quantiles_are_exact(self):
+        h = Histogram("h")
+        h.observe(0.125)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert h.quantile(q) == 0.125
+        assert h.min == h.max == 0.125
+
+    def test_mixed_sign_low_quantile(self):
+        h = Histogram("h")
+        for v in [-3.0, -1.0, 1.0, 2.0]:
+            h.observe(v)
+        # Half the samples are negative: the median estimate must not
+        # report a positive value, and q=0.25 sits in the underflow
+        # bucket, bounded by [min, 0].
+        assert h.quantile(0.25) <= 0.0
+        assert h.quantile(0.25) >= h.min == -3.0
+        assert h.quantile(1.0) == pytest.approx(2.0, rel=0.08)
+
+    def test_all_negative_quantiles(self):
+        h = Histogram("h")
+        for v in [-5.0, -2.0, -1.0]:
+            h.observe(v)
+        assert h.quantile(0.0) == -5.0
+        assert h.quantile(0.5) <= 0.0
+
+    def test_quantile_zero_without_underflow_is_min(self):
+        h = Histogram("h")
+        for v in [3.0, 7.0, 9.0]:
+            h.observe(v)
+        assert h.quantile(0.0) == 3.0
+
+
+class TestFractionBelow:
+    def test_empty_and_extremes(self):
+        h = Histogram("h")
+        assert h.fraction_below(0.5) == 1.0  # no samples, no violations
+        for v in [0.1, 0.2, 0.4]:
+            h.observe(v)
+        assert h.fraction_below(1.0) == 1.0  # threshold above max
+        assert h.fraction_below(0.4) == 1.0  # threshold == max
+        assert h.fraction_below(-0.1) == 0.0
+        assert h.fraction_below(0.05) == 0.0  # below min
+
+    def test_midrange_fraction(self):
+        h = Histogram("h")
+        for _ in range(90):
+            h.observe(0.01)
+        for _ in range(10):
+            h.observe(5.0)
+        assert h.fraction_below(0.5) == pytest.approx(0.9, abs=0.02)
+
+    def test_counts_zero_bucket_exactly(self):
+        h = Histogram("h")
+        for _ in range(3):
+            h.observe(0.0)
+        h.observe(10.0)
+        assert h.fraction_below(1.0) == pytest.approx(0.75)
+
+
+class TestLabeled:
+    def test_canonical_form(self):
+        assert labeled("serve.stage_s", stage="dsp") == \
+            'serve.stage_s{stage="dsp"}'
+
+    def test_labels_sorted(self):
+        assert labeled("m", b="2", a="1") == labeled("m", a="1", b="2")
+        assert labeled("m", b="2", a="1") == 'm{a="1",b="2"}'
+
+    def test_no_labels_passthrough(self):
+        assert labeled("plain.name") == "plain.name"
+
+    def test_distinct_series_in_registry(self):
+        reg = MetricsRegistry()
+        reg.observe(labeled("stage_s", stage="dsp"), 0.1)
+        reg.observe(labeled("stage_s", stage="predict"), 0.2)
+        histograms = reg.snapshot()["histograms"]
+        assert 'stage_s{stage="dsp"}' in histograms
+        assert 'stage_s{stage="predict"}' in histograms
+
 
 class TestRegistryLifecycle:
     def test_disabled_registry_is_noop(self):
@@ -118,6 +201,90 @@ class TestRegistryLifecycle:
 
     def test_global_registry_is_singleton(self):
         assert get_registry() is get_registry()
+
+    def test_snapshot_concurrent_with_metric_creation(self):
+        """Regression: snapshot()/render_text() while serve threads create
+        fresh metric names raced the live dicts (``RuntimeError:
+        dictionary changed size during iteration``)."""
+        reg = MetricsRegistry()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def writer():
+            i = 0
+            try:
+                # A bounded name pool: inserts keep happening (what the
+                # race needs) without growing snapshot cost unboundedly.
+                while not stop.is_set():
+                    reg.inc(f"c.{i % 512}")
+                    reg.set_gauge(f"g.{i % 512}", float(i))
+                    reg.observe(f"h.{i % 512}", float(i))
+                    i += 1
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for n in range(50):
+                snap = reg.snapshot()
+                assert set(snap) == {"counters", "gauges", "histograms"}
+                reg.render_text()
+                if n % 10 == 9:
+                    # Force re-creation so inserts keep racing the reads.
+                    reg.reset()
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert errors == []
+
+    def test_repro_obs_env_disables_process(self):
+        """REPRO_OBS=0 starts the registry (and thus the tracer) disabled."""
+        code = (
+            "from repro.obs import get_registry\n"
+            "from repro.obs.trace import NOOP_SPAN, get_tracer\n"
+            "registry = get_registry()\n"
+            "assert not registry.enabled\n"
+            "registry.inc('c')\n"
+            "assert registry.snapshot()['counters'] == {}\n"
+            "tracer = get_tracer()\n"
+            "assert not tracer.enabled\n"
+            "assert tracer.start_span('op', root=True) is NOOP_SPAN\n"
+            "assert tracer.spans == []\n"
+            "print('disabled-ok')\n"
+        )
+        env = dict(os.environ, REPRO_OBS="0")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), "src") if p
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code], env=env, cwd=os.path.dirname(
+                os.path.dirname(os.path.abspath(__file__))),
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "disabled-ok" in result.stdout
+
+    def test_repro_obs_env_default_on(self):
+        code = (
+            "from repro.obs import get_registry\n"
+            "assert get_registry().enabled\n"
+            "print('enabled-ok')\n"
+        )
+        env = dict(os.environ)
+        env.pop("REPRO_OBS", None)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), "src") if p
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code], env=env, cwd=os.path.dirname(
+                os.path.dirname(os.path.abspath(__file__))),
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "enabled-ok" in result.stdout
 
 
 class TestTiming:

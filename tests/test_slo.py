@@ -1,0 +1,160 @@
+"""SLO declaration, evaluation, and budget/burn math."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLObjective,
+    evaluate_slo,
+    evaluate_slos,
+    render_slo_report,
+)
+
+
+def latency_slo(threshold=0.5, target=0.95):
+    return SLObjective(name="lat", kind="latency", metric="latency_s",
+                       threshold=threshold, target=target)
+
+
+def ratio_slo(threshold=0.05):
+    return SLObjective(name="shed", kind="ratio", metric="bad",
+                       denominator="total", threshold=threshold)
+
+
+class TestSLObjectiveValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SLObjective(name="x", kind="availability", metric="m",
+                        threshold=0.1)
+
+    def test_ratio_needs_denominator(self):
+        with pytest.raises(ValueError):
+            SLObjective(name="x", kind="ratio", metric="m", threshold=0.1)
+
+    def test_latency_target_range(self):
+        with pytest.raises(ValueError):
+            latency_slo(target=0.0)
+        with pytest.raises(ValueError):
+            latency_slo(target=1.2)
+
+    def test_negative_threshold(self):
+        with pytest.raises(ValueError):
+            latency_slo(threshold=-1.0)
+
+
+class TestLatencyObjectives:
+    def test_pass_with_budget_math(self):
+        reg = MetricsRegistry()
+        # 99 fast samples, 1 slow: bad fraction 1%, budget 5% → burn 0.2
+        for _ in range(99):
+            reg.observe("latency_s", 0.01)
+        reg.observe("latency_s", 2.0)
+        verdict = evaluate_slo(reg, latency_slo(threshold=0.5, target=0.95))
+        assert verdict.ok
+        assert verdict.samples == 100
+        assert verdict.bad_fraction == pytest.approx(0.01)
+        assert verdict.error_budget == pytest.approx(0.05)
+        assert verdict.burn_rate == pytest.approx(0.2)
+        assert verdict.budget_remaining == pytest.approx(0.8)
+
+    def test_fail_when_budget_overspent(self):
+        reg = MetricsRegistry()
+        for _ in range(80):
+            reg.observe("latency_s", 0.01)
+        for _ in range(20):
+            reg.observe("latency_s", 2.0)
+        verdict = evaluate_slo(reg, latency_slo(threshold=0.5, target=0.95))
+        assert not verdict.ok
+        assert verdict.bad_fraction == pytest.approx(0.2)
+        assert verdict.burn_rate == pytest.approx(4.0)
+        assert verdict.budget_remaining == 0.0
+
+    def test_empty_histogram_passes(self):
+        verdict = evaluate_slo(MetricsRegistry(), latency_slo())
+        assert verdict.ok
+        assert verdict.samples == 0
+        assert verdict.bad_fraction == 0.0
+        assert verdict.value == 0.0
+
+
+class TestRatioObjectives:
+    def test_pass_and_fail(self):
+        reg = MetricsRegistry()
+        reg.inc("bad", 2)
+        reg.inc("total", 100)
+        verdict = evaluate_slo(reg, ratio_slo(threshold=0.05))
+        assert verdict.ok
+        assert verdict.value == pytest.approx(0.02)
+        assert verdict.burn_rate == pytest.approx(0.4)
+        assert not evaluate_slo(reg, ratio_slo(threshold=0.01)).ok
+
+    def test_zero_denominator_is_clean(self):
+        reg = MetricsRegistry()
+        reg.inc("bad", 5)  # numerator without traffic: nothing to judge
+        verdict = evaluate_slo(reg, ratio_slo())
+        assert verdict.ok
+        assert verdict.bad_fraction == 0.0
+        assert verdict.samples == 0
+
+    def test_zero_budget_burn(self):
+        reg = MetricsRegistry()
+        reg.inc("total", 10)
+        zero = SLObjective(name="never", kind="ratio", metric="bad",
+                           denominator="total", threshold=0.0)
+        assert evaluate_slo(reg, zero).burn_rate == 0.0
+        reg.inc("bad", 1)
+        verdict = evaluate_slo(reg, zero)
+        assert verdict.burn_rate == float("inf")
+        assert verdict.budget_remaining == 0.0
+        assert not verdict.ok
+
+
+class TestDefaultsAndReport:
+    def test_defaults_evaluate_in_declared_order(self):
+        verdicts = evaluate_slos(MetricsRegistry())
+        assert [v.objective.name for v in verdicts] == [
+            o.name for o in DEFAULT_SLOS
+        ]
+
+    def test_default_names_cover_the_stack(self):
+        names = {o.name for o in DEFAULT_SLOS}
+        assert names == {"serve-p95-latency", "emotion-staleness",
+                         "shed-rate"}
+
+    def test_to_dict_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.observe("latency_s", 0.1)
+        d = evaluate_slo(reg, latency_slo()).to_dict()
+        json.dumps(d)
+        assert d["name"] == "lat"
+        assert d["ok"] is True
+        assert {"bad_fraction", "error_budget", "burn_rate",
+                "budget_remaining", "samples"} <= set(d)
+
+    def test_render_report(self):
+        reg = MetricsRegistry()
+        for _ in range(10):
+            reg.observe("latency_s", 0.01)
+        reg.inc("bad", 9)
+        reg.inc("total", 10)
+        verdicts = [
+            evaluate_slo(reg, latency_slo()),
+            evaluate_slo(reg, ratio_slo()),
+        ]
+        text = render_slo_report(verdicts)
+        assert "PASS" in text and "FAIL" in text
+        assert "burn=" in text and "remaining=" in text
+        assert render_slo_report([]) == "(no objectives declared)"
+
+    def test_render_report_inf_burn(self):
+        reg = MetricsRegistry()
+        reg.inc("bad", 1)
+        reg.inc("total", 10)
+        zero = SLObjective(name="never", kind="ratio", metric="bad",
+                           denominator="total", threshold=0.0)
+        assert "burn=inf" in render_slo_report([evaluate_slo(reg, zero)])
