@@ -310,6 +310,7 @@ def _serve_bench(args: argparse.Namespace) -> None:
             cell["accounting"]["dropped"] for _, _, _, cell in cells
         )
         shed = sum(cell["accounting"]["shed"] for _, _, _, cell in cells)
+        parity = payload["parity"]
     else:
         from repro.obs import get_registry
         from repro.serve.bench import measure_trace_overhead, train_bench_pipeline
@@ -355,14 +356,23 @@ def _serve_bench(args: argparse.Namespace) -> None:
               f"({acct['dropped']} dropped)")
         dropped = acct["dropped"]
         shed = acct["shed"]
+        parity = payload["parity"]
+    print(f"parity: dsp batch-vs-single "
+          f"{'ok' if parity['dsp_batch_vs_single_ok'] else 'FAIL'} "
+          f"(max |diff| {parity['dsp_max_abs_diff']:.2e}), "
+          f"int8-vs-float labels "
+          f"{'ok' if parity['int8_vs_float_ok'] else 'FAIL'} "
+          f"(agreement {parity['int8_label_agreement'] * 100:.1f}%)")
     path = Path(args.output or "BENCH_serve.json")
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}")
     if shed:
         print(f"note: {shed} requests shed to degraded results (expected "
               "under overload; never silently dropped)")
-    if dropped:
-        # The serving contract: every window completes or sheds explicitly.
+    if dropped or not parity["ok"]:
+        # The serving contract: every window completes or sheds
+        # explicitly, and the batched int8 path answers like the
+        # reference float single-window path.
         raise SystemExit(1)
 
 

@@ -6,9 +6,23 @@ spectra, MFCCs, zero-crossing rate, RMS energy, pitch, and spectral
 magnitude statistics.
 """
 
-from repro.dsp.windows import frame_signal, hamming_window, hann_window
+from repro.dsp.windows import (
+    frame_count,
+    frame_signal,
+    frame_signal_batch,
+    hamming_window,
+    hann_window,
+)
 from repro.dsp.spectral import magnitude_spectrogram, power_spectrogram, stft
-from repro.dsp.mel import dct_ii, hz_to_mel, mel_filterbank, mel_to_hz, mfcc
+from repro.dsp.mel import (
+    dct_ii,
+    hz_to_mel,
+    mel_filterbank,
+    mel_filterbank_cached,
+    mel_to_hz,
+    mfcc,
+    mfcc_from_power,
+)
 from repro.dsp.bio import (
     FEATURE_NAMES as HRV_FEATURE_NAMES,
     HrvFeatures,
@@ -19,6 +33,7 @@ from repro.dsp.bio import (
 from repro.dsp.features import (
     FeatureConfig,
     extract_feature_matrix,
+    extract_feature_matrix_batch,
     pitch_track,
     rms_energy,
     spectral_magnitude_stats,
@@ -34,14 +49,19 @@ __all__ = [
     "hrv_features",
     "dct_ii",
     "extract_feature_matrix",
+    "extract_feature_matrix_batch",
+    "frame_count",
     "frame_signal",
+    "frame_signal_batch",
     "hamming_window",
     "hann_window",
     "hz_to_mel",
     "magnitude_spectrogram",
     "mel_filterbank",
+    "mel_filterbank_cached",
     "mel_to_hz",
     "mfcc",
+    "mfcc_from_power",
     "pitch_track",
     "power_spectrogram",
     "rms_energy",

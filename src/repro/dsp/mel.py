@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.dsp.spectral import power_spectrogram
@@ -51,6 +53,51 @@ def mel_filterbank(
     return fbank
 
 
+@lru_cache(maxsize=32)
+def mel_filterbank_cached(
+    n_mels: int,
+    n_fft: int,
+    sample_rate: float,
+    fmin: float = 0.0,
+    fmax: float | None = None,
+) -> np.ndarray:
+    """Memoized, read-only :func:`mel_filterbank`.
+
+    Filterbank construction is a Python loop over filters; the serving
+    hot path extracts features for every flush with the same
+    configuration, so the bank is built once per config and shared
+    (marked read-only so accidental mutation fails loudly).
+    """
+    fbank = mel_filterbank(n_mels, n_fft, sample_rate, fmin=fmin, fmax=fmax)
+    fbank.setflags(write=False)
+    return fbank
+
+
+def mfcc_from_power(
+    spec: np.ndarray,
+    sample_rate: float,
+    n_mfcc: int = 13,
+    n_mels: int = 26,
+    n_fft: int = 512,
+    eps: float = 1e-10,
+) -> np.ndarray:
+    """MFCCs from an already-computed power spectrogram.
+
+    ``spec`` may be ``(n_frames, n_fft // 2 + 1)`` or a batched
+    ``(..., n_frames, n_fft // 2 + 1)`` stack; the mel projection, log,
+    and DCT all broadcast over leading axes.  This is the shared tail of
+    :func:`mfcc` and the batched feature front end — both paths run the
+    identical arithmetic, which is what the batch-vs-single parity gate
+    relies on.
+    """
+    if n_mfcc > n_mels:
+        raise ValueError("n_mfcc must not exceed n_mels")
+    fbank = mel_filterbank_cached(n_mels, n_fft, sample_rate)
+    mel_energy = spec @ fbank.T
+    log_mel = np.log(mel_energy + eps)
+    return dct_ii(log_mel, n_out=n_mfcc)
+
+
 def dct_ii(x: np.ndarray, n_out: int | None = None) -> np.ndarray:
     """Orthonormal DCT-II along the last axis.
 
@@ -79,10 +126,7 @@ def mfcc(
     eps: float = 1e-10,
 ) -> np.ndarray:
     """Mel-frequency cepstral coefficients, shape ``(n_frames, n_mfcc)``."""
-    if n_mfcc > n_mels:
-        raise ValueError("n_mfcc must not exceed n_mels")
     spec = power_spectrogram(signal, n_fft=n_fft, hop_length=hop_length)
-    fbank = mel_filterbank(n_mels, n_fft, sample_rate)
-    mel_energy = spec @ fbank.T
-    log_mel = np.log(mel_energy + eps)
-    return dct_ii(log_mel, n_out=n_mfcc)
+    return mfcc_from_power(
+        spec, sample_rate, n_mfcc=n_mfcc, n_mels=n_mels, n_fft=n_fft, eps=eps
+    )

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.dsp.windows import frame_signal, hann_window
+from repro.dsp.windows import _hann_window_cached, frame_signal
 
 
 def stft(
@@ -18,7 +18,7 @@ def stft(
     Returns a complex array of shape ``(n_frames, n_fft // 2 + 1)``.
     """
     if window is None:
-        window = hann_window(n_fft)
+        window = _hann_window_cached(n_fft)
     if window.shape[0] != n_fft:
         raise ValueError("window length must equal n_fft")
     frames = frame_signal(signal, n_fft, hop_length)

@@ -2,7 +2,16 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
+
+
+@lru_cache(maxsize=32)
+def _hann_window_cached(length: int) -> np.ndarray:
+    window = hann_window(length)
+    window.setflags(write=False)
+    return window
 
 
 def hann_window(length: int) -> np.ndarray:
@@ -71,3 +80,65 @@ def frame_signal(
         + hop_length * np.arange(n_frames)[:, None]
     )
     return signal[idx]
+
+
+def frame_count(n_samples: int, frame_length: int, hop_length: int) -> int:
+    """Frames :func:`frame_signal` produces for ``n_samples`` with ``pad=True``."""
+    if n_samples == 0:
+        return 0
+    return max(
+        1, int(np.ceil(max(n_samples - frame_length, 0) / hop_length)) + 1
+    )
+
+
+def frame_signal_batch(
+    signals: np.ndarray,
+    frame_length: int,
+    hop_length: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Slice a ``(batch, n_samples)`` stack into overlapping frames at once.
+
+    Equivalent to stacking :func:`frame_signal` (with ``pad=True``) over
+    the batch axis, but frames every signal through one strided view of a
+    single zero-padded buffer — the framing cost is paid once per batch,
+    not once per signal per feature stage.
+
+    Parameters
+    ----------
+    signals:
+        Two-dimensional ``(batch, n_samples)`` sample stack.
+    out:
+        Optional preallocated ``(batch, n_frames, frame_length)`` float64
+        buffer the frames are materialized into (reused across flushes by
+        the batched feature front end).
+
+    Returns
+    -------
+    Array of shape ``(batch, n_frames, frame_length)``.
+    """
+    signals = np.asarray(signals, dtype=np.float64)
+    if signals.ndim != 2:
+        raise ValueError("signals must be a (batch, n_samples) stack")
+    if frame_length < 1 or hop_length < 1:
+        raise ValueError("frame_length and hop_length must be >= 1")
+    batch, n = signals.shape
+    if n == 0:
+        return np.zeros((batch, 0, frame_length))
+    n_frames = frame_count(n, frame_length, hop_length)
+    needed = (n_frames - 1) * hop_length + frame_length
+    if needed > n:
+        padded = np.zeros((batch, needed))
+        padded[:, :n] = signals
+    else:
+        padded = signals
+    view = np.lib.stride_tricks.sliding_window_view(
+        padded, frame_length, axis=1
+    )[:, ::hop_length]
+    shape = (batch, n_frames, frame_length)
+    if out is not None:
+        if out.shape != shape:
+            raise ValueError(f"out must have shape {shape}, got {out.shape}")
+        np.copyto(out, view)
+        return out
+    return np.ascontiguousarray(view)

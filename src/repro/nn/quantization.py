@@ -9,6 +9,8 @@ int8 = 1 B/param).
 
 from __future__ import annotations
 
+import copy
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -73,6 +75,15 @@ class QuantizedModel:
 
     Inference dequantizes through the recorded specs, so accuracy reflects
     true 8-bit weight storage (the paper's "8bit" bars in Fig. 3(d)).
+
+    The original model is never mutated: inference runs on a private
+    shadow copy of the architecture whose parameter arrays double as
+    dequantization scratch buffers.  Each call re-dequantizes the stored
+    int8 weights into those buffers in place (cast, subtract zero-point,
+    scale — no temporaries), so concurrent callers on the quantized path
+    can never observe float weights, and callers of the original model
+    can never observe int8 weights.  A lock serializes shadow inference
+    because layer forward passes cache activations on the layer objects.
     """
 
     def __init__(self, model: Sequential) -> None:
@@ -84,6 +95,9 @@ class QuantizedModel:
             q, spec = quantize_tensor(tensor)
             self._qweights[name] = q
             self._specs[name] = spec
+        self._lock = threading.Lock()
+        self._shadow: Sequential | None = None
+        self._scratch: dict[str, np.ndarray] = {}
 
     @property
     def specs(self) -> dict[str, QuantizationSpec]:
@@ -102,35 +116,53 @@ class QuantizedModel:
             for name, q in self._qweights.items()
         }
 
-    def _swap_in(self) -> None:
-        self._model.set_weights(self.dequantized_weights())
+    def _load_scratch(self) -> Sequential:
+        """Dequantize int8 weights into the shadow's parameter buffers.
 
-    def _swap_out(self) -> None:
-        self._model.set_weights(self._float_weights)
+        Must be called with ``self._lock`` held.  The shadow is a deep
+        copy of the original architecture built once on first use; its
+        parameter arrays are the scratch buffers, refilled in place on
+        every call so the int8 tensors stay the source of truth.
+        """
+        if self._shadow is None:
+            shadow = copy.deepcopy(self._model)
+            params, _ = shadow._gather()
+            self._scratch = params
+            self._shadow = shadow
+        for name, q in self._qweights.items():
+            spec = self._specs[name]
+            buf = self._scratch[name]
+            buf[...] = q
+            buf -= spec.zero_point
+            buf *= spec.scale
+        return self._shadow
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Hard labels using the int8 weights."""
-        self._swap_in()
-        try:
-            return self._model.predict(x)
-        finally:
-            self._swap_out()
+        with self._lock:
+            return self._load_scratch().predict(x)
+
+    def predict_batch(self, x: np.ndarray) -> np.ndarray:
+        """Hard labels for one micro-batch in a single forward pass.
+
+        Dequantization is fused into the shadow's scratch buffers once
+        per batch, and the whole batch runs through one forward pass —
+        this is the serve runtime's default inference entry point.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        with self._lock:
+            shadow = self._load_scratch()
+            return shadow.predict(x, batch_size=max(1, x.shape[0]))
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
         """Class probabilities using the int8 weights."""
-        self._swap_in()
-        try:
-            return self._model.predict_proba(x)
-        finally:
-            self._swap_out()
+        with self._lock:
+            return self._load_scratch().predict_proba(x)
 
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
         """Accuracy using the int8 weights."""
-        self._swap_in()
-        try:
-            return self._model.evaluate(x, y)
-        finally:
-            self._swap_out()
+        with self._lock:
+            return self._load_scratch().evaluate(x, y)
 
     def max_roundtrip_error(self) -> float:
         """Worst absolute weight reconstruction error across tensors."""

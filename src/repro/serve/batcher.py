@@ -14,6 +14,13 @@ as one stacked call:
 Identical in-flight windows (same content hash) are deduplicated into a
 single model row whose result fans back out to every requester.
 
+Requests may arrive carrying a raw ``signal`` instead of prepared
+``features``: the flush then runs the DSP front end **once, batched,
+over the unique raw windows** (via the ``prepare_batch`` hook, wired to
+:meth:`~repro.affect.pipeline.AffectClassifierPipeline.
+prepare_waveforms`), so feature extraction is amortised across the batch
+and deduplicated windows pay for DSP once instead of once per session.
+
 All scheduling runs on caller-supplied workload time, like the rest of
 the repo, so behavior is deterministic and unit-testable; a lock makes
 ``submit``/``flush`` safe to drive from concurrent threads.
@@ -34,11 +41,17 @@ from repro.obs.trace import Span, TraceContext, get_tracer
 from repro.resilience import CircuitBreaker
 
 _STAGE_PREDICT = labeled("serve.stage_s", stage="predict")
+_STAGE_DSP = labeled("serve.stage_s", stage="dsp")
 
 
 @dataclass
 class BatchRequest:
     """One session's window waiting for batched inference.
+
+    Exactly one of ``features``/``signal`` should be set: ``features``
+    when the feature row is already prepared (cache carried it from an
+    earlier flush), ``signal`` when the raw window still needs the DSP
+    front end — which then runs batched at flush time.
 
     ``root_span``/``batch_span`` carry the window's trace through the
     fan-in: the runtime opens both at submit, the flush links the shared
@@ -48,9 +61,10 @@ class BatchRequest:
 
     session_id: str
     key: str
-    features: np.ndarray
-    submitted_at: float
-    seq: int
+    submitted_at: float = 0.0
+    seq: int = 0
+    features: np.ndarray | None = None
+    signal: np.ndarray | None = None
     root_span: Span | None = None
     batch_span: Span | None = None
 
@@ -60,16 +74,20 @@ class BatchResult:
     """Outcome of one request after a flush.
 
     ``label_index`` is the model's class index, or ``None`` when the
-    flush degraded (batch inference failed or the breaker was open).
-    ``flush_context`` identifies the shared flush trace serving this
-    request; ``predict_window`` is the perf-counter interval of the one
-    batched model call, so per-window traces can re-attribute it.
+    flush degraded (batch inference failed, flush-time DSP failed, or
+    the breaker was open).  ``features`` is the prepared feature row the
+    flush used for this request (freshly extracted for raw signals), so
+    the caller can backfill its cache.  ``flush_context`` identifies the
+    shared flush trace serving this request; ``predict_window`` is the
+    perf-counter interval of the one batched model call, so per-window
+    traces can re-attribute it.
     """
 
     request: BatchRequest
     label_index: int | None
     degraded: bool
     flushed_at: float
+    features: np.ndarray | None = None
     flush_context: TraceContext | None = None
     predict_window: tuple[float, float] | None = None
 
@@ -82,6 +100,12 @@ class MicroBatcher:
     predict_batch:
         ``(n, ...) feature stack -> (n,) int label indices``; called once
         per flush under the circuit breaker.
+    prepare_batch:
+        ``list of raw signals -> (n, ...) feature stack``; called at most
+        once per flush over the unique requests that arrived with a raw
+        ``signal`` instead of prepared ``features``.  ``None`` means every
+        request must carry features (requests with only a signal then
+        degrade).
     max_batch:
         Flush as soon as this many rows are pending (``1`` degenerates to
         immediate per-window inference).
@@ -98,12 +122,14 @@ class MicroBatcher:
         max_batch: int = 32,
         max_wait_s: float = 0.05,
         breaker: CircuitBreaker | None = None,
+        prepare_batch: Callable[[list[np.ndarray]], np.ndarray] | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait_s < 0:
             raise ValueError("max_wait_s must be non-negative")
         self.predict_batch = predict_batch
+        self.prepare_batch = prepare_batch
         self.max_batch = max_batch
         self.max_wait_s = max_wait_s
         self.breaker = breaker or CircuitBreaker()
@@ -116,8 +142,14 @@ class MicroBatcher:
 
     @property
     def depth(self) -> int:
-        """Number of pending (unflushed) requests."""
-        return len(self._pending)
+        """Number of pending (unflushed) requests.
+
+        Reads under the lock: an unlocked ``len`` during a racing
+        ``flush`` drain could observe the list mid-swap and feed a stale
+        depth to the runtime's admission check.
+        """
+        with self._lock:
+            return len(self._pending)
 
     def oldest_deadline(self) -> float | None:
         """Workload time at which the oldest pending row expires."""
@@ -159,28 +191,40 @@ class MicroBatcher:
 
         Tracing: the flush is a *fan-in*, so it gets its own root span
         (``serve.flush``) carrying links to every member window's trace;
-        the single model call is a ``serve.predict`` child whose interval
-        is handed back in each :class:`BatchResult` for per-window
-        attribution.
+        the batched DSP pass is a ``serve.dsp`` child, and the single
+        model call is a ``serve.predict`` child whose interval is handed
+        back in each :class:`BatchResult` for per-window attribution.
         """
+        obs = get_registry()
         with self._lock:
             batch, self._pending = self._pending, []
+            if batch:
+                # Gauge delta comes from the same drained snapshot,
+                # inside the lock, so it can never double-count a row
+                # against a racing submit's +1.
+                obs.add_gauge("serve.queue_depth", -float(len(batch)))
         if not batch:
             return []
-        obs = get_registry()
-        obs.add_gauge("serve.queue_depth", -float(len(batch)))
         obs.observe("serve.batch.size", len(batch))
         self.flushes += 1
         self.rows_flushed += len(batch)
 
         row_of: dict[str, int] = {}
-        rows: list[np.ndarray] = []
+        rows: list[np.ndarray | None] = []
+        raw: list[tuple[int, np.ndarray]] = []
         for request in batch:
-            if request.key not in row_of:
+            index = row_of.get(request.key)
+            if index is None:
                 row_of[request.key] = len(rows)
-                rows.append(request.features)
+                if request.features is not None:
+                    rows.append(request.features)
+                else:
+                    rows.append(None)
+                    raw.append((len(rows) - 1, request.signal))
             else:
                 obs.inc("serve.batch.coalesced")
+                if rows[index] is None and request.features is not None:
+                    rows[index] = request.features
         obs.observe("serve.batch.unique_rows", len(rows))
         self.unique_rows_flushed += len(rows)
 
@@ -194,27 +238,55 @@ class MicroBatcher:
                 flush_span.add_link(request.root_span.context)
 
         degraded = False
+        dsp_error: Exception | None = None
+        raw = [(i, signal) for i, signal in raw if rows[i] is None]
+        if raw:
+            dsp_start = time.perf_counter()
+            with tracer.span("serve.dsp", workload_time=now,
+                             parent=flush_span,
+                             attrs={"rows": len(raw)}):
+                try:
+                    if self.prepare_batch is None:
+                        raise RuntimeError(
+                            "raw-signal request without a prepare_batch hook"
+                        )
+                    prepared = self.prepare_batch(
+                        [signal for _, signal in raw]
+                    )
+                    for j, (i, _) in enumerate(raw):
+                        rows[i] = prepared[j]
+                except Exception as exc:
+                    degraded = True
+                    dsp_error = exc
+                    obs.inc("serve.batch.dsp_failures")
+            obs.observe(_STAGE_DSP, time.perf_counter() - dsp_start)
+            obs.inc("serve.batch.dsp_rows", len(raw))
+
         labels: np.ndarray | None = None
-        predict_span = tracer.start_span(
-            "serve.predict", workload_time=now, parent=flush_span,
-            attrs={"rows": len(rows)},
-        )
+        start = predict_end = time.perf_counter()
         predict_error: Exception | None = None
-        start = time.perf_counter()
-        try:
-            with tracer.activate(predict_span):
-                labels = self.breaker.call(
-                    lambda: np.asarray(self.predict_batch(np.stack(rows))), now
-                )
-        except CircuitOpenError as exc:
-            degraded = True
-            predict_error = exc
-        except Exception as exc:
-            degraded = True
-            predict_error = exc
-            obs.inc("serve.batch.failures")
-        predict_end = time.perf_counter()
-        predict_span.end(error=predict_error)
+        if not degraded:
+            predict_span = tracer.start_span(
+                "serve.predict", workload_time=now, parent=flush_span,
+                attrs={"rows": len(rows)},
+            )
+            start = time.perf_counter()
+            try:
+                with tracer.activate(predict_span):
+                    labels = self.breaker.call(
+                        lambda: np.asarray(
+                            self.predict_batch(np.stack(rows))
+                        ), now
+                    )
+            except CircuitOpenError as exc:
+                degraded = True
+                predict_error = exc
+            except Exception as exc:
+                degraded = True
+                predict_error = exc
+                obs.inc("serve.batch.failures")
+            predict_end = time.perf_counter()
+            predict_span.end(error=predict_error)
         if degraded:
             self.degraded_flushes += 1
             obs.inc("serve.batch.degraded_flushes")
@@ -222,15 +294,17 @@ class MicroBatcher:
         else:
             obs.observe("serve.predict_s", predict_end - start)
             obs.observe(_STAGE_PREDICT, predict_end - start)
-        flush_span.end(error=predict_error)
+        flush_span.end(error=predict_error or dsp_error)
         flush_context = (flush_span.context if flush_span.context.sampled
                          else None)
 
         results = []
         for request in batch:
-            index = None if labels is None else int(labels[row_of[request.key]])
+            row = row_of[request.key]
+            index = None if labels is None else int(labels[row])
             results.append(BatchResult(
                 request, index, degraded, now,
+                features=rows[row],
                 flush_context=flush_context,
                 predict_window=None if degraded else (start, predict_end),
             ))

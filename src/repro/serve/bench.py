@@ -127,6 +127,51 @@ def run_sequential_baseline(
     }
 
 
+#: Minimum float-vs-int8 label agreement for the parity gate to pass.
+INT8_AGREEMENT_FLOOR = 0.98
+
+
+def check_parity(
+    pipeline: AffectClassifierPipeline,
+    pool: list[np.ndarray],
+    rtol: float = 1e-9,
+    atol: float = 1e-12,
+) -> dict[str, object]:
+    """The two gates guarding the batched int8 serve path.
+
+    - **batch-vs-single DSP**: every pool window prepared through
+      :meth:`~repro.affect.pipeline.AffectClassifierPipeline.
+      prepare_waveforms` (the flush path) must match the per-window
+      :meth:`prepare_waveform` reference within ``rtol``/``atol`` (in
+      practice the two paths are bitwise identical — the batch front end
+      reuses the single path's arithmetic).
+    - **float-vs-int8 labels**: the quantized model the serve runtime
+      defaults to must agree with float-weight labels on at least
+      :data:`INT8_AGREEMENT_FLOOR` of the pool.
+
+    ``ok`` is the conjunction; the serve bench refuses to report a
+    throughput win that was bought with wrong answers.
+    """
+    clf = pipeline.classifier
+    assert clf is not None
+    single = np.stack([pipeline.prepare_waveform(s) for s in pool])
+    batched = pipeline.prepare_waveforms(pool)
+    dsp_ok = bool(np.allclose(single, batched, rtol=rtol, atol=atol))
+    dsp_max_abs_diff = float(np.max(np.abs(single - batched)))
+    float_labels = np.asarray(clf.predict_labels(batched))
+    int8_labels = np.asarray(pipeline.quantize().predict_batch(batched))
+    agreement = float(np.mean(float_labels == int8_labels))
+    int8_ok = agreement >= INT8_AGREEMENT_FLOOR
+    return {
+        "windows": len(pool),
+        "dsp_batch_vs_single_ok": dsp_ok,
+        "dsp_max_abs_diff": dsp_max_abs_diff,
+        "int8_label_agreement": agreement,
+        "int8_vs_float_ok": int8_ok,
+        "ok": dsp_ok and int8_ok,
+    }
+
+
 def run_serve_bench(
     sessions: int = 16,
     seconds: float = 4.0,
@@ -136,12 +181,16 @@ def run_serve_bench(
     pool_size: int = POOL_SIZE,
     pipeline: AffectClassifierPipeline | None = None,
     baseline: bool = True,
+    parity: bool = True,
+    quantized: bool = True,
 ) -> dict[str, object]:
     """Drive one serving configuration; returns a JSON-able report.
 
     The report's ``accounting`` section carries the CI contract: every
     submitted window must come back either completed or explicitly shed
-    (``dropped == 0``).
+    (``dropped == 0``), and ``parity`` carries the correctness contract
+    (:func:`check_parity` over the window pool — disable only for
+    timing-sensitive harnesses like the trace-overhead probe).
     """
     if pipeline is None:
         pipeline = train_bench_pipeline(seed=seed)
@@ -149,6 +198,7 @@ def run_serve_bench(
     assert clf is not None
     pool = _make_pool(clf.label_names, pool_size, seed)
     schedule = _make_schedule(sessions, seconds, seed, pool_size)
+    parity_report = check_parity(pipeline, pool) if parity else None
 
     config = ServeConfig(
         max_batch=max_batch,
@@ -156,6 +206,7 @@ def run_serve_bench(
         max_queue=max(max_batch * 8, 256),
         idle_ttl_s=max(seconds, 10.0),
         stale_ttl_s=None,
+        quantized=quantized,
     )
     server = AffectServer(pipeline, config)
     results = []
@@ -178,6 +229,7 @@ def run_serve_bench(
             "max_wait_s": max_wait_s,
             "pool_size": pool_size,
             "window_period_s": WINDOW_PERIOD_S,
+            "quantized": quantized,
         },
         "served": {
             "windows": windows,
@@ -205,6 +257,8 @@ def run_serve_bench(
             "dropped": server.dropped,
         },
     }
+    if parity_report is not None:
+        report["parity"] = parity_report
     if baseline:
         seq = run_sequential_baseline(pipeline, pool, schedule)
         report["sequential"] = seq
@@ -238,6 +292,7 @@ def run_trace_workload(
         report = run_serve_bench(
             sessions=sessions, seconds=seconds, seed=seed,
             max_batch=max_batch, pipeline=pipeline, baseline=False,
+            parity=False,
         )
         return report, tracer.spans
     finally:
@@ -322,6 +377,7 @@ def measure_trace_overhead(
         report = run_serve_bench(
             sessions=sessions, seconds=seconds, seed=seed,
             max_batch=max_batch, pipeline=pipeline, baseline=False,
+            parity=False,
         )
         return float(report["served"]["wall_s"])  # type: ignore[index]
 
@@ -361,6 +417,10 @@ def run_serve_grid(
     pipeline = train_bench_pipeline(seed=seed)
     clf = pipeline.classifier
     assert clf is not None
+    # Parity is a property of the pipeline + pool, not of any one cell,
+    # so the gates run once for the whole grid.
+    parity = check_parity(pipeline, _make_pool(clf.label_names,
+                                               POOL_SIZE, seed))
     grid: dict[str, object] = {}
     for sessions in session_counts:
         pool = _make_pool(clf.label_names, POOL_SIZE, seed)
@@ -372,6 +432,7 @@ def run_serve_grid(
             cell = run_serve_bench(
                 sessions=sessions, seconds=seconds, seed=seed,
                 max_batch=max_batch, pipeline=pipeline, baseline=False,
+                parity=False,
             )
             cell["speedup"] = (
                 cell["served"]["windows_per_s"] / sequential["windows_per_s"]
@@ -385,4 +446,5 @@ def run_serve_grid(
         "session_counts": list(session_counts),
         "seconds": seconds,
         "seed": seed,
+        "parity": parity,
     }

@@ -11,8 +11,11 @@ reproduction into a multi-tenant service:
    runtime answers *now* with the degraded rung of the ladder.
 2. **Cache** — a content-hash LRU; a window already classified skips DSP
    *and* inference, a window already prepared (in flight) skips DSP.
-3. **Micro-batching** — cache misses join the cross-session batch and
-   are flushed full-or-deadline into one vectorized ``predict``.
+3. **Micro-batching** — cache misses join the cross-session batch
+   carrying their *raw* signal; the flush runs the DSP front end once,
+   batched, over the unique windows and then one vectorized ``predict``
+   — by default through the int8-quantized model (the paper's deployed
+   configuration; ``ServeConfig.quantized=False`` restores float).
 4. **Degradation** — the batched model call runs under a shared
    :class:`~repro.resilience.CircuitBreaker`; failed flushes degrade
    every affected request to its session fallback, and degraded labels
@@ -42,7 +45,7 @@ from repro.serve.sessions import SessionManager
 
 #: Labeled stage-latency series, built once — ``labeled()`` sorts and
 #: joins its labels on every call, which is measurable per window.
-_STAGE_DSP = labeled("serve.stage_s", stage="dsp")
+#: (The dsp stage series moved to the batcher with flush-time DSP.)
 _STAGE_CONTROLLER = labeled("serve.stage_s", stage="controller")
 
 
@@ -61,6 +64,9 @@ class ServeConfig:
     #: ``False`` sheds to a degraded result under overload (default);
     #: ``True`` raises :class:`~repro.errors.OverloadShedError` instead.
     strict_admission: bool = False
+    #: Serve flushes through the int8-quantized model (default — the
+    #: paper's deployed configuration); ``False`` uses float weights.
+    quantized: bool = True
 
 
 @dataclass
@@ -112,8 +118,13 @@ class AffectServer:
             neutral = self.label_names[0]
         self.neutral_label = neutral
         self.breaker = breaker or CircuitBreaker()
+        if self.config.quantized:
+            predict_batch = pipeline.quantize().predict_batch
+        else:
+            predict_batch = clf.predict_labels
         self.batcher = MicroBatcher(
-            predict_batch=clf.predict_labels,
+            predict_batch=predict_batch,
+            prepare_batch=pipeline.prepare_waveforms,
             max_batch=self.config.max_batch,
             max_wait_s=self.config.max_wait_s,
             breaker=self.breaker,
@@ -200,19 +211,20 @@ class AffectServer:
                     submitted_at=now, completed_at=now,
                     cached=True, seq=seq,
                 )]
-            if isinstance(entry, CacheEntry):
-                features = entry.features  # in flight: DSP already paid
+            features = None
+            if isinstance(entry, CacheEntry) and entry.features is not None:
+                features = entry.features  # DSP already paid by a flush
                 root.add_event("cache.features_hit", {"key": key[:8]})
-            else:
-                start = time.perf_counter()
-                with tracer.span("serve.dsp", workload_time=now,
-                                 parent=root):
-                    features = self.pipeline.prepare_waveform(signal)
-                obs.observe(_STAGE_DSP, time.perf_counter() - start)
-                self.cache.put(key, CacheEntry(features=features))
+            elif not isinstance(entry, CacheEntry):
+                # DSP is deferred to the flush, where it runs once,
+                # batched, over the unique raw windows; the placeholder
+                # entry dedups concurrent submits of the same window.
+                self.cache.put(key, CacheEntry())
             request = BatchRequest(
-                session_id=session_id, key=key, features=features,
+                session_id=session_id, key=key,
                 submitted_at=now, seq=seq,
+                features=features,
+                signal=None if features is not None else signal,
                 root_span=root,
                 batch_span=tracer.start_span(
                     "serve.batch", workload_time=now, parent=root,
@@ -268,6 +280,11 @@ class AffectServer:
             session = self.sessions.get_or_create(
                 request.session_id, outcome.flushed_at
             )
+            entry = self.cache.peek(request.key)
+            if isinstance(entry, CacheEntry) and entry.features is None:
+                # Backfill the flush's DSP output even on degraded
+                # flushes, so a retry of the same window skips DSP.
+                entry.features = outcome.features
             if outcome.label_index is None:
                 label = session.fallback_label
                 degraded = True
@@ -275,7 +292,6 @@ class AffectServer:
             else:
                 label = self.label_names[outcome.label_index]
                 degraded = False
-                entry = self.cache.peek(request.key)
                 if isinstance(entry, CacheEntry):
                     entry.label = label
             if batch_span is not None:

@@ -103,6 +103,12 @@ class SessionManager:
         # Ordered least- to most-recently-active.
         self._sessions: OrderedDict[str, Session] = OrderedDict()
         self._lock = threading.Lock()
+        # Workload time before which no session can possibly be idle
+        # past the TTL.  Touches only ever *increase* ``last_active``,
+        # so ``min(last_active) + idle_ttl_s`` observed at the last full
+        # scan stays a valid lower bound and lets every poll in between
+        # return in O(1) instead of scanning the whole table.
+        self._next_expiry_bound = 0.0
 
     def __len__(self) -> int:
         return len(self._sessions)
@@ -143,28 +149,44 @@ class SessionManager:
                 neutral_label=self.neutral_label,
             )
             self._sessions[session_id] = session
+            self._next_expiry_bound = min(
+                self._next_expiry_bound, now + self.idle_ttl_s
+            )
             self.created += 1
             obs.inc("serve.sessions.created")
             obs.set_gauge("serve.sessions.active", len(self._sessions))
             return session
 
     def evict_idle(self, now: float) -> int:
-        """Drop every session idle past the TTL; returns how many."""
+        """Drop every session idle past the TTL; returns how many.
+
+        Polled once per workload tick, so the common no-op case must be
+        cheap: if ``now`` has not yet reached the earliest time any
+        session *could* expire, return without scanning.  Only when the
+        bound passes does the O(n) scan run (the table is only
+        approximately ordered by ``last_active`` — deliveries touch
+        sessions without reordering — so the scan must be full), and the
+        scan re-derives the next bound from the survivors.
+        """
         obs = get_registry()
         evicted = 0
         with self._lock:
-            # The table is only *approximately* ordered by last_active
-            # (deliveries touch sessions without reordering), so scan all;
-            # eviction is rare enough that O(n) per poll is acceptable.
+            if now <= self._next_expiry_bound:
+                return 0
             for session_id in [
                 sid for sid, s in self._sessions.items()
                 if now - s.last_active > self.idle_ttl_s
             ]:
                 del self._sessions[session_id]
                 evicted += 1
+            if self._sessions:
+                earliest = min(s.last_active for s in self._sessions.values())
+                self._next_expiry_bound = earliest + self.idle_ttl_s
+            else:
+                self._next_expiry_bound = float("inf")
             if evicted:
                 self.evicted_idle += evicted
                 obs.inc("serve.sessions.evicted_idle", evicted)
                 obs.inc("serve.sessions.evicted", evicted)
-        obs.set_gauge("serve.sessions.active", len(self._sessions))
+                obs.set_gauge("serve.sessions.active", len(self._sessions))
         return evicted

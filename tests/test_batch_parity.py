@@ -72,6 +72,37 @@ class TestModelBatchParity:
 
 
 class TestPipelineBatchParity:
+    def test_prepare_waveforms_matches_single(self, trained):
+        labels = trained.classifier.label_names
+        waves = [
+            synthesize_utterance(labels[i % len(labels)], actor=i % 4,
+                                 sentence=i % 3, take=i)
+            for i in range(5)
+        ]
+        # Mixed lengths exercise the batch front end's length grouping.
+        waves.append(waves[0][: len(waves[0]) // 2])
+        batched = trained.prepare_waveforms(waves)
+        assert batched.shape[0] == len(waves)
+        for i, wave in enumerate(waves):
+            np.testing.assert_array_equal(
+                batched[i], trained.prepare_waveform(wave)
+            )
+
+    def test_prepare_waveforms_empty(self, trained):
+        clf = trained.classifier
+        prepared = trained.prepare_waveforms([])
+        assert prepared.shape == (0, clf.n_frames, clf.mean.shape[-1])
+
+    def test_quantized_predict_batch_matches_float_labels(self, trained,
+                                                          feature_batch):
+        # The serve default: int8 predict_batch must agree with the
+        # float model on in-distribution rows (Fig. 3(d)'s claim).
+        quantized = quantize_model(trained.classifier.model)
+        float_labels = trained.classifier.model.predict(feature_batch)
+        int8_labels = quantized.predict_batch(feature_batch)
+        agreement = float(np.mean(float_labels == int8_labels))
+        assert agreement >= 0.9
+
     def test_classify_waveforms_matches_loop(self, trained):
         labels = trained.classifier.label_names
         waves = [

@@ -61,6 +61,33 @@ class TestTensorQuantization:
         spec = compute_spec(np.array([100.0, 101.0]))
         assert INT8_MIN <= spec.zero_point <= INT8_MAX
 
+    def test_zero_point_clamps_at_extreme_positive_range(self):
+        # All-positive tensors anchor lo at 0.0, putting the zero point
+        # exactly on the low clamp; values must stay in int8 and the
+        # roundtrip must still cover the range within one scale step.
+        tensor = np.array([1e4, 2e4, 5e4])
+        spec = compute_spec(tensor)
+        assert spec.zero_point == INT8_MIN
+        q = spec.quantize(tensor)
+        assert q.min() >= INT8_MIN and q.max() <= INT8_MAX
+        assert np.max(np.abs(spec.dequantize(q) - tensor)) <= spec.scale
+
+    def test_zero_point_clamps_at_extreme_negative_range(self):
+        tensor = np.array([-1e4, -2e4, -5e4])
+        spec = compute_spec(tensor)
+        assert spec.zero_point == INT8_MAX
+        q = spec.quantize(tensor)
+        assert q.min() >= INT8_MIN and q.max() <= INT8_MAX
+        assert np.max(np.abs(spec.dequantize(q) - tensor)) <= spec.scale
+
+    def test_tiny_single_sided_range_zero_point_in_range(self):
+        for tensor in (np.array([1e-300, 3e-300]),
+                       np.array([-3e-300, -1e-300])):
+            spec = compute_spec(tensor)
+            assert INT8_MIN <= spec.zero_point <= INT8_MAX
+            q = spec.quantize(tensor)
+            assert q.min() >= INT8_MIN and q.max() <= INT8_MAX
+
 
 class TestModelQuantization:
     def _trained_model(self):
@@ -109,3 +136,56 @@ class TestModelQuantization:
         probs = quantize_model(model).predict_proba(x[:5])
         assert probs.shape == (5, 2)
         assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_predict_batch_matches_predict(self):
+        model, x, _ = self._trained_model()
+        qmodel = quantize_model(model)
+        assert np.array_equal(qmodel.predict_batch(x), qmodel.predict(x))
+
+    def test_inference_runs_on_shadow_not_shared_model(self):
+        model, x, _ = self._trained_model()
+        qmodel = quantize_model(model)
+        float_probs = model.predict_proba(x)
+        qmodel.predict(x)
+        # The shared model's weights were never swapped, so its scratch
+        # copy is distinct and float predictions are untouched.
+        assert qmodel._shadow is not model
+        assert np.array_equal(model.predict_proba(x), float_probs)
+
+    def test_threaded_predict_consistent(self):
+        # Regression for the _swap_in/_swap_out race: concurrent
+        # quantized predicts (and float predicts on the shared model)
+        # must all return exactly their single-threaded answers.
+        import threading
+
+        model, x, _ = self._trained_model()
+        qmodel = quantize_model(model)
+        q_probs = qmodel.predict_proba(x)
+        q_labels = qmodel.predict_batch(x)
+        float_probs = model.predict_proba(x)
+        errors: list[AssertionError] = []
+
+        def quantized_worker():
+            try:
+                for _ in range(15):
+                    assert np.array_equal(qmodel.predict_proba(x), q_probs)
+                    assert np.array_equal(qmodel.predict_batch(x), q_labels)
+            except AssertionError as exc:
+                errors.append(exc)
+
+        def float_worker():
+            try:
+                for _ in range(15):
+                    assert np.array_equal(model.predict_proba(x),
+                                          float_probs)
+            except AssertionError as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=quantized_worker)
+                   for _ in range(4)]
+        threads += [threading.Thread(target=float_worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []

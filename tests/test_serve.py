@@ -88,6 +88,36 @@ class TestLRUCache:
         with pytest.raises(ValueError):
             LRUCache(capacity=0)
 
+    def test_threaded_mixed_operations(self):
+        # Regression: the unlocked OrderedDict could corrupt its recency
+        # list (or raise KeyError out of get) under concurrent
+        # put/get/eviction from serve threads.
+        cache = LRUCache(capacity=8)
+        errors: list[Exception] = []
+
+        def storm(worker: int) -> None:
+            try:
+                for i in range(400):
+                    key = f"k{(worker * 7 + i) % 24}"
+                    cache.put(key, (worker, i))
+                    cache.get(key)
+                    cache.get(f"k{i % 24}")
+                    cache.peek(f"k{(i + 5) % 24}")
+                    len(cache)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=storm, args=(w,))
+                   for w in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(cache) <= 8
+        # Counters stay exact: every get was either a hit or a miss.
+        assert cache.hits + cache.misses == 6 * 400 * 2
+
 
 def _request(key: str, sid: str = "s", now: float = 0.0,
              seq: int = 0) -> BatchRequest:
@@ -349,6 +379,173 @@ class TestAffectServer:
         assert server.dropped == 0
 
 
+class TestMicroBatcherConcurrency:
+    def test_depth_and_gauge_consistent_under_storm(self):
+        # Regression: ``depth`` used to read the pending list without
+        # the lock, and the flush reported its queue-depth gauge delta
+        # outside the drain, so admission checks could race a flush.
+        from repro.obs import get_registry
+
+        gauge_before = get_registry().snapshot()["gauges"].get(
+            "serve.queue_depth", 0.0
+        )
+        batcher = MicroBatcher(lambda x: np.zeros(len(x), dtype=int),
+                               max_batch=4, max_wait_s=100.0)
+        results: list[object] = []
+        errors: list[Exception] = []
+        lock = threading.Lock()
+
+        def storm(worker: int) -> None:
+            try:
+                for i in range(60):
+                    out = batcher.submit(
+                        _request(f"w{worker}-{i}", sid=f"w{worker}",
+                                 seq=i), 0.0,
+                    )
+                    out += batcher.flush(0.0) if i % 7 == 0 else []
+                    with lock:
+                        results.extend(out)
+                    assert batcher.depth >= 0
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=storm, args=(w,))
+                   for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        results.extend(batcher.flush(0.0))
+        assert errors == []
+        assert len(results) == 4 * 60
+        assert batcher.depth == 0
+        gauge_after = get_registry().snapshot()["gauges"].get(
+            "serve.queue_depth", 0.0
+        )
+        # Every +1 submit was matched by a drain's -1 from the same
+        # snapshot: the gauge nets out to exactly where it started.
+        assert gauge_after == pytest.approx(gauge_before)
+
+
+class TestFlushTimeDsp:
+    def _raw_request(self, key: str, sid: str = "s",
+                     value: float = 1.0) -> BatchRequest:
+        return BatchRequest(session_id=sid, key=key,
+                            signal=np.full(64, value))
+
+    def test_unique_raw_signals_prepared_once(self):
+        calls: list[int] = []
+
+        def prepare(signals):
+            calls.append(len(signals))
+            return np.stack([np.full((2, 3), s[0]) for s in signals])
+
+        batcher = MicroBatcher(lambda x: np.arange(len(x)),
+                               max_batch=10, max_wait_s=10.0,
+                               prepare_batch=prepare)
+        # Three sessions, two distinct windows: DSP runs once, over the
+        # two unique signals only.
+        batcher.submit(self._raw_request("a", sid="u1", value=1.0), 0.0)
+        batcher.submit(self._raw_request("a", sid="u2", value=1.0), 0.0)
+        batcher.submit(self._raw_request("b", sid="u3", value=2.0), 0.0)
+        results = batcher.flush(0.0)
+        assert calls == [2]
+        assert [r.label_index for r in results] == [0, 0, 1]
+        for result in results:
+            assert result.features is not None
+            assert not result.degraded
+
+    def test_prepared_features_skip_dsp(self):
+        def prepare(signals):  # pragma: no cover - must not run
+            raise AssertionError("DSP ran for an already-prepared row")
+
+        batcher = MicroBatcher(lambda x: np.zeros(len(x), dtype=int),
+                               max_batch=10, max_wait_s=10.0,
+                               prepare_batch=prepare)
+        batcher.submit(_request("a"), 0.0)
+        results = batcher.flush(0.0)
+        assert len(results) == 1 and not results[0].degraded
+
+    def test_dsp_failure_degrades_whole_flush(self):
+        from repro.obs import get_registry
+
+        def prepare(signals):
+            raise RuntimeError("front end fell over")
+
+        predict_calls: list[int] = []
+
+        def predict(x):  # pragma: no cover - must not run
+            predict_calls.append(len(x))
+            return np.zeros(len(x), dtype=int)
+
+        batcher = MicroBatcher(predict, max_batch=10, max_wait_s=10.0,
+                               prepare_batch=prepare)
+        batcher.submit(self._raw_request("a"), 0.0)
+        batcher.submit(self._raw_request("b"), 0.0)
+        results = batcher.flush(0.0)
+        assert predict_calls == []
+        assert [r.label_index for r in results] == [None, None]
+        assert all(r.degraded for r in results)
+        assert batcher.degraded_flushes == 1
+        counters = get_registry().snapshot()["counters"]
+        assert counters.get("serve.batch.dsp_failures", 0) >= 1
+
+    def test_raw_signal_without_hook_degrades(self):
+        batcher = MicroBatcher(lambda x: np.zeros(len(x), dtype=int),
+                               max_batch=10, max_wait_s=10.0)
+        batcher.submit(self._raw_request("a"), 0.0)
+        results = batcher.flush(0.0)
+        assert results[0].degraded and results[0].label_index is None
+
+
+class TestInt8ServePath:
+    def test_server_defaults_to_quantized_model(self, pipeline):
+        server = AffectServer(pipeline, ServeConfig())
+        assert server.batcher.predict_batch.__self__ is pipeline.quantize()
+
+    def test_float_path_opt_out(self, pipeline):
+        server = AffectServer(pipeline, ServeConfig(quantized=False))
+        assert (server.batcher.predict_batch.__self__
+                is pipeline.classifier)
+
+    def test_quantized_and_float_serving_agree(self, pipeline, waves):
+        def run(quantized: bool) -> list[str]:
+            server = AffectServer(pipeline, ServeConfig(
+                max_batch=4, max_wait_s=0.5, idle_ttl_s=100.0,
+                stale_ttl_s=None, quantized=quantized,
+            ))
+            results = []
+            for i, wave in enumerate(waves):
+                results += server.submit(f"u{i % 3}", wave, now=0.1 * i)
+            results += server.drain(now=10.0)
+            return [r.label for r in sorted(results, key=lambda r: r.seq)]
+
+        assert run(True) == run(False)
+
+    def test_flush_backfills_cache_features_and_label(self, pipeline,
+                                                      waves):
+        from repro.serve.cache import CacheEntry
+
+        server = AffectServer(pipeline, ServeConfig(
+            max_batch=100, max_wait_s=10.0, idle_ttl_s=100.0,
+            stale_ttl_s=None,
+        ))
+        key = window_hash(waves[0])
+        assert server.submit("u1", waves[0], now=0.0) == []
+        entry = server.cache.peek(key)
+        # DSP is deferred: the placeholder entry dedups concurrent
+        # submits but carries no features until the flush pays for them.
+        assert isinstance(entry, CacheEntry)
+        assert entry.features is None and entry.label is None
+        results = server.drain(now=1.0)
+        assert len(results) == 1 and not results[0].degraded
+        entry = server.cache.peek(key)
+        assert entry.features is not None
+        assert entry.label == results[0].label
+        expected = pipeline.prepare_waveform(waves[0])
+        np.testing.assert_array_equal(entry.features, expected)
+
+
 class TestServeBenchSmoke:
     def test_small_run_accounts_and_reports(self, pipeline):
         from repro.serve.bench import run_serve_bench
@@ -360,3 +557,14 @@ class TestServeBenchSmoke:
         assert acct["submitted"] == acct["completed"] + acct["shed"]
         assert report["sequential"]["windows"] == report["served"]["windows"]
         assert report["speedup"] > 0.0
+
+    def test_parity_gates_pass_on_bench_pool(self, pipeline):
+        from repro.serve.bench import run_serve_bench
+
+        report = run_serve_bench(sessions=2, seconds=0.5, seed=0,
+                                 max_batch=4, pipeline=pipeline)
+        parity = report["parity"]
+        assert parity["dsp_batch_vs_single_ok"]
+        assert parity["dsp_max_abs_diff"] == 0.0
+        assert parity["int8_vs_float_ok"]
+        assert parity["ok"]
