@@ -4,11 +4,14 @@ Runs the chaos workload (the same one behind ``repro chaos``) at 0%, 5%
 and 20% per-kind fault rates, measures the resilience wrappers' overhead
 on the fault-free path (resilient vs bare loop), and writes
 ``BENCH_resilience.json`` at the repo root — the degradation curve every
-future robustness PR compares against.
+future robustness PR compares against.  A second section runs the
+serve-layer surge and battery-drain plans (``repro chaos --plan surge``)
+and records the shed-only baseline against the adaptive tier ladder.
 
 The headline assertions: the resilient chain survives every rate with
-zero unhandled crashes, and the wrappers cost < 2% of loop time when no
-faults fire.
+zero unhandled crashes, the wrappers cost < 2% of loop time when no
+faults fire, and both surge plans survive with the ladder shedding no
+more than the baseline.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ from pathlib import Path
 from benchmarks.conftest import report
 
 from repro.obs import get_registry
-from repro.resilience.chaos import run_chaos_workload
+from repro.resilience.chaos import run_chaos_workload, run_surge_workload
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 BENCH_PATH = REPO_ROOT / "BENCH_resilience.json"
@@ -119,3 +122,51 @@ def test_resilience_degradation_curve_and_overhead():
 
     # The wrappers must be effectively free when no faults fire.
     assert overhead < 0.02, f"resilience wrapper overhead {overhead:.1%} >= 2%"
+
+
+def test_surge_plans_survive_and_merge_into_bench():
+    """Serve-layer chaos: shed-only baseline vs the adaptive tier ladder."""
+    plans = {}
+    for plan in ("surge", "battery-drain"):
+        get_registry().reset()
+        plans[plan] = run_surge_workload(
+            seed=0, sessions=64, seconds=10.0, plan=plan,
+        )
+
+    rows = []
+    for plan, stats in plans.items():
+        baseline = stats["baseline"]
+        adaptive = stats["adaptive"]
+        rows.append([
+            plan,
+            stats["windows"],
+            f"{baseline['shed_frac'] * 100:.1f}%",
+            f"{adaptive['shed_frac'] * 100:.1f}%",
+            adaptive["absorbed"],
+            adaptive["adaptive"]["demotions"],
+            adaptive["adaptive"]["promotions"],
+            f"{adaptive['adaptive']['energy_drained']:.2f}",
+            "yes" if stats["survived"] else "NO",
+        ])
+    report(
+        "Resilience — surge plans: shed-only baseline vs adaptive ladder",
+        ["plan", "windows", "base shed", "adpt shed", "absorbed",
+         "demote", "promote", "energy", "survived"],
+        rows,
+    )
+
+    # Merge the surge section into the bench file the fault-curve test
+    # wrote (read-modify-write keeps the two tests runnable standalone).
+    payload = (json.loads(BENCH_PATH.read_text())
+               if BENCH_PATH.exists() else {"benchmark": "resilience"})
+    payload["surge"] = plans
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    for plan, stats in plans.items():
+        assert stats["survived"], f"{plan} plan did not survive: {stats}"
+        assert stats["crashes"] == 0
+        assert stats["adaptive"]["dropped"] == 0
+        assert stats["baseline"]["dropped"] == 0
+    # The surge plan must show recovery; the drain plan must hold budget.
+    assert plans["surge"]["adaptive"]["adaptive"]["promotions"] > 0
+    assert plans["battery-drain"]["adaptive"]["adaptive"]["demotions"] > 0

@@ -178,6 +178,40 @@ _BUILDERS = {"mlp": build_mlp, "cnn": build_cnn, "lstm": build_lstm,
              "gru": build_gru}
 
 
+#: The adaptive serving runtime's default degradation ladder, best tier
+#: first: float LSTM → int8 LSTM → int8 MLP → cached/neutral fallback
+#: (``None`` architecture — no model call at all).  Mirrors AHAR's
+#: energy-tiered variant switching over the paper's own model study:
+#: each rung trades accuracy for a large drop in per-window compute.
+DEFAULT_TIER_LADDER: tuple[tuple[str | None, bool], ...] = (
+    ("lstm", False),
+    ("lstm", True),
+    ("mlp", True),
+    (None, False),
+)
+
+
+def estimate_macs(model: Sequential, n_frames: int) -> float:
+    """Per-window multiply-accumulate estimate for a compiled model.
+
+    Parameter count alone misorders the ladder: the fast-config LSTM has
+    ~5x fewer parameters than the MLP yet costs ~10x the compute,
+    because every recurrent weight is applied once *per frame*.  The
+    estimate charges recurrent layers ``params x n_frames`` and
+    everything else ``params x 1`` — crude, but it preserves the
+    compute ordering the energy model needs.
+    """
+    if n_frames < 1:
+        raise ValueError("n_frames must be >= 1")
+    macs = 0.0
+    for layer in model.layers:
+        if isinstance(layer, (LSTM, GRU)):
+            macs += layer.n_params * n_frames
+        else:
+            macs += layer.n_params
+    return macs
+
+
 def build_model(
     name: str,
     input_shape: tuple[int, int],

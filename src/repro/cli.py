@@ -12,6 +12,7 @@ terminal::
     repro stats             # end-to-end workload + metrics/SLO report
     repro chaos             # end-to-end workload under fault injection
     repro serve-bench       # multi-session serving runtime benchmark
+    repro adaptive-bench    # tier-ladder degradation under surge/battery
     repro trace             # per-request trace capture (Perfetto JSON)
 """
 
@@ -195,6 +196,43 @@ def _chaos(args: argparse.Namespace) -> None:
 
     registry = get_registry()
     registry.reset()
+    if args.plan in ("surge", "battery-drain"):
+        from repro.resilience.chaos import run_surge_workload
+
+        stats = run_surge_workload(
+            seed=args.seed, sessions=args.sessions,
+            seconds=args.seconds, plan=args.plan,
+        )
+        if args.json or args.output:
+            report = json.dumps(stats, indent=2, sort_keys=True, default=str)
+            if args.output:
+                from pathlib import Path
+
+                Path(args.output).write_text(report + "\n")
+                print(f"wrote chaos report to {args.output}")
+            else:
+                print(report)
+        else:
+            base, adapt = stats["baseline"], stats["adaptive"]
+            print(f"== chaos {args.plan} (seed={args.seed}, "
+                  f"{args.sessions} sessions, {args.seconds:g} s) ==")
+            print(f"windows: {stats['windows']}  ladder: "
+                  f"{' -> '.join(stats['ladder'])}")
+            print(f"baseline: shed {base['shed']} "
+                  f"({base['shed_frac'] * 100:.1f}%), "
+                  f"accuracy {base['accuracy'] * 100:.1f}%")
+            print(f"adaptive: shed {adapt['shed']} "
+                  f"({adapt['shed_frac'] * 100:.1f}%), absorbed "
+                  f"{adapt['absorbed']}, accuracy "
+                  f"{adapt['accuracy'] * 100:.1f}%")
+            print(f"tier mix: {adapt['tier_mix']}")
+            print(f"ladder moves: {adapt['adaptive']['demotions']} down, "
+                  f"{adapt['adaptive']['promotions']} up; energy "
+                  f"{adapt['adaptive']['energy_drained']:.1f}")
+            print(f"survived: {stats['survived']}")
+        if not stats["survived"]:
+            raise SystemExit(1)
+        return
     stats = run_chaos_workload(
         seed=args.seed, fault_rate=args.fault_rate, windows=args.windows
     )
@@ -376,6 +414,54 @@ def _serve_bench(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _adaptive_bench(args: argparse.Namespace) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.obs import get_registry
+    from repro.serve.adaptive_bench import run_adaptive_bench
+
+    get_registry().reset()
+    payload = run_adaptive_bench(
+        seed=args.seed, sessions=args.sessions, seconds=args.seconds,
+    )
+    gates = payload["gates"]
+    base, adapt = payload["baseline"], payload["adaptive"]
+    print(f"== adaptive-bench ({args.sessions} sessions, "
+          f"{args.seconds:g} s, surge x{payload['config']['surge_scale']:g}) ==")
+    print(f"ladder: {' -> '.join(payload['config']['ladder'])}")
+    print(f"baseline: shed {base['shed']}/{base['windows']} "
+          f"({gates['baseline_shed_frac'] * 100:.1f}%), "
+          f"p95 {base['latency_s']['p95']:.3f} s")
+    print(f"adaptive: shed {adapt['shed']}/{adapt['windows']} "
+          f"({gates['adaptive_shed_frac'] * 100:.2f}%), absorbed "
+          f"{adapt['absorbed']}, p95 {gates['adaptive_p95_s']:.3f} s "
+          f"(SLO {gates['latency_slo_s']:g} s)")
+    print(f"accuracy: adaptive {gates['adaptive_accuracy'] * 100:.1f}% vs "
+          f"always-neutral {gates['neutral_accuracy'] * 100:.1f}%")
+    print(f"tier mix: {adapt['tier_mix']}")
+    print(f"ladder moves: {adapt['adaptive']['demotions']} down, "
+          f"{adapt['adaptive']['promotions']} up; "
+          f"{adapt['sessions_at_top_after']} sessions back at "
+          f"{adapt['top_tier']} after the surge")
+    print(f"{'scale':>6} {'battery':>8} {'accuracy':>9} {'win/s':>8} "
+          f"{'shed':>6} {'p95 s':>6} {'energy':>8}")
+    for row in payload["frontier"]:
+        print(f"{row['surge_scale']:>6g} {row['battery_fraction']:>8.2f} "
+              f"{row['accuracy'] * 100:>8.1f}% {row['windows_per_s']:>8.0f} "
+              f"{row['shed_frac'] * 100:>5.1f}% {row['p95_s']:>6.3f} "
+              f"{row['energy_drained']:>8.1f}")
+    print(f"gates ok: {gates['ok']}")
+    path = Path(args.output or "BENCH_adaptive.json")
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    if not gates["ok"]:
+        # The degradation contract: a surge lethal to the binary runtime
+        # must be absorbed — not shed — by the ladder, inside the SLO,
+        # without answering worse than the always-neutral strawman.
+        raise SystemExit(1)
+
+
 def _export_trace(args: argparse.Namespace) -> None:
     from repro.core.appstudy import run_case_study
 
@@ -398,6 +484,7 @@ _COMMANDS = {
     "stats": _stats,
     "chaos": _chaos,
     "serve-bench": _serve_bench,
+    "adaptive-bench": _adaptive_bench,
     "trace": _trace,
 }
 
@@ -450,12 +537,20 @@ def main(argv: list[str] | None = None) -> int:
         help="classifier windows the chaos workload drives (default 24)",
     )
     parser.add_argument(
-        "--sessions", type=int, default=16,
-        help="concurrent synthetic sessions for serve-bench (default 16)",
+        "--plan", choices=("uniform", "surge", "battery-drain"),
+        default="uniform",
+        help="chaos plan: uniform fault injection (default), a diurnal "
+             "load surge, or a battery drain through the tier ladder",
     )
     parser.add_argument(
-        "--seconds", type=float, default=4.0,
-        help="workload seconds per serve-bench run (default 4)",
+        "--sessions", type=int, default=None,
+        help="concurrent synthetic sessions (default 16 for serve-bench/"
+             "trace, 64 for chaos surge plans, 96 for adaptive-bench)",
+    )
+    parser.add_argument(
+        "--seconds", type=float, default=None,
+        help="workload seconds per run (default 4 for serve-bench/trace, "
+             "10 for chaos surge plans, 12 for adaptive-bench)",
     )
     parser.add_argument(
         "--batch", type=int, default=32,
@@ -466,6 +561,17 @@ def main(argv: list[str] | None = None) -> int:
         help="serve-bench: sweep the batch-size x session-count grid",
     )
     args = parser.parse_args(argv)
+    # Workload-size defaults differ per experiment: the serve bench and
+    # trace smoke want seconds-long smoke runs, while the adaptive bench
+    # and the surge chaos plans need a surge big enough for their gates
+    # (a lethal baseline shed, visible recovery) to be meaningful.
+    surge_chaos = args.experiment == "chaos" and args.plan != "uniform"
+    if args.sessions is None:
+        args.sessions = (96 if args.experiment == "adaptive-bench"
+                         else 64 if surge_chaos else 16)
+    if args.seconds is None:
+        args.seconds = (12.0 if args.experiment == "adaptive-bench"
+                        else 10.0 if surge_chaos else 4.0)
     try:
         _COMMANDS[args.experiment](args)
     except BrokenPipeError:  # e.g. piped into `head`

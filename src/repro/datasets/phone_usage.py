@@ -17,6 +17,7 @@ distribution matching the paper's qualitative description:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -189,3 +190,91 @@ def sample_app_category(
     categories = list(dist)
     probs = np.array([dist[c] for c in categories])
     return categories[int(rng.choice(len(categories), p=probs / probs.sum()))]
+
+
+# -- diurnal arrival patterns ----------------------------------------------
+#
+# Phone-usage studies consistently show a two-peaked daily rhythm: a
+# morning ramp around waking and a taller evening peak, with a deep
+# overnight trough.  The resilience surge plan and the adaptive serving
+# bench both compress this 24-hour shape into a short workload, so one
+# generator here is the single source of "what a traffic surge looks
+# like" for every bench that needs one.
+
+#: (peak hour, width in hours, relative height) of the two daily peaks.
+DIURNAL_PEAKS: tuple[tuple[float, float, float], ...] = (
+    (8.5, 1.8, 0.7),    # morning ramp
+    (20.0, 2.5, 1.0),   # evening peak
+)
+#: Overnight floor relative to the evening peak.
+DIURNAL_FLOOR = 0.08
+
+
+def diurnal_intensity(hour: float, subject: Subject | int | None = None) -> float:
+    """Relative arrival intensity at ``hour`` (0-24, wraps) in [floor, ~1].
+
+    The shape is a floor plus two Gaussian bumps (:data:`DIURNAL_PEAKS`).
+    With a ``subject``, extraversion skews the evening peak: outgoing
+    subjects (like subject 3, the "excited" proxy) push more of their
+    usage into the evening social hours, matching the personality-usage
+    coupling of the underlying study.
+    """
+    hour = float(hour) % 24.0
+    evening_scale = 1.0
+    if subject is not None:
+        if isinstance(subject, int):
+            subject = get_subject(subject)
+        # Extraversion 1-5 maps to 0.8-1.2 on the evening peak.
+        evening_scale = 0.8 + 0.1 * (subject.personality.extraversion - 1.0)
+    intensity = DIURNAL_FLOOR
+    for i, (peak, width, height) in enumerate(DIURNAL_PEAKS):
+        # Wrap-around distance so 23:30 still feels the 20:00 peak.
+        dist = min(abs(hour - peak), 24.0 - abs(hour - peak))
+        scale = evening_scale if i == len(DIURNAL_PEAKS) - 1 else 1.0
+        intensity += height * scale * math.exp(-0.5 * (dist / width) ** 2)
+    return intensity
+
+
+def surge_schedule(
+    sessions: int,
+    seconds: float,
+    seed: int = 0,
+    subject: Subject | int | None = 3,
+    period_s: float = 0.5,
+    surge_start_frac: float = 0.3,
+    surge_end_frac: float = 0.7,
+    surge_scale: float = 8.0,
+    day_hours: tuple[float, float] = (6.0, 22.0),
+) -> list[tuple[float, int]]:
+    """Diurnal-shaped arrival events: time-sorted ``(now, session_index)``.
+
+    The workload's ``seconds`` span a compressed day (``day_hours``
+    mapped linearly onto it), so each session's per-tick send
+    probability follows :func:`diurnal_intensity`.  Between
+    ``surge_start_frac`` and ``surge_end_frac`` of the run a burst
+    multiplies the intensity by ``surge_scale`` *and* fans arrivals of
+    all sessions into the same tick — the evening-peak load surge the
+    shed/degradation benches must survive.  Deterministic per ``seed``.
+    """
+    if sessions < 1:
+        raise ValueError("sessions must be >= 1")
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    rng = np.random.default_rng(seed)
+    offsets = rng.uniform(0.0, period_s, size=sessions)
+    h0, h1 = day_hours
+    events: list[tuple[float, int]] = []
+    ticks = int(np.ceil(seconds / period_s))
+    for k in range(ticks):
+        t = k * period_s
+        hour = h0 + (h1 - h0) * (t / seconds)
+        in_surge = surge_start_frac * seconds <= t < surge_end_frac * seconds
+        base = diurnal_intensity(hour, subject)
+        rate = min(1.0, base * (surge_scale if in_surge else 1.0))
+        sends = rng.random(sessions) < rate
+        for s in np.nonzero(sends)[0]:
+            now = t + (0.0 if in_surge else float(offsets[s]))
+            if now < seconds:
+                events.append((now, int(s)))
+    events.sort(key=lambda e: e[0])
+    return events

@@ -126,6 +126,76 @@ class PowerModel:
         )
 
 
+#: Energy per multiply-accumulate at full (float32) precision, in the
+#: model's calibrated units.  The absolute scale is arbitrary (like the
+#: decoder weights above, only ratios are meaningful); the int8 discount
+#: follows the ~3x MAC-energy reduction 8-bit arithmetic buys on edge
+#: accelerators (cf. AHAR's energy-tiered CNN variants).
+MAC_ENERGY = 1e-6
+INT8_MAC_DISCOUNT = 0.35
+#: Flat per-window cost of answering without any model call (cache or
+#: neutral fallback): feature hashing, session bookkeeping, radio.
+FALLBACK_WINDOW_ENERGY = MAC_ENERGY * 100
+
+
+def inference_energy(macs: float, quantized: bool = False) -> float:
+    """Energy of one classifier window given its MAC count.
+
+    ``macs`` comes from :func:`repro.affect.model_zoo.estimate_macs`;
+    quantized tiers pay :data:`INT8_MAC_DISCOUNT` per MAC.  Every tier
+    additionally pays the :data:`FALLBACK_WINDOW_ENERGY` floor — even a
+    shed window costs something to answer.
+    """
+    if macs < 0:
+        raise ValueError("macs must be non-negative")
+    scale = INT8_MAC_DISCOUNT if quantized else 1.0
+    return FALLBACK_WINDOW_ENERGY + macs * MAC_ENERGY * scale
+
+
+@dataclass
+class DeviceBattery:
+    """Simulated per-session device battery, in calibrated energy units.
+
+    The serving runtime cannot see a real phone, but the paper's whole
+    premise is that quality should yield to the energy budget, so each
+    session carries one of these: the adaptive controller drains it per
+    served window (by the serving tier's :func:`inference_energy`) and
+    reads :attr:`fraction` to impose tier ceilings as the budget runs
+    down.  ``capacity`` is deliberately small relative to per-window
+    draws so benches can sweep whole discharge curves in seconds of
+    workload time.
+    """
+
+    capacity: float = 1.0
+    level: float = 1.0
+    drained: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 <= self.level <= self.capacity:
+            raise ValueError("level must be within [0, capacity]")
+
+    @property
+    def fraction(self) -> float:
+        """Remaining charge in [0, 1]."""
+        return self.level / self.capacity
+
+    @property
+    def empty(self) -> bool:
+        """Whether the battery has fully discharged."""
+        return self.level <= 0.0
+
+    def drain(self, energy: float) -> float:
+        """Consume ``energy``, clamped at empty; returns what was drawn."""
+        if energy < 0:
+            raise ValueError("energy must be non-negative")
+        drawn = min(energy, self.level)
+        self.level -= drawn
+        self.drained += drawn
+        return drawn
+
+
 @dataclass
 class EnergyIntegrator:
     """Accumulate mode power over a timed schedule (playback energy)."""

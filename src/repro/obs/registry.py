@@ -63,6 +63,63 @@ _BUCKET_BASE = 1.07
 _LOG_BASE = math.log(_BUCKET_BASE)
 
 
+class HistogramState:
+    """Immutable copy of a histogram's bucket occupancy at one instant.
+
+    Two states taken from the same histogram subtract
+    (``later.delta(earlier)``) into the distribution of just the samples
+    that landed *between* the two snapshots — the primitive behind
+    windowed SLO burn (:class:`repro.obs.slo.BurnWindow`), which must
+    judge the trailing window rather than the lifetime of the registry.
+    """
+
+    __slots__ = ("count", "total", "zero", "buckets")
+
+    def __init__(self, count: int, total: float, zero: int,
+                 buckets: dict[int, int]) -> None:
+        self.count = count
+        self.total = total
+        self.zero = zero
+        self.buckets = buckets
+
+    def delta(self, earlier: "HistogramState") -> "HistogramState":
+        """The samples observed since ``earlier`` (same histogram).
+
+        Bucket counts only grow, so a plain per-bucket subtraction is
+        exact.  A registry reset between the snapshots shows up as a
+        negative count; callers treat that as an empty window.
+        """
+        buckets = {
+            index: n - earlier.buckets.get(index, 0)
+            for index, n in self.buckets.items()
+            if n - earlier.buckets.get(index, 0) > 0
+        }
+        return HistogramState(
+            count=self.count - earlier.count,
+            total=self.total - earlier.total,
+            zero=self.zero - earlier.zero,
+            buckets=buckets,
+        )
+
+    def fraction_below(self, threshold: float) -> float:
+        """Same estimate as :meth:`Histogram.fraction_below`, over this state.
+
+        Without exact min/max (deltas cannot recover them) the bucket
+        midpoints alone decide, so the bound is the bucket base like
+        every other estimate.  Empty (or reset-corrupted) states report
+        1.0 — no samples, no violations.
+        """
+        if self.count <= 0:
+            return 1.0
+        if threshold < 0.0:
+            return 0.0
+        good = self.zero
+        for index, n in self.buckets.items():
+            if _BUCKET_BASE ** (index + 0.5) <= threshold:
+                good += n
+        return min(1.0, good / self.count)
+
+
 def labeled(name: str, **labels: object) -> str:
     """Canonical labeled-metric name: ``name{k="v",...}`` (sorted keys).
 
@@ -164,6 +221,13 @@ class Histogram:
             if _BUCKET_BASE ** (index + 0.5) <= threshold:
                 good += n
         return good / self.count
+
+    def state(self) -> HistogramState:
+        """Snapshot the bucket occupancy for windowed (delta) evaluation."""
+        return HistogramState(
+            count=self.count, total=self.total, zero=self._zero,
+            buckets=dict(self._buckets),
+        )
 
     def summary(self) -> dict[str, float]:
         """Exportable summary: count, sum, min/max/mean, p50/p95/p99."""

@@ -26,9 +26,10 @@ violated.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import HistogramState, MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -183,6 +184,149 @@ def evaluate_slos(
 ) -> list[SLOVerdict]:
     """Evaluate every objective; order follows the declaration tuple."""
     return [evaluate_slo(registry, objective) for objective in objectives]
+
+
+class BurnWindow:
+    """Burn rate over the trailing window, not the lifetime of the registry.
+
+    :func:`evaluate_slo` judges every sample the registry has ever seen,
+    which is the right report for a benchmark run but useless as a
+    *control signal*: an hour of healthy traffic dilutes a ten-second
+    overload spike to invisibility.  ``BurnWindow`` keeps a short ring of
+    metric snapshots (counter values plus
+    :class:`~repro.obs.registry.HistogramState` bucket states) and
+    evaluates each objective over the **delta** between the oldest
+    retained snapshot and the newest — the multi-window burn-rate
+    construction from the SRE workbook, restricted to one window length.
+
+    The adaptive degradation controller and the SLO export share this
+    one definition, so "burning" means the same thing to the control
+    loop and to the dashboards.
+
+    All timing is caller-supplied workload time.  ``sample`` is cheap
+    (one snapshot per tracked metric) and callers decide the cadence; a
+    sample that does not advance time past ``min_interval_s`` since the
+    last one is dropped, so polling loops may call it every tick.
+    """
+
+    def __init__(
+        self,
+        objectives: tuple[SLObjective, ...] = DEFAULT_SLOS,
+        horizon_s: float = 5.0,
+        min_interval_s: float = 0.25,
+    ) -> None:
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if min_interval_s < 0:
+            raise ValueError("min_interval_s must be non-negative")
+        self.objectives = tuple(objectives)
+        self.horizon_s = horizon_s
+        self.min_interval_s = min_interval_s
+        self._metrics: set[tuple[str, str]] = set()
+        for objective in self.objectives:
+            if objective.kind == "latency":
+                self._metrics.add(("histogram", objective.metric))
+            else:
+                self._metrics.add(("counter", objective.metric))
+                self._metrics.add(("counter", objective.denominator or ""))
+        self._samples: deque[tuple[float, dict[str, object]]] = deque()
+
+    def sample(self, registry: MetricsRegistry, now: float) -> bool:
+        """Capture one snapshot at workload time ``now``; returns whether kept.
+
+        Snapshots older than ``horizon_s`` behind the newest are
+        retired, but one sample is always kept *beyond* the horizon so a
+        full window of history stays subtractable (otherwise the window
+        would shrink to nothing right after every retirement).
+        """
+        if self._samples and now - self._samples[-1][0] < self.min_interval_s:
+            return False
+        values: dict[str, object] = {}
+        for kind, name in self._metrics:
+            if kind == "histogram":
+                values[name] = registry.histogram(name).state()
+            else:
+                values[name] = registry.counter(name).value
+        self._samples.append((now, values))
+        while len(self._samples) > 2 and now - self._samples[1][0] >= self.horizon_s:
+            self._samples.popleft()
+        return True
+
+    @property
+    def span_s(self) -> float:
+        """Workload time covered by the retained samples (0.0 when < 2)."""
+        if len(self._samples) < 2:
+            return 0.0
+        return self._samples[-1][0] - self._samples[0][0]
+
+    def _window_pair(self) -> tuple[dict[str, object], dict[str, object]] | None:
+        if len(self._samples) < 2:
+            return None
+        return self._samples[0][1], self._samples[-1][1]
+
+    def evaluate(self, objective: SLObjective) -> SLOVerdict:
+        """Verdict for ``objective`` over the trailing window.
+
+        An empty or single-sample window (startup, or a just-reset
+        registry) yields the no-evidence verdict: zero samples, zero
+        burn, ``ok=True`` — the controller must not demote on silence.
+        """
+        pair = self._window_pair()
+        if objective.kind == "latency":
+            bad = 0.0
+            value = 0.0
+            samples = 0.0
+            if pair is not None:
+                earlier = pair[0][objective.metric]
+                later = pair[1][objective.metric]
+                assert isinstance(earlier, HistogramState)
+                assert isinstance(later, HistogramState)
+                delta = later.delta(earlier)
+                if delta.count > 0:
+                    bad = 1.0 - delta.fraction_below(objective.threshold)
+                    samples = float(delta.count)
+                    value = bad
+            budget = 1.0 - objective.target
+            ok = bad <= budget
+        else:
+            bad = 0.0
+            samples = 0.0
+            if pair is not None:
+                num = (float(pair[1][objective.metric])  # type: ignore[arg-type]
+                       - float(pair[0][objective.metric]))  # type: ignore[arg-type]
+                den = (float(pair[1][objective.denominator or ""])  # type: ignore[arg-type]
+                       - float(pair[0][objective.denominator or ""]))  # type: ignore[arg-type]
+                if den > 0:
+                    bad = max(0.0, num) / den
+                    samples = den
+            budget = objective.threshold
+            ok = bad <= objective.threshold
+            value = bad
+        if budget > 0:
+            burn = bad / budget
+        else:
+            burn = 0.0 if bad == 0.0 else float("inf")
+        return SLOVerdict(
+            objective=objective,
+            ok=ok,
+            value=value,
+            bad_fraction=bad,
+            error_budget=budget,
+            burn_rate=burn,
+            budget_remaining=max(0.0, min(1.0, 1.0 - burn)),
+            samples=samples,
+        )
+
+    def burn_rate(self, name: str) -> float:
+        """Trailing-window burn for the objective called ``name``."""
+        for objective in self.objectives:
+            if objective.name == name:
+                return self.evaluate(objective).burn_rate
+        raise KeyError(f"no objective named {name!r}")
+
+    def evaluate_all(self) -> list[SLOVerdict]:
+        """Trailing-window verdicts, declaration order."""
+        return [self.evaluate(objective) for objective in self.objectives]
 
 
 def render_slo_report(verdicts: list[SLOVerdict]) -> str:

@@ -55,9 +55,28 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         self.opened_at: float | None = None
         self.times_opened = 0
+        self._last_now = float("-inf")
+
+    def _clamp(self, now: float) -> float:
+        """Clamp a backwards ``now`` to the latest time already seen.
+
+        Non-monotonic clocks reach the breaker the same ways they reach
+        the system manager (skewed sensors, reordered windows), and the
+        same contract applies: time never runs backwards.  Without the
+        clamp, a rewound failure while open dragged ``opened_at`` back
+        (collapsing the recovery window) and a rewound ``allow`` pushed
+        recovery out past ``recovery_s`` — both silent distortions of
+        the configured dwell.
+        """
+        if now < self._last_now:
+            get_registry().inc("resilience.breaker.nonmonotonic_now")
+            return self._last_now
+        self._last_now = now
+        return now
 
     def allow(self, now: float) -> bool:
         """Whether a call may proceed at workload time ``now``."""
+        now = self._clamp(now)
         if self.state == CLOSED:
             return True
         if self.state == OPEN:
@@ -71,6 +90,7 @@ class CircuitBreaker:
 
     def record_success(self, now: float) -> None:
         """Report a successful call."""
+        now = self._clamp(now)
         self.consecutive_failures = 0
         if self.state != CLOSED:
             self.state = CLOSED
@@ -80,6 +100,7 @@ class CircuitBreaker:
 
     def record_failure(self, now: float) -> None:
         """Report a failed call; may trip the breaker."""
+        now = self._clamp(now)
         self.consecutive_failures += 1
         tripped = (
             self.state == HALF_OPEN

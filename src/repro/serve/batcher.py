@@ -67,6 +67,12 @@ class BatchRequest:
     signal: np.ndarray | None = None
     root_span: Span | None = None
     batch_span: Span | None = None
+    #: Adaptive model tier serving this request (``None`` = the default
+    #: predict path).  Feature rows are still deduplicated *across*
+    #: tiers — DSP output is tier-independent — but model rows are not:
+    #: the same window served to a full-tier and a degraded-tier session
+    #: runs through both models.
+    tier: str | None = None
 
 
 @dataclass
@@ -114,6 +120,12 @@ class MicroBatcher:
     breaker:
         Shared :class:`~repro.resilience.CircuitBreaker` guarding the
         model; while open, flushes degrade instead of calling the model.
+    tier_predicts:
+        Optional per-tier predict functions for the adaptive runtime.
+        Requests carrying ``tier=<name>`` are grouped and submitted to
+        ``tier_predicts[name]`` instead of ``predict_batch``; each tier
+        group is one model call under the shared breaker, and a failing
+        group degrades only its own members.
     """
 
     def __init__(
@@ -123,6 +135,7 @@ class MicroBatcher:
         max_wait_s: float = 0.05,
         breaker: CircuitBreaker | None = None,
         prepare_batch: Callable[[list[np.ndarray]], np.ndarray] | None = None,
+        tier_predicts: dict[str, Callable[[np.ndarray], np.ndarray]] | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -130,6 +143,7 @@ class MicroBatcher:
             raise ValueError("max_wait_s must be non-negative")
         self.predict_batch = predict_batch
         self.prepare_batch = prepare_batch
+        self.tier_predicts = tier_predicts or {}
         self.max_batch = max_batch
         self.max_wait_s = max_wait_s
         self.breaker = breaker or CircuitBreaker()
@@ -185,15 +199,18 @@ class MicroBatcher:
     def flush(self, now: float) -> list[BatchResult]:
         """Run one batched inference over everything pending.
 
-        Identical keys share one model row.  On model failure or an open
-        breaker every drained request comes back degraded
+        Identical keys share one *feature* row regardless of tier; model
+        rows are grouped per tier and each group is one predict call.  A
+        failed DSP pass degrades the whole flush; a failed model call
+        (or an open breaker) degrades only its tier group's requests
         (``label_index=None``) — the caller owns the fallback label.
 
         Tracing: the flush is a *fan-in*, so it gets its own root span
         (``serve.flush``) carrying links to every member window's trace;
-        the batched DSP pass is a ``serve.dsp`` child, and the single
-        model call is a ``serve.predict`` child whose interval is handed
-        back in each :class:`BatchResult` for per-window attribution.
+        the batched DSP pass is a ``serve.dsp`` child, and each tier
+        group's model call is a ``serve.predict`` child whose interval
+        is handed back in each :class:`BatchResult` for per-window
+        attribution.
         """
         obs = get_registry()
         with self._lock:
@@ -262,38 +279,61 @@ class MicroBatcher:
             obs.observe(_STAGE_DSP, time.perf_counter() - dsp_start)
             obs.inc("serve.batch.dsp_rows", len(raw))
 
-        labels: np.ndarray | None = None
-        start = predict_end = time.perf_counter()
+        # Model rows, grouped per tier: tier -> key -> position in the
+        # tier's stacked call.  The all-default case collapses to one
+        # group keyed ``None``, preserving the single-predict fast path.
+        groups: dict[str | None, dict[str, int]] = {}
+        for request in batch:
+            positions = groups.setdefault(request.tier, {})
+            positions.setdefault(request.key, len(positions))
+
+        group_labels: dict[str | None, np.ndarray | None] = {}
+        group_windows: dict[str | None, tuple[float, float]] = {}
         predict_error: Exception | None = None
         if not degraded:
-            predict_span = tracer.start_span(
-                "serve.predict", workload_time=now, parent=flush_span,
-                attrs={"rows": len(rows)},
-            )
-            start = time.perf_counter()
-            try:
-                with tracer.activate(predict_span):
-                    labels = self.breaker.call(
-                        lambda: np.asarray(
-                            self.predict_batch(np.stack(rows))
-                        ), now
-                    )
-            except CircuitOpenError as exc:
-                degraded = True
-                predict_error = exc
-            except Exception as exc:
-                degraded = True
-                predict_error = exc
-                obs.inc("serve.batch.failures")
-            predict_end = time.perf_counter()
-            predict_span.end(error=predict_error)
-        if degraded:
+            for tier, positions in groups.items():
+                predict = (self.predict_batch if tier is None
+                           else self.tier_predicts.get(tier))
+                attrs: dict[str, object] = {"rows": len(positions)}
+                if tier is not None:
+                    attrs["tier"] = tier
+                predict_span = tracer.start_span(
+                    "serve.predict", workload_time=now, parent=flush_span,
+                    attrs=attrs,
+                )
+                error: Exception | None = None
+                labels: np.ndarray | None = None
+                start = time.perf_counter()
+                try:
+                    if predict is None:
+                        raise RuntimeError(f"no predict hook for tier {tier!r}")
+                    stack = np.stack([rows[row_of[key]] for key in positions])
+                    with tracer.activate(predict_span):
+                        labels = self.breaker.call(
+                            lambda: np.asarray(predict(stack)), now
+                        )
+                except CircuitOpenError as exc:
+                    error = exc
+                except Exception as exc:
+                    error = exc
+                    obs.inc("serve.batch.failures")
+                end = time.perf_counter()
+                predict_span.end(error=error)
+                group_labels[tier] = labels
+                group_windows[tier] = (start, end)
+                if error is not None:
+                    predict_error = predict_error or error
+                else:
+                    obs.observe("serve.predict_s", end - start)
+                    obs.observe(_STAGE_PREDICT, end - start)
+
+        any_degraded = degraded or any(
+            labels is None for labels in group_labels.values()
+        )
+        if any_degraded:
             self.degraded_flushes += 1
             obs.inc("serve.batch.degraded_flushes")
             flush_span.set_attr("degraded", True)
-        else:
-            obs.observe("serve.predict_s", predict_end - start)
-            obs.observe(_STAGE_PREDICT, predict_end - start)
         flush_span.end(error=predict_error or dsp_error)
         flush_context = (flush_span.context if flush_span.context.sampled
                          else None)
@@ -301,11 +341,17 @@ class MicroBatcher:
         results = []
         for request in batch:
             row = row_of[request.key]
-            index = None if labels is None else int(labels[row])
+            labels = None if degraded else group_labels.get(request.tier)
+            if labels is None:
+                index = None
+                window = None
+            else:
+                index = int(labels[groups[request.tier][request.key]])
+                window = group_windows[request.tier]
             results.append(BatchResult(
-                request, index, degraded, now,
+                request, index, labels is None, now,
                 features=rows[row],
                 flush_context=flush_context,
-                predict_window=None if degraded else (start, predict_end),
+                predict_window=window,
             ))
         return results

@@ -39,6 +39,7 @@ from repro.errors import OverloadShedError
 from repro.obs import get_registry, labeled
 from repro.obs.trace import NOOP_SPAN, get_tracer
 from repro.resilience import CLOSED, CircuitBreaker
+from repro.serve.adaptive import AdaptiveController
 from repro.serve.batcher import BatchRequest, BatchResult, MicroBatcher
 from repro.serve.cache import CacheEntry, LRUCache, window_hash
 from repro.serve.sessions import SessionManager
@@ -82,6 +83,9 @@ class ServeResult:
     shed: bool = False
     degraded: bool = False
     cached: bool = False
+    #: Adaptive ladder tier that served this window; ``None`` when the
+    #: runtime has no adaptive controller.
+    tier: str | None = None
     seq: int = field(default=-1, repr=False)
 
     @property
@@ -106,6 +110,7 @@ class AffectServer:
         pipeline: AffectClassifierPipeline,
         config: ServeConfig | None = None,
         breaker: CircuitBreaker | None = None,
+        adaptive: AdaptiveController | None = None,
     ) -> None:
         clf = pipeline.classifier
         if clf is None:
@@ -118,6 +123,22 @@ class AffectServer:
             neutral = self.label_names[0]
         self.neutral_label = neutral
         self.breaker = breaker or CircuitBreaker()
+        self.adaptive = adaptive
+        if adaptive is not None:
+            # With a controller every request is tier-routed, so the
+            # ladder's own predicts replace the quantized/float switch.
+            self._top_tier = adaptive.ladder[0].name
+            self._terminal_tier = adaptive.ladder[adaptive.ladder.terminal_index].name
+            self._tier_windows = {
+                name: labeled("serve.tier_windows", tier=name)
+                for name in adaptive.ladder.names
+            }
+            tier_predicts = adaptive.ladder.predict_map()
+        else:
+            self._top_tier = None
+            self._terminal_tier = None
+            self._tier_windows = {}
+            tier_predicts = None
         if self.config.quantized:
             predict_batch = pipeline.quantize().predict_batch
         else:
@@ -128,6 +149,7 @@ class AffectServer:
             max_batch=self.config.max_batch,
             max_wait_s=self.config.max_wait_s,
             breaker=self.breaker,
+            tier_predicts=tier_predicts,
         )
         self.sessions = SessionManager(
             idle_ttl_s=self.config.idle_ttl_s,
@@ -139,6 +161,9 @@ class AffectServer:
         self.submitted = 0
         self.completed = 0
         self.shed = 0
+        #: Windows the terminal (cached/neutral) tier answered instantly
+        #: instead of queueing — load absorbed rather than shed.
+        self.absorbed = 0
         self._seq = 0
         self._lock = threading.RLock()
 
@@ -165,6 +190,44 @@ class AffectServer:
                 attrs={"session": session_id, "seq": seq},
             )
 
+            tier = None
+            if self.adaptive is not None:
+                self.adaptive.observe(obs, now)
+                tier = self.adaptive.tier_for(
+                    session, now, self.batcher.depth, self.config.max_queue
+                )
+                root.set_attr("tier", tier.name)
+                if tier.terminal:
+                    # The terminal rung answers *now*, without queueing:
+                    # a cached label when the window is known, else the
+                    # session fallback.  This is absorption, not
+                    # shedding — it runs even when the queue is full.
+                    key = window_hash(signal)
+                    entry = self.cache.get(key)
+                    cached = (isinstance(entry, CacheEntry)
+                              and entry.label is not None)
+                    label = entry.label if cached else session.fallback_label
+                    self.absorbed += 1
+                    self.completed += 1
+                    obs.inc("serve.absorbed")
+                    obs.inc(self._tier_windows[tier.name])
+                    self.adaptive.charge(session, tier.name)
+                    root.add_event("tier.absorbed", {
+                        "queue_depth": self.batcher.depth,
+                        "cached": cached,
+                    })
+                    emotion = self._deliver(session, label, now,
+                                            degraded=not cached, root=root)
+                    root.set_attr("degraded", not cached)
+                    root.end()
+                    return [ServeResult(
+                        session_id=session_id, label=label, emotion=emotion,
+                        mode=session.manager.decoder_mode(now).value,
+                        submitted_at=now, completed_at=now,
+                        degraded=not cached, cached=cached,
+                        tier=tier.name, seq=seq,
+                    )]
+
             if self.batcher.depth >= self.config.max_queue:
                 if self.config.strict_admission:
                     self.submitted -= 1
@@ -179,6 +242,12 @@ class AffectServer:
                 self.shed += 1
                 session.shed_windows += 1
                 obs.inc("serve.shed")
+                if self.adaptive is not None:
+                    # A shed is, in effect, a forced drop to the terminal
+                    # rung for one window: account it there.
+                    obs.inc(self._tier_windows[self._terminal_tier])
+                    self.adaptive.charge(session, self._terminal_tier,
+                                         degraded=True)
                 label = session.fallback_label
                 emotion = session.manager.effective_emotion(now)
                 root.add_event("admission.shed",
@@ -189,7 +258,8 @@ class AffectServer:
                     session_id=session_id, label=label, emotion=emotion,
                     mode=session.manager.decoder_mode(now).value,
                     submitted_at=now, completed_at=now,
-                    shed=True, degraded=True, seq=seq,
+                    shed=True, degraded=True,
+                    tier=self._terminal_tier, seq=seq,
                 )]
 
             key = window_hash(signal)
@@ -201,6 +271,11 @@ class AffectServer:
                 # enough that an extra span per window is what pushes
                 # tracing overhead past its budget.
                 root.add_event("cache.hit", {"key": key[:8]})
+                if tier is not None:
+                    # Served from cache at the session's current rung:
+                    # no model ran, so only the fallback energy is paid.
+                    obs.inc(self._tier_windows[tier.name])
+                    self.adaptive.charge(session, tier.name, degraded=True)
                 emotion = self._deliver(session, entry.label, now,
                                         degraded=False, root=root)
                 root.set_attr("cached", True)
@@ -209,7 +284,7 @@ class AffectServer:
                     session_id=session_id, label=entry.label, emotion=emotion,
                     mode=session.manager.decoder_mode(now).value,
                     submitted_at=now, completed_at=now,
-                    cached=True, seq=seq,
+                    cached=True, tier=tier.name if tier else None, seq=seq,
                 )]
             features = None
             if isinstance(entry, CacheEntry) and entry.features is not None:
@@ -225,6 +300,7 @@ class AffectServer:
                 submitted_at=now, seq=seq,
                 features=features,
                 signal=None if features is not None else signal,
+                tier=tier.name if tier is not None else None,
                 root_span=root,
                 batch_span=tracer.start_span(
                     "serve.batch", workload_time=now, parent=root,
@@ -238,6 +314,8 @@ class AffectServer:
     def poll(self, now: float) -> list[ServeResult]:
         """Advance workload time: deadline flushes + idle-session eviction."""
         with self._lock:
+            if self.adaptive is not None:
+                self.adaptive.observe(get_registry(), now)
             self.sessions.evict_idle(now)
             return self._finish(self.batcher.poll(now))
 
@@ -292,8 +370,17 @@ class AffectServer:
             else:
                 label = self.label_names[outcome.label_index]
                 degraded = False
-                if isinstance(entry, CacheEntry):
+                if isinstance(entry, CacheEntry) and request.tier in (
+                    None, self._top_tier
+                ):
+                    # Only full-quality predictions may backfill the
+                    # shared label cache: a degraded tier's answer served
+                    # to a later full-tier session would silently poison
+                    # its quality.
                     entry.label = label
+            if request.tier is not None and self.adaptive is not None:
+                obs.inc(self._tier_windows[request.tier])
+                self.adaptive.charge(session, request.tier, degraded=degraded)
             if batch_span is not None:
                 if outcome.flush_context is not None:
                     batch_span.add_link(outcome.flush_context)
@@ -330,7 +417,7 @@ class AffectServer:
                 mode=session.manager.decoder_mode(outcome.flushed_at).value,
                 submitted_at=request.submitted_at,
                 completed_at=outcome.flushed_at,
-                degraded=degraded, seq=request.seq,
+                degraded=degraded, tier=request.tier, seq=request.seq,
             ))
         return results
 
@@ -348,10 +435,11 @@ class AffectServer:
 
     def stats(self) -> dict[str, object]:
         """One JSON-able snapshot of the runtime's health."""
-        return {
+        stats: dict[str, object] = {
             "submitted": self.submitted,
             "completed": self.completed,
             "shed": self.shed,
+            "absorbed": self.absorbed,
             "pending": self.pending,
             "dropped": self.dropped,
             "sessions_active": len(self.sessions),
@@ -365,3 +453,6 @@ class AffectServer:
             "breaker_state": self.breaker.state,
             "healthy": self.breaker.state == CLOSED and self.dropped == 0,
         }
+        if self.adaptive is not None:
+            stats["adaptive"] = self.adaptive.stats()
+        return stats

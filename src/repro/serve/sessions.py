@@ -23,12 +23,21 @@ from typing import Callable
 
 from repro.core.controller import AffectDrivenSystemManager
 from repro.errors import SessionEvictedError
+from repro.hw.power import DeviceBattery
 from repro.obs import get_registry
 
 
 @dataclass
 class Session:
-    """State the runtime keeps per connected user."""
+    """State the runtime keeps per connected user.
+
+    The ``tier_*`` fields and the optional :class:`DeviceBattery` belong
+    to the adaptive degradation controller
+    (:class:`~repro.serve.adaptive.AdaptiveController`) but live *here*
+    so their lifetime is the session's lifetime: eviction drops the tier
+    state with the session, and a re-created session starts back at the
+    best tier with no leak from its predecessor.
+    """
 
     session_id: str
     manager: AffectDrivenSystemManager
@@ -39,6 +48,17 @@ class Session:
     degraded_windows: int = 0
     shed_windows: int = 0
     last_good: str | None = field(default=None, repr=False)
+    #: Index into the adaptive tier ladder (0 = best); meaningless (and
+    #: untouched) when the runtime has no adaptive controller.
+    tier_index: int = 0
+    #: Workload time of the last demotion/promotion (hysteresis dwell).
+    tier_changed_at: float = field(default=float("-inf"), repr=False)
+    #: Start of the current uninterrupted calm stretch, or None while
+    #: any demote signal is firing (promotion requires a full calm dwell).
+    calm_since: float | None = field(default=None, repr=False)
+    tier_demotions: int = 0
+    tier_promotions: int = 0
+    battery: DeviceBattery | None = field(default=None, repr=False)
 
     @property
     def fallback_label(self) -> str:

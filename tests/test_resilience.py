@@ -105,6 +105,70 @@ class TestCircuitBreaker:
         assert breaker.state == "closed"
 
 
+class TestBreakerNonMonotonicClock:
+    """A rewinding clock must not distort the breaker's recovery dwell."""
+
+    def test_rewound_failure_does_not_drag_opened_at_back(self):
+        breaker = CircuitBreaker(failure_threshold=1, recovery_s=5.0)
+        breaker.record_failure(10.0)
+        assert breaker.state == "open"
+        assert breaker.opened_at == 10.0
+        # A failure report from a skewed clock: without the clamp this
+        # rewound opened_at and collapsed the recovery window.
+        breaker.record_failure(3.0)
+        assert breaker.opened_at == 10.0
+        assert not breaker.allow(0.0)   # rewound probe: still clamped
+        assert not breaker.allow(14.0)  # dwell not yet served
+        assert breaker.allow(15.0)      # full recovery_s after 10.0
+        assert breaker.state == "half_open"
+
+    def test_rewound_allow_cannot_stretch_recovery(self):
+        breaker = CircuitBreaker(failure_threshold=1, recovery_s=5.0)
+        breaker.record_failure(10.0)
+        assert breaker.allow(15.0)      # half-open probe
+        breaker.record_failure(15.0)    # probe failed: reopen at 15
+        assert breaker.opened_at == 15.0
+        # Time runs forward again from the clamped high-water mark.
+        assert not breaker.allow(19.0)
+        assert breaker.allow(20.0)
+
+    def test_nonmonotonic_now_is_counted(self):
+        get_registry().reset()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_s=5.0)
+        breaker.record_failure(10.0)
+        breaker.record_failure(3.0)     # rewound
+        breaker.allow(0.0)              # rewound
+        breaker.allow(11.0)             # forward: not counted
+        counters = get_registry().snapshot()["counters"]
+        assert counters["resilience.breaker.nonmonotonic_now"] == 2
+
+    def test_resilient_classifier_with_rewinding_clock(self):
+        calls = {"n": 0}
+
+        def model(x):
+            calls["n"] += 1
+            if x == "bad":
+                raise InjectedFault("crash")
+            return x
+
+        rc = ResilientClassifier(
+            model,
+            breaker=CircuitBreaker(failure_threshold=1, recovery_s=5.0),
+            retries=0,
+        )
+        label, degraded = rc.classify("bad", now=10.0)
+        assert degraded
+        assert rc.breaker.state == "open"
+        # A rewound window while open: served degraded, model untouched,
+        # and the recovery window is not stretched by the bad timestamp.
+        n_before = calls["n"]
+        label, degraded = rc.classify("happy", now=3.0)
+        assert degraded and calls["n"] == n_before
+        label, degraded = rc.classify("happy", now=15.0)
+        assert (label, degraded) == ("happy", False)
+        assert rc.breaker.state == "closed"
+
+
 class TestRetryWithBackoff:
     def test_recovers_from_transient_failures(self):
         attempts = []

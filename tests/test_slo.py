@@ -9,6 +9,7 @@ import pytest
 from repro.obs.registry import MetricsRegistry
 from repro.obs.slo import (
     DEFAULT_SLOS,
+    BurnWindow,
     SLObjective,
     evaluate_slo,
     evaluate_slos,
@@ -158,3 +159,128 @@ class TestDefaultsAndReport:
         zero = SLObjective(name="never", kind="ratio", metric="bad",
                            denominator="total", threshold=0.0)
         assert "burn=inf" in render_slo_report([evaluate_slo(reg, zero)])
+
+
+class TestBurnWindow:
+    """Trailing-window burn: the control signal behind adaptive tiers."""
+
+    def test_empty_window_is_no_evidence(self):
+        window = BurnWindow((latency_slo(),), horizon_s=5.0)
+        verdict = window.evaluate(latency_slo())
+        assert verdict.ok is True
+        assert verdict.burn_rate == 0.0
+        assert verdict.samples == 0.0
+        assert window.span_s == 0.0
+
+    def test_single_sample_window_is_still_partial(self):
+        reg = MetricsRegistry()
+        for _ in range(10):
+            reg.observe("latency_s", 9.0)  # terrible, but only one snapshot
+        window = BurnWindow((latency_slo(),), horizon_s=5.0)
+        assert window.sample(reg, 0.0) is True
+        verdict = window.evaluate(latency_slo())
+        assert verdict.ok is True and verdict.burn_rate == 0.0
+        assert window.span_s == 0.0
+
+    def test_min_interval_drops_rapid_samples(self):
+        reg = MetricsRegistry()
+        window = BurnWindow((latency_slo(),), horizon_s=5.0,
+                            min_interval_s=0.25)
+        assert window.sample(reg, 0.0) is True
+        assert window.sample(reg, 0.1) is False
+        assert window.sample(reg, 0.24) is False
+        assert window.sample(reg, 0.25) is True
+
+    def test_window_forgets_the_lifetime(self):
+        """A bad past must not keep burning once the window slides past it."""
+        reg = MetricsRegistry()
+        window = BurnWindow((latency_slo(),), horizon_s=2.0,
+                            min_interval_s=0.0)
+        for _ in range(100):
+            reg.observe("latency_s", 9.0)      # historical overload
+        window.sample(reg, 0.0)
+        for _ in range(100):
+            reg.observe("latency_s", 0.01)     # now healthy
+        window.sample(reg, 1.0)
+        # Lifetime evaluation still sees 50% bad...
+        assert evaluate_slo(reg, latency_slo()).ok is False
+        # ...but samples past the bad stretch see only the healthy delta.
+        window.sample(reg, 3.5)
+        verdict = window.evaluate(latency_slo())
+        assert verdict.ok is True
+        assert verdict.burn_rate == 0.0
+
+    def test_window_catches_a_fresh_spike(self):
+        """The converse: a healthy lifetime must not hide a live spike."""
+        reg = MetricsRegistry()
+        window = BurnWindow((latency_slo(),), horizon_s=5.0,
+                            min_interval_s=0.0)
+        for _ in range(10000):
+            reg.observe("latency_s", 0.01)     # long healthy history
+        window.sample(reg, 0.0)
+        for _ in range(50):
+            reg.observe("latency_s", 2.0)      # the spike
+        window.sample(reg, 1.0)
+        # Lifetime: 50/10050 bad is within the 5% budget.
+        assert evaluate_slo(reg, latency_slo()).ok is True
+        verdict = window.evaluate(latency_slo())
+        assert verdict.ok is False
+        assert verdict.burn_rate == pytest.approx(20.0)
+        assert verdict.samples == 50.0
+
+    def test_ratio_objective_uses_counter_deltas(self):
+        reg = MetricsRegistry()
+        window = BurnWindow((ratio_slo(threshold=0.1),), horizon_s=5.0,
+                            min_interval_s=0.0)
+        reg.inc("bad", 100)
+        reg.inc("total", 100)
+        window.sample(reg, 0.0)
+        reg.inc("total", 50)                    # 0 bad in the window
+        window.sample(reg, 1.0)
+        verdict = window.evaluate(ratio_slo(threshold=0.1))
+        assert verdict.ok is True
+        assert verdict.bad_fraction == 0.0
+        assert verdict.samples == 50.0
+        reg.inc("bad", 25)
+        reg.inc("total", 50)
+        window.sample(reg, 2.0)
+        verdict = window.evaluate(ratio_slo(threshold=0.1))
+        assert verdict.ok is False
+        assert verdict.bad_fraction == pytest.approx(25 / 100)
+        assert verdict.burn_rate == pytest.approx(2.5)
+
+    def test_horizon_retires_old_samples_but_keeps_one_beyond(self):
+        reg = MetricsRegistry()
+        window = BurnWindow((latency_slo(),), horizon_s=5.0,
+                            min_interval_s=0.0)
+        for t in (0.0, 2.0, 4.0, 6.0, 8.0):
+            window.sample(reg, t)
+        # 0.0 retired (2.0 is >= 5.0 behind 8.0 is false; 0.0's successor
+        # 2.0 must be >= horizon behind now for 0.0 to go: 8-2=6 >= 5).
+        assert window.span_s == pytest.approx(6.0)
+
+    def test_registry_reset_reads_as_empty_window(self):
+        """Counter resets must not produce negative deltas or panic."""
+        reg = MetricsRegistry()
+        window = BurnWindow((ratio_slo(),), horizon_s=5.0,
+                            min_interval_s=0.0)
+        reg.inc("bad", 10)
+        reg.inc("total", 100)
+        window.sample(reg, 0.0)
+        reg.reset()
+        window.sample(reg, 1.0)
+        verdict = window.evaluate(ratio_slo())
+        assert verdict.ok is True
+        assert verdict.bad_fraction == 0.0
+
+    def test_burn_rate_by_name(self):
+        window = BurnWindow((latency_slo(),), horizon_s=5.0)
+        assert window.burn_rate("lat") == 0.0
+        with pytest.raises(KeyError):
+            window.burn_rate("no-such-objective")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurnWindow((latency_slo(),), horizon_s=0.0)
+        with pytest.raises(ValueError):
+            BurnWindow((latency_slo(),), min_interval_s=-1.0)
