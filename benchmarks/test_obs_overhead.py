@@ -4,7 +4,9 @@ Runs the canned end-to-end workload (the same one behind ``repro stats``)
 with the registry enabled and disabled, measures the instrumentation
 overhead, and writes ``BENCH_obs.json`` at the repo root — the first
 point of the perf trajectory every future optimisation PR compares
-against.
+against.  A second section prices the full ``repro monitor`` stack
+(per-tick alert evaluation, flight-recorder snapshots, tail retention)
+on the serve bench and gates it below 2%.
 """
 
 from __future__ import annotations
@@ -82,3 +84,40 @@ def test_obs_snapshot_and_overhead():
         assert any(
             key.startswith(family) for key in snapshot["counters"]
         ), f"no {family} counters in snapshot"
+
+
+def test_monitor_overhead():
+    """Full monitoring stays under 2% of the default serve bench.
+
+    ``overhead_frac`` compares the monitored bench (0.01 head sampling
+    + tail retention + alerts + flight recorder) against the bench as
+    shipped (full tracing); ``vs_untraced_frac`` against the
+    no-observability floor is recorded for transparency.
+    """
+    from repro.obs.monitor import measure_monitor_overhead
+
+    result = measure_monitor_overhead()
+
+    # Amend the benchmark file the snapshot test wrote (tests run in
+    # file order, so it exists by now; tolerate a solo run too).
+    payload = (
+        json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    )
+    payload["monitor"] = result
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    report(
+        "Monitoring overhead (serve bench, alerts + retention + recorder)",
+        ["arm", f"best of {result['repeats']} (s)"],
+        [
+            ["default (traced)", f"{result['default_wall_s']:.3f}"],
+            ["untraced", f"{result['untraced_wall_s']:.3f}"],
+            ["monitored", f"{result['monitored_wall_s']:.3f}"],
+            ["overhead vs default", f"{result['overhead_frac'] * 100:.2f}%"],
+            ["vs untraced", f"{result['vs_untraced_frac'] * 100:.2f}%"],
+        ],
+    )
+
+    assert result["overhead_frac"] < 0.02, (
+        f"monitoring overhead {result['overhead_frac']:.1%} >= 2%"
+    )

@@ -14,6 +14,7 @@ terminal::
     repro serve-bench       # multi-session serving runtime benchmark
     repro adaptive-bench    # tier-ladder degradation under surge/battery
     repro trace             # per-request trace capture (Perfetto JSON)
+    repro monitor           # surge chaos plan under burn-rate alerting
 """
 
 from __future__ import annotations
@@ -146,6 +147,7 @@ def _stats(args: argparse.Namespace) -> None:
     import json
 
     from repro.obs import get_registry
+    from repro.obs.alerts import DEFAULT_ALERT_RULES, AlertManager
     from repro.obs.export import prometheus_text
     from repro.obs.slo import evaluate_slos, render_slo_report
     from repro.obs.workload import run_canned_workload
@@ -153,6 +155,10 @@ def _stats(args: argparse.Namespace) -> None:
     registry = get_registry()
     registry.reset()
     summary = run_canned_workload(seed=args.seed)
+    # Scrape-complete exposition: every alert rule exports its state
+    # gauge (repro_alert_state{rule=...,severity=...}) even when no
+    # manager is live — dashboards can build panels before incidents.
+    AlertManager(DEFAULT_ALERT_RULES).export_state(registry)
     fmt = "json" if args.json else args.format
     if fmt == "prom":
         exposition = prometheus_text(registry)
@@ -462,6 +468,56 @@ def _adaptive_bench(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _monitor(args: argparse.Namespace) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.obs.monitor import run_monitored_surge
+
+    report = run_monitored_surge(
+        seed=args.seed, sessions=args.sessions, seconds=args.seconds,
+        plan=args.plan, sample_rate=args.sample_rate,
+        bundle_dir=args.bundle_dir, alert_log=args.alert_log,
+    )
+    gates = report["gates"]
+    if args.json:
+        payload = {k: v for k, v in report.items() if k != "timeline_text"}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        arm = report["arm"]
+        retention = report["retention"]
+        print(f"== monitor ({args.plan} x{report['surge_scale']:g}, "
+              f"{args.sessions} sessions, {args.seconds:g} s, "
+              f"head sampling {report['sample_rate']:g}) ==")
+        print(f"windows: {arm['windows']}, shed {arm['shed']} "
+              f"({arm['shed_frac'] * 100:.1f}%), "
+              f"p95 {arm['latency_s']['p95']:.3f} s")
+        print(report["timeline_text"])
+        print(f"retention: {retention['retained_roots']}/"
+              f"{retention['violating_windows']} SLO-violating traces "
+              f"retained ({retention['coverage'] * 100:.0f}%), "
+              f"{retention['head_sampled_out']} head-sampled out, "
+              f"reasons {retention['by_reason']}")
+        print(f"page fired t={gates['first_page_at']} "
+              f"(surge onset t={gates['surge_start_s']:g}, "
+              f"deadline t={gates['fire_deadline_s']:g}), "
+              f"resolved: {gates['page_resolved']}")
+        for bundle in report["bundles"]:
+            print(f"incident bundle: {bundle}/")
+        print(f"gates ok: {gates['ok']}")
+    if args.output:
+        payload = {k: v for k, v in report.items() if k != "timeline_text"}
+        Path(args.output).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote monitor report to {args.output}")
+    if not gates["ok"]:
+        # The monitoring contract: the page fires inside one fast
+        # window of the fault, resolves after calm, and every
+        # SLO-violating trace survives head sampling.
+        raise SystemExit(1)
+
+
 def _export_trace(args: argparse.Namespace) -> None:
     from repro.core.appstudy import run_case_study
 
@@ -486,6 +542,7 @@ _COMMANDS = {
     "serve-bench": _serve_bench,
     "adaptive-bench": _adaptive_bench,
     "trace": _trace,
+    "monitor": _monitor,
 }
 
 
@@ -513,8 +570,17 @@ def main(argv: list[str] | None = None) -> int:
         help="stats output format (prom = Prometheus text exposition)",
     )
     parser.add_argument(
-        "--sample-rate", type=float, default=1.0,
-        help="head-sampling probability for trace (default 1.0)",
+        "--sample-rate", type=float, default=None,
+        help="head-sampling probability (default 1.0 for trace, 0.01 "
+             "for monitor — tail retention keeps the violating traces)",
+    )
+    parser.add_argument(
+        "--bundle-dir", type=str, default="incidents",
+        help="monitor: directory incident bundles are written under",
+    )
+    parser.add_argument(
+        "--alert-log", type=str, default=None,
+        help="monitor: also append every alert transition as JSONL here",
     )
     parser.add_argument(
         "--max-traces", type=int, default=3,
@@ -566,12 +632,17 @@ def main(argv: list[str] | None = None) -> int:
     # and the surge chaos plans need a surge big enough for their gates
     # (a lethal baseline shed, visible recovery) to be meaningful.
     surge_chaos = args.experiment == "chaos" and args.plan != "uniform"
+    if args.experiment == "monitor" and args.plan == "uniform":
+        args.plan = "surge"  # monitor only runs the serve-layer plans
     if args.sessions is None:
         args.sessions = (96 if args.experiment == "adaptive-bench"
-                         else 64 if surge_chaos else 16)
+                         else 64 if surge_chaos or args.experiment == "monitor"
+                         else 16)
     if args.seconds is None:
-        args.seconds = (12.0 if args.experiment == "adaptive-bench"
+        args.seconds = (12.0 if args.experiment in ("adaptive-bench", "monitor")
                         else 10.0 if surge_chaos else 4.0)
+    if args.sample_rate is None:
+        args.sample_rate = 0.01 if args.experiment == "monitor" else 1.0
     try:
         _COMMANDS[args.experiment](args)
     except BrokenPipeError:  # e.g. piped into `head`

@@ -16,7 +16,14 @@ numbers — and, since PR 5, to *follow one request* through them:
 - exporters (:mod:`repro.obs.export`) — Prometheus text exposition,
   Chrome-trace/Perfetto JSON, JSONL span logs, and text trace trees;
 - SLOs (:mod:`repro.obs.slo`) — declared objectives evaluated into
-  error-budget/burn-rate verdicts.
+  error-budget/burn-rate verdicts over shared snapshot histories;
+- alerting (:mod:`repro.obs.alerts`) — multi-window burn-rate rules
+  with a pending→firing→resolved state machine and pluggable sinks;
+- tail retention (:class:`RetentionPolicy`) — error/SLO-violating/slow
+  traces survive head sampling in a separate bounded ring;
+- the flight recorder (:mod:`repro.obs.flight`) — periodic registry
+  snapshots plus retained traces, dumped as incident bundles when a
+  page-tier alert fires (``repro monitor`` drives the whole stack).
 
 Instrumentation is default-on but cheap: a disabled registry turns every
 ``inc``/``observe``/``Timer``/span into a no-op, and the enabled path is
@@ -24,6 +31,13 @@ a dict lookup plus an integer add.  ``repro stats`` and ``repro trace``
 (see :mod:`repro.cli`) run canned workloads and dump the reports.
 """
 
+from repro.obs.alerts import (
+    DEFAULT_ALERT_RULES,
+    AlertEvent,
+    AlertManager,
+    AlertRule,
+)
+from repro.obs.flight import FlightRecorder
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -32,6 +46,7 @@ from repro.obs.registry import (
     get_registry,
     labeled,
 )
+from repro.obs.slo import BurnWindow, SnapshotHistory
 from repro.obs.timing import (
     SpanEvent,
     Timer,
@@ -39,13 +54,27 @@ from repro.obs.timing import (
     timed,
     wall_time_of,
 )
-from repro.obs.trace import Span, TraceContext, Tracer, get_tracer
+from repro.obs.trace import (
+    RetentionPolicy,
+    Span,
+    TraceContext,
+    Tracer,
+    get_tracer,
+)
 
 __all__ = [
+    "AlertEvent",
+    "AlertManager",
+    "AlertRule",
+    "BurnWindow",
     "Counter",
+    "DEFAULT_ALERT_RULES",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RetentionPolicy",
+    "SnapshotHistory",
     "Span",
     "SpanEvent",
     "Timer",

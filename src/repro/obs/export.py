@@ -149,6 +149,23 @@ def chrome_trace_events(spans: list[Span]) -> list[dict]:
             "cat": span.name.split(".", 1)[0],
             "args": args,
         })
+        retention_reason = span.attrs.get("retention_reason")
+        if retention_reason:
+            # Tail-retained roots announce *why* they were kept so an
+            # incident bundle is self-explanatory in the trace viewer.
+            events.append({
+                "name": f"retained:{retention_reason}",
+                "ph": "i",
+                "ts": start_us,
+                "pid": 1,
+                "tid": tid,
+                "s": "t",
+                "cat": "retention",
+                "args": {
+                    "retention_reason": retention_reason,
+                    "trace_id": span.trace_id,
+                },
+            })
         for annotation in span.events:
             events.append({
                 "name": annotation.name,

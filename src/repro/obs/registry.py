@@ -62,6 +62,18 @@ class Gauge:
 _BUCKET_BASE = 1.07
 _LOG_BASE = math.log(_BUCKET_BASE)
 
+#: Geometric bucket midpoints, memoized: ``pow`` per bucket dominates
+#: windowed SLO evaluation on the serve poll loop, and the index space
+#: is tiny (one entry per distinct sample magnitude ever seen).
+_MIDPOINTS: dict[int, float] = {}
+
+
+def _midpoint(index: int) -> float:
+    mid = _MIDPOINTS.get(index)
+    if mid is None:
+        mid = _MIDPOINTS[index] = _BUCKET_BASE ** (index + 0.5)
+    return mid
+
 
 class HistogramState:
     """Immutable copy of a histogram's bucket occupancy at one instant.
@@ -115,9 +127,62 @@ class HistogramState:
             return 0.0
         good = self.zero
         for index, n in self.buckets.items():
-            if _BUCKET_BASE ** (index + 0.5) <= threshold:
+            if _midpoint(index) <= threshold:
                 good += n
         return min(1.0, good / self.count)
+
+    def quantile(self, q: float, lo: float | None = None,
+                 hi: float | None = None) -> float:
+        """Approximate ``q``-quantile over this state's samples.
+
+        Same bucket-midpoint estimate as :meth:`Histogram.quantile`;
+        ``lo``/``hi`` are optional exact min/max clamps when the caller
+        captured them alongside the state (deltas have none).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count <= 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = self.zero
+        if cumulative >= rank:
+            if lo is None:
+                return 0.0
+            return lo if self.zero == 0 else min(lo, 0.0)
+        estimate = 0.0
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= rank:
+                estimate = _midpoint(index)
+                break
+        else:
+            return hi if hi is not None else estimate
+        if lo is not None:
+            estimate = max(estimate, lo)
+        if hi is not None:
+            estimate = min(estimate, hi)
+        return estimate
+
+    def summary(self, lo: float | None = None,
+                hi: float | None = None) -> dict[str, float]:
+        """Exportable summary matching :meth:`Histogram.summary`.
+
+        Lets a periodic recorder capture cheap states on the hot path
+        and render summaries only when a bundle is actually dumped.
+        """
+        if self.count <= 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": lo if lo is not None else 0.0,
+            "max": hi if hi is not None else 0.0,
+            "mean": self.total / self.count,
+            "p50": self.quantile(0.50, lo, hi),
+            "p95": self.quantile(0.95, lo, hi),
+            "p99": self.quantile(0.99, lo, hi),
+        }
 
 
 def labeled(name: str, **labels: object) -> str:
@@ -197,7 +262,7 @@ class Histogram:
             cumulative += self._buckets[index]
             if cumulative >= rank:
                 # Geometric midpoint of the bucket, clamped to the exact range.
-                estimate = _BUCKET_BASE ** (index + 0.5)
+                estimate = _midpoint(index)
                 return min(max(estimate, self.min), self.max)
         return self.max
 
@@ -218,7 +283,7 @@ class Histogram:
             return 0.0
         good = self._zero
         for index, n in self._buckets.items():
-            if _BUCKET_BASE ** (index + 0.5) <= threshold:
+            if _midpoint(index) <= threshold:
                 good += n
         return good / self.count
 
@@ -330,7 +395,8 @@ class MetricsRegistry:
         with self._lock:
             return list(self._spans)
 
-    def snapshot(self, include_spans: bool = False) -> dict:
+    def snapshot(self, include_spans: bool = False,
+                 include_histograms: bool = True) -> dict:
         """All metrics as one JSON-serializable dict.
 
         The metric tables are copied under the registry lock: serve
@@ -338,20 +404,41 @@ class MetricsRegistry:
         dicts raced those inserts (``RuntimeError: dictionary changed
         size during iteration``).  Values are read outside the lock —
         single float reads are atomic under the GIL.
+
+        ``include_histograms=False`` omits the histogram summaries —
+        their quantile scans dominate snapshot cost, and periodic
+        recorders capture :meth:`histogram_states` instead.
         """
         with self._lock:
             counters = list(self._counters.items())
             gauges = list(self._gauges.items())
-            histograms = list(self._histograms.items())
+            histograms = (list(self._histograms.items())
+                          if include_histograms else [])
             spans = list(self._spans) if include_spans else []
         snap: dict = {
             "counters": {k: c.value for k, c in sorted(counters)},
             "gauges": {k: g.value for k, g in sorted(gauges)},
-            "histograms": {k: h.summary() for k, h in sorted(histograms)},
         }
+        if include_histograms:
+            snap["histograms"] = {k: h.summary()
+                                  for k, h in sorted(histograms)}
         if include_spans:
             snap["spans"] = [s.to_dict() for s in spans]
         return snap
+
+    def histogram_states(
+        self,
+    ) -> dict[str, tuple[HistogramState, float, float]]:
+        """Every histogram as ``(state, min, max)`` — the cheap capture.
+
+        A bucket-state copy costs a dict copy; :meth:`Histogram.summary`
+        costs three quantile scans per histogram.  Recorders sampling on
+        the serve poll loop store states and render summaries later via
+        :meth:`HistogramState.summary`.
+        """
+        with self._lock:
+            histograms = list(self._histograms.items())
+        return {name: (h.state(), h.min, h.max) for name, h in histograms}
 
     def to_json(self, indent: int = 2, include_spans: bool = False) -> str:
         """The snapshot as a JSON string."""

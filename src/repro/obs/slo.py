@@ -26,10 +26,39 @@ violated.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 
-from repro.obs.registry import HistogramState, MetricsRegistry
+from repro.obs.registry import (
+    _LOG_BASE,
+    HistogramState,
+    MetricsRegistry,
+    _midpoint,
+)
+
+#: Threshold → highest bucket index whose midpoint is still below it,
+#: memoized so the windowed-verdict inner loop compares plain ints.
+_CUTOFFS: dict[float, int] = {}
+
+
+def _good_cutoff(threshold: float) -> int:
+    """Highest bucket index with ``_midpoint(index) <= threshold``.
+
+    Computed from the closed form then nudged by at most one step each
+    way so the boundary agrees exactly with the float comparison
+    :meth:`~repro.obs.registry.HistogramState.fraction_below` performs.
+    Requires ``threshold > 0``.
+    """
+    cutoff = _CUTOFFS.get(threshold)
+    if cutoff is None:
+        cutoff = int(math.floor(math.log(threshold) / _LOG_BASE - 0.5))
+        while _midpoint(cutoff + 1) <= threshold:
+            cutoff += 1
+        while _midpoint(cutoff) > threshold:
+            cutoff -= 1
+        _CUTOFFS[threshold] = cutoff
+    return cutoff
 
 
 @dataclass(frozen=True)
@@ -186,22 +215,289 @@ def evaluate_slos(
     return [evaluate_slo(registry, objective) for objective in objectives]
 
 
+def _windowed_verdict(
+    objective: SLObjective,
+    pair: tuple[dict[object, object], dict[object, object]] | None,
+) -> SLOVerdict:
+    """Verdict for ``objective`` over the delta between two snapshots.
+
+    ``pair`` is ``(earlier_values, later_values)`` or ``None`` when
+    there is no subtractable window yet.  An absent window — or one
+    whose deltas are empty or negative (a registry reset mid-window) —
+    yields the no-evidence verdict: zero samples, zero burn, ``ok=True``.
+    Controllers and alerting must not act on silence.
+    """
+    if objective.kind == "latency":
+        bad = 0.0
+        value = 0.0
+        samples = 0.0
+        if pair is not None:
+            # Fast path: :class:`SnapshotHistory` precomputes
+            # ``(count, good)`` per (histogram, threshold) at capture
+            # time, so every horizon's verdict is pure subtraction —
+            # no bucket scan per (rule, window) per tick.
+            pre_earlier = pair[0].get((objective.metric, objective.threshold))
+            pre_later = pair[1].get((objective.metric, objective.threshold))
+            if pre_earlier is not None and pre_later is not None:
+                count = pre_later[0] - pre_earlier[0]  # type: ignore[index]
+                if count > 0:
+                    good = pre_later[1] - pre_earlier[1]  # type: ignore[index]
+                    bad = 1.0 - min(1.0, good / count)
+                    samples = float(count)
+                    value = bad
+            else:
+                earlier = pair[0].get(objective.metric)
+                later = pair[1].get(objective.metric)
+                if (isinstance(earlier, HistogramState)
+                        and isinstance(later, HistogramState)):
+                    # Fused delta + fraction_below for thresholds the
+                    # history was not told about: one pass over the
+                    # later buckets, no intermediate state allocation.
+                    count = later.count - earlier.count
+                    if count > 0:
+                        threshold = objective.threshold
+                        if threshold < 0.0:
+                            good = 0
+                        else:
+                            good = later.zero - earlier.zero
+                            if threshold > 0.0:
+                                cutoff = _good_cutoff(threshold)
+                                eb = earlier.buckets
+                                for index, n in later.buckets.items():
+                                    if index <= cutoff:
+                                        d = n - eb.get(index, 0)
+                                        if d > 0:
+                                            good += d
+                        bad = 1.0 - min(1.0, good / count)
+                        samples = float(count)
+                        value = bad
+        budget = 1.0 - objective.target
+        ok = bad <= budget
+    else:
+        bad = 0.0
+        samples = 0.0
+        if pair is not None:
+            num_earlier = pair[0].get(objective.metric)
+            num_later = pair[1].get(objective.metric)
+            den_earlier = pair[0].get(objective.denominator or "")
+            den_later = pair[1].get(objective.denominator or "")
+            if None not in (num_earlier, num_later, den_earlier, den_later):
+                num = float(num_later) - float(num_earlier)  # type: ignore[arg-type]
+                den = float(den_later) - float(den_earlier)  # type: ignore[arg-type]
+                if den > 0:
+                    bad = max(0.0, num) / den
+                    samples = den
+        budget = objective.threshold
+        ok = bad <= objective.threshold
+        value = bad
+    if budget > 0:
+        burn = bad / budget
+    else:
+        burn = 0.0 if bad == 0.0 else float("inf")
+    return SLOVerdict(
+        objective=objective,
+        ok=ok,
+        value=value,
+        bad_fraction=bad,
+        error_budget=budget,
+        burn_rate=burn,
+        budget_remaining=max(0.0, min(1.0, 1.0 - burn)),
+        samples=samples,
+    )
+
+
+class SnapshotHistory:
+    """One sampled snapshot deque shared by any number of burn horizons.
+
+    Multi-window burn-rate alerting (the SRE workbook's fast+slow pair)
+    needs the *same* metric history read at several window lengths; a
+    ``BurnWindow`` per horizon would snapshot the registry once per
+    window per tick.  ``SnapshotHistory`` owns the deque of
+    ``(workload_time, values)`` snapshots — counter values plus
+    :class:`~repro.obs.registry.HistogramState` bucket states — retains
+    enough history for the longest horizon, and answers delta verdicts
+    for any horizon up to that bound.
+
+    For a horizon ``h`` the window pair is the newest snapshot against
+    the **latest snapshot at least ``h`` older** (falling back to the
+    oldest retained when none is old enough yet) — the same
+    keep-one-beyond-the-horizon construction the single-window
+    ``BurnWindow`` has always used, so sharing a history does not change
+    any verdict.
+
+    All timing is caller-supplied workload time; ``sample`` drops calls
+    that do not advance past ``min_interval_s``, so polling loops may
+    call it every tick.
+    """
+
+    def __init__(
+        self,
+        objectives: tuple[SLObjective, ...] = DEFAULT_SLOS,
+        max_horizon_s: float = 5.0,
+        min_interval_s: float = 0.25,
+    ) -> None:
+        if max_horizon_s <= 0:
+            raise ValueError("max_horizon_s must be positive")
+        if min_interval_s < 0:
+            raise ValueError("min_interval_s must be non-negative")
+        self.max_horizon_s = max_horizon_s
+        self.min_interval_s = min_interval_s
+        #: Bumped whenever the retained samples change (kept sample or
+        #: clear); lets callers cache derived verdicts per version.
+        self.version = 0
+        self._metrics: set[tuple[str, str]] = set()
+        # Histogram → thresholds whose good-count is precomputed per
+        # snapshot (see :func:`_windowed_verdict`'s fast path).
+        self._thresholds: dict[str, tuple[float, ...]] = {}
+        self._samples: deque[tuple[float, dict[object, object]]] = deque()
+        # Horizon → pair resolution memo, valid for one version: rules
+        # sharing a horizon (e.g. the latency and shed page rules) pay
+        # the deque scan once per kept sample instead of once per rule.
+        self._pair_cache: dict[
+            float | None,
+            tuple[tuple[float, dict[object, object]],
+                  tuple[float, dict[object, object]]] | None] = {}
+        self._pair_version = -1
+        self.track(objectives)
+
+    def track(self, objectives: tuple[SLObjective, ...]) -> None:
+        """Add the metrics behind ``objectives`` to future snapshots.
+
+        Snapshots taken before a metric was tracked simply lack its key;
+        verdicts over such windows report no evidence until the window
+        refills with complete snapshots.
+        """
+        for objective in objectives:
+            if objective.kind == "latency":
+                self._metrics.add(("histogram", objective.metric))
+                known = self._thresholds.get(objective.metric, ())
+                if objective.threshold not in known:
+                    self._thresholds[objective.metric] = (
+                        known + (objective.threshold,))
+            else:
+                self._metrics.add(("counter", objective.metric))
+                self._metrics.add(("counter", objective.denominator or ""))
+
+    def sample(self, registry: MetricsRegistry, now: float) -> bool:
+        """Capture one snapshot at workload time ``now``; returns whether kept.
+
+        Snapshots older than ``max_horizon_s`` behind the newest are
+        retired, but one sample is always kept *beyond* the horizon so a
+        full window of history stays subtractable (otherwise the window
+        would shrink to nothing right after every retirement).
+        """
+        if self._samples and now - self._samples[-1][0] < self.min_interval_s:
+            return False
+        values: dict[object, object] = {}
+        for kind, name in self._metrics:
+            if kind == "histogram":
+                state = registry.histogram(name).state()
+                values[name] = state
+                # One below-threshold scan per snapshot buys O(1)
+                # verdicts for every (rule, horizon) reading it.
+                for threshold in self._thresholds.get(name, ()):
+                    good = 0
+                    if threshold >= 0.0:
+                        good = state.zero
+                        if threshold > 0.0:
+                            cutoff = _good_cutoff(threshold)
+                            for index, n in state.buckets.items():
+                                if index <= cutoff:
+                                    good += n
+                    values[(name, threshold)] = (state.count, good)
+            else:
+                values[name] = registry.counter(name).value
+        self._samples.append((now, values))
+        while (len(self._samples) > 2
+               and now - self._samples[1][0] >= self.max_horizon_s):
+            self._samples.popleft()
+        self.version += 1
+        return True
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def clear(self) -> None:
+        self._samples.clear()
+        self.version += 1
+
+    def span_s(self, horizon_s: float | None = None) -> float:
+        """Workload time covered by the window for ``horizon_s``.
+
+        ``None`` means the full retained span.  0.0 when fewer than two
+        samples exist.
+        """
+        pair = self._pair_samples(horizon_s)
+        if pair is None:
+            return 0.0
+        return pair[1][0] - pair[0][0]
+
+    def _pair_samples(
+        self, horizon_s: float | None
+    ) -> tuple[tuple[float, dict[object, object]],
+               tuple[float, dict[object, object]]] | None:
+        if self._pair_version != self.version:
+            self._pair_cache.clear()
+            self._pair_version = self.version
+        elif horizon_s in self._pair_cache:
+            return self._pair_cache[horizon_s]
+        pair = self._resolve_pair(horizon_s)
+        self._pair_cache[horizon_s] = pair
+        return pair
+
+    def _resolve_pair(
+        self, horizon_s: float | None
+    ) -> tuple[tuple[float, dict[object, object]],
+               tuple[float, dict[object, object]]] | None:
+        if len(self._samples) < 2:
+            return None
+        newest = self._samples[-1]
+        if horizon_s is None:
+            return self._samples[0], newest
+        earlier = self._samples[0]
+        for sample in self._samples:
+            if newest[0] - sample[0] >= horizon_s:
+                earlier = sample
+            else:
+                break
+        if earlier is newest:
+            earlier = self._samples[0]
+        return earlier, newest
+
+    def window_pair(
+        self, horizon_s: float | None = None
+    ) -> tuple[dict[object, object], dict[object, object]] | None:
+        """The ``(earlier, later)`` snapshot values for ``horizon_s``."""
+        pair = self._pair_samples(horizon_s)
+        if pair is None:
+            return None
+        return pair[0][1], pair[1][1]
+
+    def evaluate(
+        self, objective: SLObjective, horizon_s: float | None = None
+    ) -> SLOVerdict:
+        """Verdict for ``objective`` over the trailing ``horizon_s`` window."""
+        return _windowed_verdict(objective, self.window_pair(horizon_s))
+
+
 class BurnWindow:
     """Burn rate over the trailing window, not the lifetime of the registry.
 
     :func:`evaluate_slo` judges every sample the registry has ever seen,
     which is the right report for a benchmark run but useless as a
     *control signal*: an hour of healthy traffic dilutes a ten-second
-    overload spike to invisibility.  ``BurnWindow`` keeps a short ring of
-    metric snapshots (counter values plus
-    :class:`~repro.obs.registry.HistogramState` bucket states) and
-    evaluates each objective over the **delta** between the oldest
-    retained snapshot and the newest — the multi-window burn-rate
-    construction from the SRE workbook, restricted to one window length.
+    overload spike to invisibility.  ``BurnWindow`` evaluates each
+    objective over the **delta** between the oldest retained snapshot
+    and the newest — the multi-window burn-rate construction from the
+    SRE workbook, restricted to one window length.
 
     The adaptive degradation controller and the SLO export share this
     one definition, so "burning" means the same thing to the control
-    loop and to the dashboards.
+    loop and to the dashboards.  Snapshot storage lives in a
+    :class:`SnapshotHistory`; pass ``history=`` to share one deque
+    between several windows (the alerting engine's fast/slow horizon
+    pairs do this), otherwise the window owns a private history sized to
+    its own horizon.
 
     All timing is caller-supplied workload time.  ``sample`` is cheap
     (one snapshot per tracked metric) and callers decide the cadence; a
@@ -214,6 +510,7 @@ class BurnWindow:
         objectives: tuple[SLObjective, ...] = DEFAULT_SLOS,
         horizon_s: float = 5.0,
         min_interval_s: float = 0.25,
+        history: SnapshotHistory | None = None,
     ) -> None:
         if horizon_s <= 0:
             raise ValueError("horizon_s must be positive")
@@ -222,47 +519,31 @@ class BurnWindow:
         self.objectives = tuple(objectives)
         self.horizon_s = horizon_s
         self.min_interval_s = min_interval_s
-        self._metrics: set[tuple[str, str]] = set()
-        for objective in self.objectives:
-            if objective.kind == "latency":
-                self._metrics.add(("histogram", objective.metric))
-            else:
-                self._metrics.add(("counter", objective.metric))
-                self._metrics.add(("counter", objective.denominator or ""))
-        self._samples: deque[tuple[float, dict[str, object]]] = deque()
+        if history is None:
+            history = SnapshotHistory(
+                self.objectives,
+                max_horizon_s=horizon_s,
+                min_interval_s=min_interval_s,
+            )
+        else:
+            if history.max_horizon_s < horizon_s:
+                raise ValueError(
+                    "shared history retains less than this window's horizon"
+                )
+            history.track(self.objectives)
+        self.history = history
 
     def sample(self, registry: MetricsRegistry, now: float) -> bool:
-        """Capture one snapshot at workload time ``now``; returns whether kept.
-
-        Snapshots older than ``horizon_s`` behind the newest are
-        retired, but one sample is always kept *beyond* the horizon so a
-        full window of history stays subtractable (otherwise the window
-        would shrink to nothing right after every retirement).
-        """
-        if self._samples and now - self._samples[-1][0] < self.min_interval_s:
-            return False
-        values: dict[str, object] = {}
-        for kind, name in self._metrics:
-            if kind == "histogram":
-                values[name] = registry.histogram(name).state()
-            else:
-                values[name] = registry.counter(name).value
-        self._samples.append((now, values))
-        while len(self._samples) > 2 and now - self._samples[1][0] >= self.horizon_s:
-            self._samples.popleft()
-        return True
+        """Capture one snapshot at workload time ``now``; returns whether kept."""
+        return self.history.sample(registry, now)
 
     @property
     def span_s(self) -> float:
-        """Workload time covered by the retained samples (0.0 when < 2)."""
-        if len(self._samples) < 2:
-            return 0.0
-        return self._samples[-1][0] - self._samples[0][0]
-
-    def _window_pair(self) -> tuple[dict[str, object], dict[str, object]] | None:
-        if len(self._samples) < 2:
-            return None
-        return self._samples[0][1], self._samples[-1][1]
+        """Workload time covered by this window's samples (0.0 when < 2)."""
+        return self.history.span_s(
+            None if self.history.max_horizon_s == self.horizon_s
+            else self.horizon_s
+        )
 
     def evaluate(self, objective: SLObjective) -> SLOVerdict:
         """Verdict for ``objective`` over the trailing window.
@@ -271,50 +552,10 @@ class BurnWindow:
         registry) yields the no-evidence verdict: zero samples, zero
         burn, ``ok=True`` — the controller must not demote on silence.
         """
-        pair = self._window_pair()
-        if objective.kind == "latency":
-            bad = 0.0
-            value = 0.0
-            samples = 0.0
-            if pair is not None:
-                earlier = pair[0][objective.metric]
-                later = pair[1][objective.metric]
-                assert isinstance(earlier, HistogramState)
-                assert isinstance(later, HistogramState)
-                delta = later.delta(earlier)
-                if delta.count > 0:
-                    bad = 1.0 - delta.fraction_below(objective.threshold)
-                    samples = float(delta.count)
-                    value = bad
-            budget = 1.0 - objective.target
-            ok = bad <= budget
-        else:
-            bad = 0.0
-            samples = 0.0
-            if pair is not None:
-                num = (float(pair[1][objective.metric])  # type: ignore[arg-type]
-                       - float(pair[0][objective.metric]))  # type: ignore[arg-type]
-                den = (float(pair[1][objective.denominator or ""])  # type: ignore[arg-type]
-                       - float(pair[0][objective.denominator or ""]))  # type: ignore[arg-type]
-                if den > 0:
-                    bad = max(0.0, num) / den
-                    samples = den
-            budget = objective.threshold
-            ok = bad <= objective.threshold
-            value = bad
-        if budget > 0:
-            burn = bad / budget
-        else:
-            burn = 0.0 if bad == 0.0 else float("inf")
-        return SLOVerdict(
-            objective=objective,
-            ok=ok,
-            value=value,
-            bad_fraction=bad,
-            error_budget=budget,
-            burn_rate=burn,
-            budget_remaining=max(0.0, min(1.0, 1.0 - burn)),
-            samples=samples,
+        return self.history.evaluate(
+            objective,
+            None if self.history.max_horizon_s == self.horizon_s
+            else self.horizon_s,
         )
 
     def burn_rate(self, name: str) -> float:

@@ -35,7 +35,6 @@ precision.
 
 from __future__ import annotations
 
-import hashlib
 import itertools
 import threading
 import time
@@ -124,7 +123,7 @@ class Span:
     """
 
     __slots__ = ("name", "trace_id", "span_id", "parent_id", "start_perf_s",
-                 "end_perf_s", "status", "workload_time",
+                 "end_perf_s", "status", "workload_time", "head_sampled",
                  "_attrs", "_events", "_links", "_context", "_tracer")
 
     #: Class-level so ``parent=`` accepts a Span or a TraceContext alike.
@@ -140,6 +139,7 @@ class Span:
         start_perf_s: float,
         workload_time: float | None = None,
         attrs: dict[str, Any] | None = None,
+        head_sampled: bool = True,
     ) -> None:
         self.name = name
         self.trace_id = trace_id
@@ -149,6 +149,9 @@ class Span:
         self.end_perf_s: float | None = None
         self.status = "ok"
         self.workload_time = workload_time
+        #: ``False`` marks a *provisional* span: its tree lost the head-
+        #: sampling draw and survives only if tail retention keeps it.
+        self.head_sampled = head_sampled
         self._attrs = attrs
         self._events: list[SpanAnnotation] | None = None
         self._links: list[TraceContext] | None = None
@@ -361,6 +364,78 @@ class _NoopScope:
 _NOOP_SCOPE = _NoopScope()
 
 
+class RetentionPolicy:
+    """Record-time tail-retention filter: which finished roots to keep.
+
+    Head sampling decides *before* a request runs and so must keep
+    almost nothing to stay cheap; the interesting traces — errors, shed
+    or degraded requests, SLO-violating latencies — are precisely the
+    rare ones it throws away.  Tail retention decides *after* the root
+    span ends, when the outcome is known, and always keeps the trace
+    regardless of the head-sampling draw.
+
+    Retention is **root-only**: a head-sampled-out trace exists as a
+    single provisional root span whose children stay no-ops.  The root
+    carries the evidence the verdict needs (status, ``shed``,
+    ``degraded``, ``latency_s``) and is what the retained ring keeps;
+    full stage-by-stage trees come from the head-sampled fraction.
+    Buffering whole provisional trees would make every window pay the
+    full-tracing span cost just in case — on the serve hot path that is
+    the difference between tail retention costing <1% and ~5%.
+
+    ``reason(root)`` returns the retention reason (stamped on the root
+    as the ``retention_reason`` attribute) or ``None`` to drop.  The
+    checks read the root's status and the attributes the serve runtime
+    already sets (``shed``, ``degraded``, ``latency_s``):
+
+    - ``"error"`` — the root ended with ``status == "error"``;
+    - ``"shed"`` — admission control shed the request;
+    - ``"degraded"`` — the ladder answered degraded (breaker open,
+      terminal-tier absorption, DSP failure);
+    - ``"slo-latency"`` — workload-time latency exceeded
+      ``slow_latency_s`` (default 0.5 s, the serve p95 SLO threshold);
+    - ``"slow"`` — wall-clock span duration exceeded ``slow_span_s``
+      (off by default; workloads run compressed time).
+    """
+
+    __slots__ = ("slow_latency_s", "slow_span_s", "keep_errors",
+                 "keep_degraded")
+
+    def __init__(
+        self,
+        slow_latency_s: float | None = 0.5,
+        slow_span_s: float | None = None,
+        keep_errors: bool = True,
+        keep_degraded: bool = True,
+    ) -> None:
+        self.slow_latency_s = slow_latency_s
+        self.slow_span_s = slow_span_s
+        self.keep_errors = keep_errors
+        self.keep_degraded = keep_degraded
+
+    def reason(self, root: Span) -> str | None:
+        if self.keep_errors and root.status == "error":
+            return "error"
+        attrs = root._attrs
+        if attrs:
+            if self.keep_degraded and attrs.get("shed"):
+                return "shed"
+            if self.keep_degraded and attrs.get("degraded"):
+                return "degraded"
+            if self.slow_latency_s is not None:
+                latency = attrs.get("latency_s")
+                if (isinstance(latency, (int, float))
+                        and latency > self.slow_latency_s):
+                    return "slo-latency"
+        if self.slow_span_s is not None and root.duration_s > self.slow_span_s:
+            return "slow"
+        return None
+
+
+#: Sentinel distinguishing "not passed" from "set to None" in configure.
+_UNSET = object()
+
+
 class Tracer:
     """Creates spans, propagates context, and stores finished trees.
 
@@ -381,6 +456,19 @@ class Tracer:
     seed:
         Seeds the ID stream; two tracers with equal seeds fed equal
         workloads emit identical IDs.
+    retention:
+        Optional :class:`RetentionPolicy` enabling tail-based trace
+        retention.  ``None`` (the default) keeps the classic behavior:
+        a head-sampling miss returns :data:`NOOP_SPAN` and nothing is
+        recorded.  With a policy installed, head-sampled-out roots get
+        *provisional* spans (children stay no-ops — retention is
+        root-only, see :class:`RetentionPolicy`); when such a root ends
+        the policy decides whether it lands in the separate retained
+        ring with a ``retention_reason`` attribute or is dropped.
+        Head-sampled roots get the same verdict, so the retained ring
+        alone holds every kept root regardless of main-ring eviction.
+    max_retained:
+        Retained-ring capacity (root spans; oldest evicted).
     """
 
     def __init__(
@@ -389,20 +477,33 @@ class Tracer:
         max_spans: int = 4096,
         sample_rate: float = 1.0,
         seed: int = 0,
+        retention: RetentionPolicy | None = None,
+        max_retained: int = 2048,
     ) -> None:
         if not 0.0 <= sample_rate <= 1.0:
             raise ValueError("sample_rate must be in [0, 1]")
         self.registry = registry if registry is not None else get_registry()
         self.sample_rate = sample_rate
         self.seed = seed
+        self.retention = retention
         # next() on an itertools.count is atomic in CPython — the hot
         # path takes no lock for span identity.
         self._ticks = itertools.count()
         self._span_prefix = format(seed & 0xFFFFFF, "06x")
         self._trace_prefix = format(seed & 0xFFFFFFFF, "08x")
+        # Precomputed pieces of the fused fractional-root fast path in
+        # :meth:`start_span`: the seed field already shifted into place
+        # and the sampling draw threshold scaled to the top-32-bit
+        # integer domain (exact: scaling by 2**32 only shifts the float
+        # exponent, so ``top32 >= cutoff`` iff ``draw >= rate``).
+        self._seed_bits = (seed & 0xFFFFFFFF) << 32
+        self._sample_cutoff = sample_rate * 4294967296.0
         self._finished: deque[Span] = deque(maxlen=max_spans)
+        self._retained: deque[Span] = deque(maxlen=max_retained)
         #: Spans recorded over the tracer's lifetime (ring may evict).
         self.finished_total = 0
+        #: Root traces kept by tail retention over the lifetime.
+        self.retained_total = 0
         self._lock = threading.Lock()
 
     # -- configuration ------------------------------------------------------
@@ -413,33 +514,48 @@ class Tracer:
         return self.registry.enabled and self.sample_rate > 0.0
 
     def configure(self, sample_rate: float | None = None,
-                  seed: int | None = None) -> None:
-        """Re-tune sampling/ID generation (e.g. per benchmark run)."""
+                  seed: int | None = None,
+                  retention: RetentionPolicy | None | object = _UNSET) -> None:
+        """Re-tune sampling/ID generation/retention (e.g. per run).
+
+        ``retention`` accepts a :class:`RetentionPolicy` to enable tail
+        retention or ``None`` to disable it; omit the argument to leave
+        the current policy untouched.
+        """
         if sample_rate is not None:
             if not 0.0 <= sample_rate <= 1.0:
                 raise ValueError("sample_rate must be in [0, 1]")
             self.sample_rate = sample_rate
+            self._sample_cutoff = sample_rate * 4294967296.0
         if seed is not None:
             self.seed = seed
             self._span_prefix = format(seed & 0xFFFFFF, "06x")
             self._trace_prefix = format(seed & 0xFFFFFFFF, "08x")
+            self._seed_bits = (seed & 0xFFFFFFFF) << 32
+        if retention is not _UNSET:
+            self.retention = retention  # type: ignore[assignment]
 
     def clear(self) -> None:
-        """Drop all finished spans and restart the ID counter."""
+        """Drop all finished/retained spans and restart the ID counter."""
         with self._lock:
             self._finished.clear()
+            self._retained.clear()
             self.finished_total = 0
+            self.retained_total = 0
             self._ticks = itertools.count()
 
     # -- deterministic identity --------------------------------------------
 
     def _trace_id(self, workload_time: float) -> str:
-        """One 16-byte trace ID from the seeded counter + workload time.
+        """One 16-byte trace ID from the seeded counter.
 
         When every trace is kept (``sample_rate >= 1.0``) the ID is a
         cheap seed-prefixed counter — nobody reads its bits.  Under
-        fractional sampling it is hashed (blake2b) so the head sampler
-        can treat the top bits as a uniform draw.
+        fractional sampling the counter is scrambled with one 64-bit
+        multiplicative mix (Knuth-style; a single C-level int multiply,
+        far cheaper than a cryptographic hash) so the head sampler can
+        treat the top bits as a uniform draw, still reproducible for
+        equal ``(seed, tick)``.
         """
         if self.sample_rate >= 1.0:
             # +1 keeps the very first ID at seed 0 distinct from the
@@ -447,11 +563,11 @@ class Tracer:
             return self._trace_prefix + format(
                 (next(self._ticks) + 1) & 0xFFFFFFFFFFFFFFFFFFFFFFFF, "024x"
             )
-        digest = hashlib.blake2b(
-            f"{self.seed}:{next(self._ticks)}:{workload_time:.9f}".encode(),
-            digest_size=16,
-        )
-        return digest.hexdigest()
+        tick = next(self._ticks) + 1
+        mixed = (((tick ^ (self.seed * 0x9E3779B97F4A7C15))
+                  * 0x2545F4914F6CDD1D) & 0xFFFFFFFFFFFFFFFF)
+        return (format(mixed, "016x") + self._trace_prefix
+                + format(tick & 0xFFFFFFFF, "08x"))
 
     def _span_id(self) -> str:
         """One 8-byte span ID: seed prefix + counter (cheap hot path)."""
@@ -491,21 +607,60 @@ class Tracer:
         :meth:`activate` for that.  The span takes ownership of
         ``attrs``; pass a fresh dict.
         """
-        if not self.enabled:  # disabled registry or sample_rate == 0
-            return NOOP_SPAN
+        if not self.enabled and not (self.retention is not None
+                                     and self.registry.enabled):
+            return NOOP_SPAN  # disabled registry, or rate 0 w/o retention
+        head_sampled = True
         if parent is None and not root:
             parent = _CURRENT_SPAN.get()
         if parent is not None and not root:
             if not parent.sampled:
                 return NOOP_SPAN
+            # Children of a provisional (head-sampled-out) root stay
+            # no-ops: tail retention keeps root evidence only, so every
+            # window does not pay the full span-tree cost just in case.
+            if not getattr(parent, "head_sampled", True):
+                return NOOP_SPAN
             trace_id = parent.trace_id
             parent_id = parent.span_id
-        else:
+        elif self.sample_rate >= 1.0:
             trace_id = self._trace_id(workload_time)
-            if not self._sampled(trace_id):
-                self.registry.inc("obs.trace.sampled_out")
-                return NOOP_SPAN
             parent_id = None
+        else:
+            # Fused :meth:`_trace_id` + :meth:`_sampled` for fractional
+            # roots: one mix, one ``format``, and the sampling draw
+            # compared as an integer instead of re-parsed from hex.
+            # With tail retention on, every serve window mints a root
+            # here, so the constant matters.
+            tick = next(self._ticks) + 1
+            mixed = (((tick ^ (self.seed * 0x9E3779B97F4A7C15))
+                      * 0x2545F4914F6CDD1D) & 0xFFFFFFFFFFFFFFFF)
+            trace_id = format(
+                (mixed << 64) | self._seed_bits | (tick & 0xFFFFFFFF),
+                "032x",
+            )
+            if (mixed >> 32) >= self._sample_cutoff:
+                self.registry.inc("obs.trace.sampled_out")
+                if self.retention is None:
+                    return NOOP_SPAN
+                # Tail retention wants a verdict at root end, so the
+                # trace must exist provisionally even though head
+                # sampling dropped it.
+                head_sampled = False
+            # The trace ID's low 16 hex digits (seed + tick fields) are
+            # already unique per counter draw, so the root reuses them
+            # as its span ID — no second draw, no second ``format``.
+            return Span(
+                self,
+                name,
+                trace_id,
+                trace_id[16:],
+                None,
+                time.perf_counter() if start_perf_s is None else start_perf_s,
+                workload_time,
+                attrs,
+                head_sampled=head_sampled,
+            )
         return Span(
             self,
             name,
@@ -515,6 +670,7 @@ class Tracer:
             time.perf_counter() if start_perf_s is None else start_perf_s,
             workload_time,
             attrs,
+            head_sampled=head_sampled,
         )
 
     def span(
@@ -578,15 +734,50 @@ class Tracer:
         # A plain counter under the ring lock, not a registry counter:
         # one registry.inc per finished span is measurable on the serve
         # hot path; ``finished_total`` survives ring eviction.
+        #
+        # The retention verdict only reads the ended span, so it runs
+        # before the lock — a provisional root judged healthy (the
+        # overwhelming majority) never takes the lock at all.
+        reason = None
+        retention = self.retention
+        if retention is not None and span.parent_id is None:
+            # Root ended: decide now.  The retained ring holds its own
+            # reference, so main-ring eviction can never drop a kept
+            # root and a dropped provisional root was never stored.
+            reason = retention.reason(span)
+        if not span.head_sampled and reason is None:
+            return
         with self._lock:
-            self._finished.append(span)
-            self.finished_total += 1
+            if span.head_sampled:
+                self._finished.append(span)
+                self.finished_total += 1
+            if reason is not None:
+                if span._attrs is None:
+                    span._attrs = {}
+                # Direct write: the span is already ended (set_attr
+                # no-ops).
+                span._attrs["retention_reason"] = reason
+                self._retained.append(span)
+                self.retained_total += 1
 
     @property
     def spans(self) -> list[Span]:
         """Finished spans, oldest first (copied under the lock)."""
         with self._lock:
             return list(self._finished)
+
+    @property
+    def retained(self) -> list[Span]:
+        """Tail-retained spans, oldest trace first (copied under lock)."""
+        with self._lock:
+            return list(self._retained)
+
+    def retained_traces(self) -> dict[str, list[Span]]:
+        """Retained spans grouped by ``trace_id`` (insertion-ordered)."""
+        grouped: dict[str, list[Span]] = {}
+        for span in self.retained:
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
 
     def traces(self) -> dict[str, list[Span]]:
         """Finished spans grouped by ``trace_id`` (insertion-ordered)."""

@@ -270,6 +270,56 @@ def run_chaos_workload(
     }
 
 
+#: Serve-layer chaos plans both ``repro chaos`` and ``repro monitor`` run.
+SURGE_PLANS = ("surge", "battery-drain")
+
+
+def surge_plan_fixtures(
+    seed: int = 0,
+    sessions: int = 96,
+    seconds: float = 12.0,
+    surge_scale: float = 8.0,
+    plan: str = "surge",
+) -> dict[str, object]:
+    """Everything one surge chaos plan needs: pipeline, ladder, pool, events.
+
+    Shared between :func:`run_surge_workload` (the A/B chaos run) and
+    ``repro monitor`` (the alerting/flight-recorder run), so both
+    observe the *identical* fault: same trained pipeline, same truth
+    pool, same arrival schedule.  ``battery_fraction`` is the initial
+    per-session charge the plan mandates (``None`` disables the battery
+    axis).
+    """
+    if plan not in SURGE_PLANS:
+        raise ValueError(f"unknown surge plan {plan!r}")
+    # Serve imports stay lazy: resilience is a dependency of the serve
+    # package, so importing it back at module level would be a cycle.
+    from repro.serve.adaptive import ladder_from_pipeline
+    from repro.serve.adaptive_bench import (
+        POOL_SIZE,
+        make_surge_events,
+        make_truth_pool,
+    )
+    from repro.serve.bench import train_bench_pipeline
+
+    pipeline = train_bench_pipeline(seed=seed)
+    ladder = ladder_from_pipeline(pipeline)
+    clf = pipeline.classifier
+    assert clf is not None
+    pool, truths = make_truth_pool(clf.label_names, POOL_SIZE, seed)
+    events = make_surge_events(sessions, seconds, seed, POOL_SIZE, surge_scale)
+    return {
+        "pipeline": pipeline,
+        "ladder": ladder,
+        "pool": pool,
+        "truths": truths,
+        "events": events,
+        "battery_fraction": 0.05 if plan == "battery-drain" else None,
+        "surge_start_s": 0.3 * seconds,
+        "surge_end_s": 0.7 * seconds,
+    }
+
+
 def run_surge_workload(
     seed: int = 0,
     sessions: int = 96,
@@ -292,29 +342,18 @@ def run_surge_workload(
     (:func:`~repro.serve.adaptive.ladder_from_pipeline`); the full
     two-architecture ladder lives in ``repro adaptive-bench``.
     """
-    if plan not in ("surge", "battery-drain"):
-        raise ValueError(f"unknown surge plan {plan!r}")
-    # Serve imports stay lazy: resilience is a dependency of the serve
-    # package, so importing it back at module level would be a cycle.
-    from repro.serve.adaptive import AdaptiveController, ladder_from_pipeline
-    from repro.serve.adaptive_bench import (
-        POOL_SIZE,
-        bench_adaptive_config,
-        make_surge_events,
-        make_truth_pool,
-        run_surge_arm,
-    )
-    from repro.serve.bench import train_bench_pipeline
+    from repro.serve.adaptive import AdaptiveController
+    from repro.serve.adaptive_bench import bench_adaptive_config, run_surge_arm
 
-    pipeline = train_bench_pipeline(seed=seed)
-    ladder = ladder_from_pipeline(pipeline)
-    clf = pipeline.classifier
-    assert clf is not None
-    pool, truths = make_truth_pool(clf.label_names, POOL_SIZE, seed)
-    events = make_surge_events(sessions, seconds, seed, POOL_SIZE, surge_scale)
+    fixtures = surge_plan_fixtures(seed, sessions, seconds, surge_scale, plan)
+    pipeline = fixtures["pipeline"]
+    ladder = fixtures["ladder"]
+    pool = fixtures["pool"]
+    truths = fixtures["truths"]
+    events = fixtures["events"]
 
     baseline = run_surge_arm(pipeline, events, pool, truths, seconds)
-    battery = 0.05 if plan == "battery-drain" else None
+    battery = fixtures["battery_fraction"]
     controller = AdaptiveController(ladder, bench_adaptive_config(battery))
     adaptive = run_surge_arm(pipeline, events, pool, truths, seconds,
                              adaptive=controller)

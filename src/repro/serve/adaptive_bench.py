@@ -160,6 +160,8 @@ def run_surge_arm(
     truths: list[str],
     seconds: float,
     adaptive: AdaptiveController | None = None,
+    on_tick=None,
+    keep_results: bool = False,
 ) -> dict[str, object]:
     """One arm: pump the surge schedule through a fresh server.
 
@@ -167,6 +169,10 @@ def run_surge_arm(
     surge plan (``repro chaos --plan surge``), and the benchmark suite,
     so "a surge" means exactly one thing across the repo.  Resets the
     process metrics registry (the controller's burn window reads it).
+
+    ``on_tick(server, now)``, when given, runs once per poll tick after
+    ``server.poll`` — the hook ``repro monitor`` uses to sample its
+    alert manager and flight recorder in workload time.
     """
     get_registry().reset()
     config = ServeConfig(
@@ -187,6 +193,8 @@ def run_surge_arm(
     for k in range(ticks):
         now = k * POLL_PERIOD_S
         results.extend(server.poll(now))
+        if on_tick is not None:
+            on_tick(server, now)
         while event_index < len(events) and events[event_index][0] <= now:
             at, session_id, pool_index = events[event_index]
             # seq mirrors the server's per-submit counter, so results
@@ -225,6 +233,10 @@ def run_surge_arm(
         ),
         "cache_hit_rate": stats["cache_hit_rate"],
     }
+    if keep_results:
+        # Non-JSON private payload for callers (``repro monitor``) that
+        # need the per-window outcomes; they must pop it before dumping.
+        arm["_results"] = results
     if adaptive is not None:
         arm["adaptive"] = adaptive.stats()
         arm["tier_mix"] = tier_mix

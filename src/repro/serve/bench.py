@@ -183,6 +183,7 @@ def run_serve_bench(
     baseline: bool = True,
     parity: bool = True,
     quantized: bool = True,
+    on_tick=None,
 ) -> dict[str, object]:
     """Drive one serving configuration; returns a JSON-able report.
 
@@ -191,6 +192,9 @@ def run_serve_bench(
     (``dropped == 0``), and ``parity`` carries the correctness contract
     (:func:`check_parity` over the window pool — disable only for
     timing-sensitive harnesses like the trace-overhead probe).
+    ``on_tick(server, now)``, when given, runs after every poll — the
+    monitoring-overhead probe hooks its alert manager and flight
+    recorder here.
     """
     if pipeline is None:
         pipeline = train_bench_pipeline(seed=seed)
@@ -213,6 +217,8 @@ def run_serve_bench(
     start = time.perf_counter()
     for now, session_id, pool_index in schedule:
         results.extend(server.poll(now))
+        if on_tick is not None:
+            on_tick(server, now)
         results.extend(server.submit(session_id, pool[pool_index], now))
     results.extend(server.drain(seconds + max_wait_s))
     wall_s = time.perf_counter() - start

@@ -409,6 +409,7 @@ class AffectServer:
             obs.observe("serve.latency_s", latency)
             if root is not None:
                 root.set_attr("label", label)
+                root.set_attr("latency_s", latency)
                 if degraded:
                     root.set_attr("degraded", True)
                 root.end()

@@ -1,0 +1,176 @@
+"""Flight recorder: snapshot ring, cheap capture, incident bundles."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.alerts import AlertEvent, AlertManager, AlertRule
+from repro.obs.flight import FlightRecorder
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import SLObjective
+from repro.obs.trace import RetentionPolicy, Tracer
+
+
+def make_tracer(sample_rate=1.0):
+    return Tracer(registry=MetricsRegistry(), seed=7,
+                  sample_rate=sample_rate, retention=RetentionPolicy())
+
+
+def firing_page(at=1.0, rule="shed-page"):
+    return AlertEvent(rule=rule, severity="page", state="firing", at=at,
+                      burn_fast=20.0, burn_slow=9.0, threshold=8.0)
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(tracer=make_tracer(), capacity=0)
+
+    def test_min_interval_must_be_non_negative(self):
+        with pytest.raises(ValueError, match="min_interval_s"):
+            FlightRecorder(tracer=make_tracer(), min_interval_s=-1.0)
+
+
+class TestSnapshotRing:
+    def test_rate_limit_keeps_one_hertz(self):
+        recorder = FlightRecorder(tracer=make_tracer(), min_interval_s=1.0)
+        registry = MetricsRegistry()
+        kept = [recorder.record(registry, t / 4.0) for t in range(9)]
+        # t=0.0 kept, 0.25..0.75 dropped, 1.0 kept, ... 2.0 kept.
+        assert kept == [True, False, False, False, True,
+                        False, False, False, True]
+        assert [when for when, _ in recorder.snapshots] == [0.0, 1.0, 2.0]
+
+    def test_capacity_evicts_oldest(self):
+        recorder = FlightRecorder(tracer=make_tracer(), capacity=4,
+                                  min_interval_s=0.0)
+        registry = MetricsRegistry()
+        for t in range(10):
+            recorder.record(registry, float(t))
+        assert [when for when, _ in recorder.snapshots] == [6.0, 7.0,
+                                                            8.0, 9.0]
+
+    def test_capture_is_cheap_and_render_is_deferred(self):
+        recorder = FlightRecorder(tracer=make_tracer(), min_interval_s=0.0)
+        registry = MetricsRegistry()
+        registry.inc("serve.requests", 3)
+        for _ in range(10):
+            registry.observe("serve.latency_s", 0.2)
+        recorder.record(registry, 1.0)
+        [(when, snapshot)] = recorder.snapshots
+        # Raw capture: no rendered quantiles, just bucket states.
+        assert "histograms" not in snapshot
+        assert "serve.latency_s" in snapshot["hist_states"]
+        rendered = FlightRecorder._render(when, snapshot)
+        assert rendered["at"] == 1.0
+        summary = rendered["histograms"]["serve.latency_s"]
+        assert summary["count"] == 10
+        assert summary["p95"] == pytest.approx(0.2, rel=0.1)
+        assert rendered["counters"]["serve.requests"] == 3
+
+
+class TestBundleDump:
+    def build(self, tmp_path, max_bundles=4):
+        tracer = make_tracer()
+        registry = tracer.registry
+        recorder = FlightRecorder(tracer=tracer, min_interval_s=0.0,
+                                  bundle_dir=str(tmp_path / "incidents"),
+                                  max_bundles=max_bundles)
+        registry.inc("serve.requests", 10)
+        recorder.record(registry, 0.0)
+        span = tracer.start_span("serve.window", root=True,
+                                 attrs={"shed": True})
+        span.end()
+        registry.inc("serve.requests", 90)
+        registry.inc("serve.shed", 5)
+        recorder.record(registry, 1.0)
+        return tracer, registry, recorder
+
+    def test_dump_writes_a_self_contained_bundle(self, tmp_path):
+        _, _, recorder = self.build(tmp_path)
+        path = recorder.dump(reason="shed-page firing", at=1.0)
+        assert recorder.bundles == [path]
+        assert sorted(os.listdir(path)) == [
+            "incident.json", "snapshots.jsonl", "trace.json"]
+        incident = json.loads(
+            (tmp_path / "incidents" / os.path.basename(path)
+             / "incident.json").read_text())
+        assert incident["reason"] == "shed-page firing"
+        assert incident["snapshots"] == 2
+        assert incident["counter_deltas"]["serve.requests"] == 90.0
+        assert incident["retained_roots_by_reason"] == {"shed": 1}
+        assert os.path.basename(path) == "incident-01-shed-page-t00001.00"
+
+    def test_snapshots_jsonl_renders_every_line(self, tmp_path):
+        _, _, recorder = self.build(tmp_path)
+        path = recorder.dump(at=1.0)
+        lines = [json.loads(line) for line in
+                 open(os.path.join(path, "snapshots.jsonl"))]
+        assert [line["at"] for line in lines] == [0.0, 1.0]
+        assert lines[1]["counters"]["serve.shed"] == 5
+
+    def test_trace_json_is_a_perfetto_document(self, tmp_path):
+        _, _, recorder = self.build(tmp_path)
+        path = recorder.dump(at=1.0)
+        doc = json.loads(open(os.path.join(path, "trace.json")).read())
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert "serve.window" in names
+        assert "retained:shed" in names
+
+    def test_dump_embeds_alert_timeline_when_managed(self, tmp_path):
+        tracer = make_tracer()
+        rule = AlertRule(
+            name="shed-page",
+            objective=SLObjective(name="shed", kind="ratio", metric="bad",
+                                  denominator="total", threshold=0.1),
+            fast_window_s=1.0, slow_window_s=3.0, burn_threshold=2.0)
+        manager = AlertManager((rule,))
+        recorder = FlightRecorder(tracer=tracer, manager=manager,
+                                  min_interval_s=0.0,
+                                  bundle_dir=str(tmp_path / "incidents"))
+        registry = tracer.registry
+        registry.inc("total", 100)
+        manager.observe(registry, 0.0)
+        registry.inc("total", 100)
+        registry.inc("bad", 60)
+        manager.observe(registry, 1.0)
+        path = recorder.dump(at=1.0)
+        incident = json.loads(
+            open(os.path.join(path, "incident.json")).read())
+        assert incident["alert_states"] == {"shed-page": "firing"}
+        assert [e["state"] for e in incident["alert_timeline"]] == [
+            "pending", "firing"]
+        assert incident["alert_rules"][0]["name"] == "shed-page"
+
+
+class TestAlertSink:
+    def test_page_firing_auto_dumps_one_bundle(self, tmp_path):
+        recorder = FlightRecorder(tracer=make_tracer(),
+                                  bundle_dir=str(tmp_path / "i"))
+        recorder.emit(firing_page())
+        assert len(recorder.bundles) == 1
+        assert "shed-page" in recorder.bundles[0]
+
+    def test_non_page_and_non_firing_events_are_ignored(self, tmp_path):
+        recorder = FlightRecorder(tracer=make_tracer(),
+                                  bundle_dir=str(tmp_path / "i"))
+        recorder.emit(AlertEvent(rule="shed-ticket", severity="ticket",
+                                 state="firing", at=1.0, burn_fast=5.0,
+                                 burn_slow=5.0, threshold=4.0))
+        recorder.emit(AlertEvent(rule="shed-page", severity="page",
+                                 state="pending", at=1.0, burn_fast=9.0,
+                                 burn_slow=9.0, threshold=8.0))
+        recorder.emit(AlertEvent(rule="shed-page", severity="page",
+                                 state="resolved", at=2.0, burn_fast=0.0,
+                                 burn_slow=0.0, threshold=8.0))
+        assert recorder.bundles == []
+
+    def test_max_bundles_caps_auto_dumps(self, tmp_path):
+        recorder = FlightRecorder(tracer=make_tracer(), max_bundles=2,
+                                  bundle_dir=str(tmp_path / "i"))
+        for k in range(5):
+            recorder.emit(firing_page(at=float(k)))
+        assert len(recorder.bundles) == 2

@@ -11,6 +11,7 @@ from repro.obs.slo import (
     DEFAULT_SLOS,
     BurnWindow,
     SLObjective,
+    SnapshotHistory,
     evaluate_slo,
     evaluate_slos,
     render_slo_report,
@@ -284,3 +285,120 @@ class TestBurnWindow:
             BurnWindow((latency_slo(),), horizon_s=0.0)
         with pytest.raises(ValueError):
             BurnWindow((latency_slo(),), min_interval_s=-1.0)
+
+
+class TestSnapshotHistory:
+    """One snapshot deque feeding any number of burn horizons."""
+
+    def test_two_horizons_share_one_deque(self):
+        reg = MetricsRegistry()
+        history = SnapshotHistory((latency_slo(),), max_horizon_s=4.0,
+                                  min_interval_s=0.0)
+        fast = BurnWindow((latency_slo(),), horizon_s=1.0, history=history)
+        slow = BurnWindow((latency_slo(),), horizon_s=4.0, history=history)
+        fast.sample(reg, 0.0)                       # one deque: sample once
+        for _ in range(100):
+            reg.observe("latency_s", 0.01)          # healthy early traffic
+        for t in (1.0, 2.0, 3.0):
+            fast.sample(reg, t)
+        for _ in range(50):
+            reg.observe("latency_s", 2.0)           # fresh spike
+        fast.sample(reg, 4.0)
+        assert len(history) == 5
+        # Both windows see the spike; the fast one sees it undiluted.
+        fast_verdict = fast.evaluate(latency_slo())
+        slow_verdict = slow.evaluate(latency_slo())
+        assert fast_verdict.samples == 50.0
+        assert fast_verdict.burn_rate == pytest.approx(20.0)
+        assert slow_verdict.samples == 150.0
+        assert slow_verdict.burn_rate == pytest.approx(20.0 * 50 / 150)
+
+    def test_shared_verdicts_match_private_windows(self):
+        """Sharing a history must not change any verdict."""
+        reg = MetricsRegistry()
+        history = SnapshotHistory((latency_slo(),), max_horizon_s=4.0,
+                                  min_interval_s=0.0)
+        shared = BurnWindow((latency_slo(),), horizon_s=2.0, history=history)
+        private = BurnWindow((latency_slo(),), horizon_s=2.0,
+                             min_interval_s=0.0)
+        for t, latency in ((0.0, 0.01), (1.0, 2.0), (2.0, 0.01),
+                           (3.0, 2.0), (4.0, 0.01)):
+            for _ in range(20):
+                reg.observe("latency_s", latency)
+            shared.sample(reg, t)
+            private.sample(reg, t)
+        a = shared.evaluate(latency_slo())
+        b = private.evaluate(latency_slo())
+        assert (a.bad_fraction, a.samples) == (b.bad_fraction, b.samples)
+        assert a.burn_rate == pytest.approx(b.burn_rate)
+
+    def test_version_counts_kept_samples_and_clears(self):
+        reg = MetricsRegistry()
+        history = SnapshotHistory((latency_slo(),), max_horizon_s=4.0,
+                                  min_interval_s=0.5)
+        assert history.version == 0
+        assert history.sample(reg, 0.0) is True
+        assert history.version == 1
+        assert history.sample(reg, 0.1) is False    # rate-limited
+        assert history.version == 1
+        assert history.sample(reg, 1.0) is True
+        assert history.version == 2
+        history.clear()
+        assert history.version == 3
+        assert len(history) == 0
+
+    def test_precomputed_fast_path_agrees_with_bucket_fallback(self):
+        """A tracked threshold (O(1) tuples) and an untracked one (bucket
+        scan) over the same snapshots must agree exactly."""
+        reg = MetricsRegistry()
+        tracked = latency_slo(threshold=0.5)
+        untracked = SLObjective(name="lat-strict", kind="latency",
+                                metric="latency_s", threshold=0.1,
+                                target=0.95)
+        history = SnapshotHistory((tracked,), max_horizon_s=4.0,
+                                  min_interval_s=0.0)
+        mirror = SnapshotHistory((tracked, untracked), max_horizon_s=4.0,
+                                 min_interval_s=0.0)
+        latencies = [0.01, 0.09, 0.11, 0.3, 0.49, 0.51, 0.7, 2.0]
+        for t in range(4):
+            for latency in latencies:
+                reg.observe("latency_s", latency)
+            history.sample(reg, float(t))
+            mirror.sample(reg, float(t))
+        for objective in (tracked, untracked):
+            scan = history.evaluate(objective)       # untracked → fallback
+            fast = mirror.evaluate(objective)        # tracked → tuples
+            assert scan.bad_fraction == fast.bad_fraction
+            assert scan.samples == fast.samples
+            assert scan.burn_rate == fast.burn_rate
+
+    def test_track_adds_metrics_to_future_snapshots_only(self):
+        reg = MetricsRegistry()
+        history = SnapshotHistory((latency_slo(),), max_horizon_s=4.0,
+                                  min_interval_s=0.0)
+        reg.inc("bad", 10)
+        reg.inc("total", 100)
+        history.sample(reg, 0.0)                    # lacks the counters
+        history.track((ratio_slo(),))
+        reg.inc("total", 100)
+        history.sample(reg, 1.0)
+        # Window spans a snapshot without the metric: no evidence.
+        verdict = history.evaluate(ratio_slo())
+        assert verdict.samples == 0.0 and verdict.ok is True
+        reg.inc("bad", 30)
+        reg.inc("total", 100)
+        history.sample(reg, 2.0)
+        verdict = history.evaluate(ratio_slo(), horizon_s=1.0)
+        assert verdict.samples == 100.0
+        assert verdict.bad_fraction == pytest.approx(0.3)
+
+    def test_burn_window_rejects_a_too_short_shared_history(self):
+        history = SnapshotHistory((latency_slo(),), max_horizon_s=2.0)
+        with pytest.raises(ValueError, match="retains less"):
+            BurnWindow((latency_slo(),), horizon_s=5.0, history=history)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_horizon_s"):
+            SnapshotHistory((latency_slo(),), max_horizon_s=0.0)
+        with pytest.raises(ValueError, match="min_interval_s"):
+            SnapshotHistory((latency_slo(),), min_interval_s=-0.1)

@@ -156,7 +156,7 @@ class TestDeterministicIdentity:
         counter = Tracer(registry=MetricsRegistry(), sample_rate=1.0, seed=1)
         hashed = tracer._trace_id(2.5)
         assert hashed != counter._trace_id(2.5)
-        # blake2b IDs are reproducible for equal (seed, tick, time)
+        # mixed IDs are reproducible for equal (seed, tick)
         again = Tracer(registry=MetricsRegistry(), sample_rate=0.5, seed=1)
         assert again._trace_id(2.5) == hashed
 
