@@ -15,6 +15,8 @@ terminal::
     repro adaptive-bench    # tier-ladder degradation under surge/battery
     repro trace             # per-request trace capture (Perfetto JSON)
     repro monitor           # surge chaos plan under burn-rate alerting
+    repro daemon            # network serving daemon (TCP ingest + admin)
+    repro daemon-bench      # real-socket load generator against the daemon
 """
 
 from __future__ import annotations
@@ -518,6 +520,102 @@ def _monitor(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _daemon(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from repro.daemon.server import DaemonConfig, ReproDaemon
+    from repro.obs import get_registry
+    from repro.serve.bench import train_bench_pipeline
+    from repro.serve.runtime import AffectServer, ServeConfig
+
+    get_registry().reset()
+    print(f"training pipeline (seed={args.seed})...")
+    pipeline = train_bench_pipeline(seed=args.seed)
+    server = AffectServer(pipeline, ServeConfig(max_batch=args.batch))
+    config = DaemonConfig(
+        host=args.host, port=args.port, admin_port=args.admin_port,
+        max_connections=args.max_connections,
+        max_inflight=args.max_inflight, bundle_dir=args.bundle_dir,
+    )
+    daemon = ReproDaemon(server, config)
+
+    async def _serve() -> None:
+        await daemon.start()
+        print(f"ingest:  {config.host}:{daemon.port} "
+              "(newline-delimited JSON, see repro.daemon.protocol)")
+        print(f"admin:   http://{config.host}:{daemon.admin_port}"
+              "  (/healthz /metrics /bundles)")
+        print(f"gates:   {config.max_connections} connections, "
+              f"{config.max_inflight} in-flight windows per session")
+        try:
+            await daemon.serve_forever()
+        finally:
+            await daemon.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("daemon stopped")
+
+
+def _daemon_bench(args: argparse.Namespace) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.daemon.bench import run_daemon_bench
+    from repro.obs import get_registry
+
+    def _hostport(value: str | None) -> tuple[str, int] | None:
+        if value is None:
+            return None
+        host, _, port = value.rpartition(":")
+        return (host or "127.0.0.1", int(port))
+
+    get_registry().reset()
+    payload = run_daemon_bench(
+        sessions=args.sessions, seconds=args.seconds, seed=args.seed,
+        chaos_sessions=args.chaos_sessions,
+        max_inflight=args.max_inflight, max_batch=args.batch,
+        bundle_dir=args.bundle_dir,
+        connect=_hostport(args.connect), admin=_hostport(args.admin),
+    )
+    traffic = payload["traffic"]
+    chaos = payload["chaos"]
+    preempt = payload["preemption"]
+    gates = payload["gates"]
+    rtt = traffic["rtt_s"]
+    print(f"== daemon-bench ({args.sessions} sessions, {args.seconds:g} s, "
+          f"{payload['config']['mode']} mode) ==")
+    print(f"traffic: {traffic['windows_sent']} windows sent, "
+          f"{traffic['replies']} replies ({traffic['windows_per_s']:.0f} "
+          f"windows/s), {traffic['silent_drops']} silent drops")
+    print(f"rtt: p50={rtt['p50'] * 1e3:.1f} ms p95={rtt['p95'] * 1e3:.1f} ms "
+          f"p99={rtt['p99'] * 1e3:.1f} ms")
+    print(f"outcomes: {traffic['outcomes']} "
+          f"(shed {traffic['shed_frac'] * 100:.2f}%)")
+    print(f"concurrency: peak {traffic['peak_concurrent']}, sustained "
+          f"{traffic['sustained_sessions']}/"
+          f"{args.sessions - args.chaos_sessions} clean sessions")
+    print(f"chaos: {chaos['aborted']} aborted mid-stream, "
+          f"{len(chaos['leaked_sessions'])} leaked sessions, "
+          f"{len(chaos['leaked_routes'])} leaked routes")
+    print(f"preemption: {preempt['preempted_frames']}/{preempt['extra']} "
+          f"explicit preempted frames past capacity "
+          f"({preempt['daemon_preemptions']} total)")
+    print(f"admin: healthz {payload['admin']['healthz_status']}, "
+          f"metrics {payload['admin']['metrics_status']} "
+          f"({payload['admin']['metrics_bytes']} bytes)")
+    print(f"gates ok: {gates['ok']}")
+    path = Path(args.output or "BENCH_daemon.json")
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    if not gates["ok"]:
+        # The daemon contract: every window over the wire gets a reply
+        # or an explicit preemption, chaos disconnects reap their
+        # sessions, and the admin plane answers under load.
+        raise SystemExit(1)
+
+
 def _export_trace(args: argparse.Namespace) -> None:
     from repro.core.appstudy import run_case_study
 
@@ -543,6 +641,8 @@ _COMMANDS = {
     "adaptive-bench": _adaptive_bench,
     "trace": _trace,
     "monitor": _monitor,
+    "daemon": _daemon,
+    "daemon-bench": _daemon_bench,
 }
 
 
@@ -626,6 +726,40 @@ def main(argv: list[str] | None = None) -> int:
         "--full", action="store_true",
         help="serve-bench: sweep the batch-size x session-count grid",
     )
+    parser.add_argument(
+        "--host", type=str, default="127.0.0.1",
+        help="daemon: interface to bind (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=7861,
+        help="daemon: ingest TCP port (0 = ephemeral; default 7861)",
+    )
+    parser.add_argument(
+        "--admin-port", type=int, default=7862,
+        help="daemon: admin HTTP port (0 = ephemeral; default 7862)",
+    )
+    parser.add_argument(
+        "--max-connections", type=int, default=64,
+        help="daemon: connection cap before LRU preemption (default 64)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="daemon: per-session in-flight window cap (default 8)",
+    )
+    parser.add_argument(
+        "--chaos-sessions", type=int, default=None,
+        help="daemon-bench: clients that abort mid-stream "
+             "(default sessions // 8)",
+    )
+    parser.add_argument(
+        "--connect", type=str, default=None,
+        help="daemon-bench: drive an external daemon at HOST:PORT "
+             "instead of spawning one in-process",
+    )
+    parser.add_argument(
+        "--admin", type=str, default=None,
+        help="daemon-bench: the external daemon's admin plane HOST:PORT",
+    )
     args = parser.parse_args(argv)
     # Workload-size defaults differ per experiment: the serve bench and
     # trace smoke want seconds-long smoke runs, while the adaptive bench
@@ -636,8 +770,11 @@ def main(argv: list[str] | None = None) -> int:
         args.plan = "surge"  # monitor only runs the serve-layer plans
     if args.sessions is None:
         args.sessions = (96 if args.experiment == "adaptive-bench"
-                         else 64 if surge_chaos or args.experiment == "monitor"
+                         else 64 if surge_chaos or args.experiment
+                         in ("monitor", "daemon-bench")
                          else 16)
+    if args.chaos_sessions is None:
+        args.chaos_sessions = args.sessions // 8
     if args.seconds is None:
         args.seconds = (12.0 if args.experiment in ("adaptive-bench", "monitor")
                         else 10.0 if surge_chaos else 4.0)

@@ -1,0 +1,57 @@
+"""Network serving daemon: asyncio ingestion over the serve runtime.
+
+``repro daemon`` exposes the in-process
+:class:`~repro.serve.runtime.AffectServer` over real sockets with zero
+third-party dependencies: a newline-delimited JSON TCP ingest protocol
+(:mod:`repro.daemon.protocol`), an asyncio server with admission gates
+and LRU session preemption (:mod:`repro.daemon.server`), a hand-rolled
+HTTP admin plane serving ``/healthz`` / ``/metrics`` /
+``/bundles/<id>`` (:mod:`repro.daemon.admin`), and a real-socket load
+generator with a chaos arm (:mod:`repro.daemon.bench`,
+``repro daemon-bench``).
+"""
+
+from repro.daemon.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    decode_signal,
+    encode_frame,
+    encode_signal,
+    hello_frame,
+    parse_hello,
+    parse_window,
+    result_frame,
+    window_frame,
+)
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "FrameDecoder",
+    "decode_signal",
+    "encode_frame",
+    "encode_signal",
+    "hello_frame",
+    "parse_hello",
+    "parse_window",
+    "result_frame",
+    "window_frame",
+    "DaemonConfig",
+    "ReproDaemon",
+    "run_daemon_bench",
+]
+
+
+def __getattr__(name: str):
+    # Server/bench pull in the serve stack (numpy-heavy); keep the
+    # protocol importable without them.
+    if name in ("DaemonConfig", "ReproDaemon"):
+        from repro.daemon import server
+
+        return getattr(server, name)
+    if name == "run_daemon_bench":
+        from repro.daemon.bench import run_daemon_bench
+
+        return run_daemon_bench
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,154 @@
+"""The daemon's admin plane: a hand-rolled, stdlib-only HTTP/1.1 GET server.
+
+Three read-only endpoints on the admin listener, small enough to audit
+in one sitting and dependency-free by construction (no ``http.server``
+threading, no frameworks — just the asyncio streams the daemon already
+owns):
+
+- ``/healthz`` — liveness + the serve runtime's health snapshot
+  (``503`` when the circuit breaker is open or accounting drops a
+  window, so a probe can restart the process);
+- ``/metrics`` — the full Prometheus text exposition of the process
+  registry (scrape target);
+- ``/bundles`` and ``/bundles/<id>`` — the flight recorder's incident
+  bundles, inlined as JSON (``incident.json`` + ``snapshots.jsonl`` +
+  ``trace.json``), so an operator can pull the black box of a page
+  straight off the box that fired it.
+
+Bundle ids are matched against the recorder's own bundle list (never
+joined into a path from user input), which makes path traversal
+structurally impossible rather than merely filtered.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.obs import get_registry
+from repro.obs.export import prometheus_text
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.daemon.server import ReproDaemon
+
+#: Budget for reading one request head (line + headers).
+_READ_TIMEOUT_S = 5.0
+_MAX_HEADER_LINES = 64
+
+
+def _response(status: str, content_type: str, body: bytes) -> bytes:
+    head = (
+        f"HTTP/1.1 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def _json_response(status: str, payload: object) -> bytes:
+    body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+    return _response(status, "application/json", body + b"\n")
+
+
+def _read_json(path: Path) -> object:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _bundle_ids(daemon: "ReproDaemon") -> list[str]:
+    if daemon.recorder is None:
+        return []
+    return [Path(str(p)).name for p in daemon.recorder.bundles]
+
+
+def _bundle_payload(daemon: "ReproDaemon",
+                    bundle_id: str) -> dict[str, object] | None:
+    """Inline one recorded incident bundle, or ``None`` if unknown.
+
+    Only ids that exactly match a recorded bundle's directory name are
+    served; the lookup walks the recorder's list instead of joining the
+    id into a filesystem path.
+    """
+    if daemon.recorder is None:
+        return None
+    for recorded in daemon.recorder.bundles:
+        path = Path(str(recorded))
+        if path.name != bundle_id:
+            continue
+        snapshots = []
+        snapshots_path = path / "snapshots.jsonl"
+        if snapshots_path.exists():
+            for line in snapshots_path.read_text().splitlines():
+                if line.strip():
+                    try:
+                        snapshots.append(json.loads(line))
+                    except json.JSONDecodeError:
+                        continue
+        return {
+            "id": bundle_id,
+            "incident": _read_json(path / "incident.json"),
+            "snapshots": snapshots,
+            "trace": _read_json(path / "trace.json"),
+        }
+    return None
+
+
+def route(daemon: "ReproDaemon", method: str, target: str) -> bytes:
+    """One admin request to one wire-ready response."""
+    if method != "GET":
+        return _json_response("405 Method Not Allowed",
+                              {"error": f"method {method} not allowed"})
+    path = target.split("?", 1)[0]
+    if path == "/healthz":
+        health = daemon.health()
+        status = "200 OK" if health["ok"] else "503 Service Unavailable"
+        return _json_response(status, health)
+    if path == "/metrics":
+        body = prometheus_text(get_registry()).encode("utf-8")
+        return _response(
+            "200 OK", "text/plain; version=0.0.4; charset=utf-8", body
+        )
+    if path in ("/bundles", "/bundles/"):
+        return _json_response("200 OK", {"bundles": _bundle_ids(daemon)})
+    if path.startswith("/bundles/"):
+        bundle_id = path[len("/bundles/"):]
+        payload = _bundle_payload(daemon, bundle_id)
+        if payload is None:
+            return _json_response(
+                "404 Not Found", {"error": f"no bundle {bundle_id!r}"}
+            )
+        return _json_response("200 OK", payload)
+    return _json_response("404 Not Found", {"error": f"no route {path}"})
+
+
+async def handle_admin(daemon: "ReproDaemon", reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter) -> None:
+    """Serve one admin HTTP exchange, then close (Connection: close)."""
+    try:
+        request_line = await asyncio.wait_for(
+            reader.readline(), _READ_TIMEOUT_S
+        )
+        parts = request_line.decode("latin-1", "replace").split()
+        if len(parts) < 2:
+            writer.write(_json_response("400 Bad Request",
+                                        {"error": "malformed request line"}))
+            return
+        # Drain (and ignore) the header block; bodies are not accepted.
+        for _ in range(_MAX_HEADER_LINES):
+            line = await asyncio.wait_for(reader.readline(), _READ_TIMEOUT_S)
+            if line in (b"\r\n", b"\n", b""):
+                break
+        writer.write(route(daemon, parts[0], parts[1]))
+        await writer.drain()
+    except (asyncio.TimeoutError, ConnectionError, OSError):
+        pass
+    finally:
+        try:
+            writer.close()
+        except (ConnectionError, RuntimeError, OSError):
+            pass

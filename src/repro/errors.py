@@ -67,6 +67,15 @@ class SessionEvictedError(ReproError, KeyError):
     or LRU capacity) and strict session affinity was requested."""
 
 
+class ProtocolError(ReproError, ValueError):
+    """A daemon wire frame is malformed: undecodable JSON, a non-object
+    frame, a bad base64 signal payload, or missing/invalid fields."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A daemon wire frame exceeded the per-frame size cap."""
+
+
 __all__ = [
     "ReproError",
     "BitstreamError",
@@ -79,4 +88,6 @@ __all__ = [
     "InjectedFault",
     "OverloadShedError",
     "SessionEvictedError",
+    "ProtocolError",
+    "FrameTooLargeError",
 ]

@@ -12,6 +12,7 @@ import json
 import math
 import os
 import threading
+import time
 from collections import deque
 from typing import TYPE_CHECKING
 
@@ -322,6 +323,11 @@ class MetricsRegistry:
 
     def __init__(self, enabled: bool = True, max_spans: int = 512) -> None:
         self.enabled = enabled
+        #: Monotonic birth time; every snapshot freshens the ``uptime_s``
+        #: gauge from it, so scrapes, ``repro stats``, flight-recorder
+        #: rings, and alert rules can all see process age (a daemon that
+        #: keeps restarting shows as a sawtooth).
+        self._started_perf = time.monotonic()
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
@@ -409,6 +415,8 @@ class MetricsRegistry:
         their quantile scans dominate snapshot cost, and periodic
         recorders capture :meth:`histogram_states` instead.
         """
+        if self.enabled:
+            self.set_gauge("uptime_s", time.monotonic() - self._started_perf)
         with self._lock:
             counters = list(self._counters.items())
             gauges = list(self._gauges.items())
@@ -477,6 +485,7 @@ class MetricsRegistry:
             self._gauges.clear()
             self._histograms.clear()
             self._spans.clear()
+            self._started_perf = time.monotonic()
 
 
 # Default-on; REPRO_OBS=0 (or "off"/"false") starts the process disabled.

@@ -86,6 +86,12 @@ class ServeResult:
     #: Adaptive ladder tier that served this window; ``None`` when the
     #: runtime has no adaptive controller.
     tier: str | None = None
+    #: How this window was answered — the structured outcome a network
+    #: front end serializes instead of inferring from fallback labels:
+    #: ``"completed"`` (a flush served it), ``"cached"`` (window-hash
+    #: hit), ``"absorbed"`` (terminal adaptive tier answered instantly),
+    #: or ``"shed"`` (admission refused it; degraded fallback answer).
+    outcome: str = "completed"
     seq: int = field(default=-1, repr=False)
 
     @property
@@ -225,7 +231,7 @@ class AffectServer:
                         mode=session.manager.decoder_mode(now).value,
                         submitted_at=now, completed_at=now,
                         degraded=not cached, cached=cached,
-                        tier=tier.name, seq=seq,
+                        tier=tier.name, outcome="absorbed", seq=seq,
                     )]
 
             if self.batcher.depth >= self.config.max_queue:
@@ -259,7 +265,7 @@ class AffectServer:
                     mode=session.manager.decoder_mode(now).value,
                     submitted_at=now, completed_at=now,
                     shed=True, degraded=True,
-                    tier=self._terminal_tier, seq=seq,
+                    tier=self._terminal_tier, outcome="shed", seq=seq,
                 )]
 
             key = window_hash(signal)
@@ -284,7 +290,8 @@ class AffectServer:
                     session_id=session_id, label=entry.label, emotion=emotion,
                     mode=session.manager.decoder_mode(now).value,
                     submitted_at=now, completed_at=now,
-                    cached=True, tier=tier.name if tier else None, seq=seq,
+                    cached=True, tier=tier.name if tier else None,
+                    outcome="cached", seq=seq,
                 )]
             features = None
             if isinstance(entry, CacheEntry) and entry.features is not None:
@@ -355,9 +362,16 @@ class AffectServer:
             request = outcome.request
             root = request.root_span
             batch_span = request.batch_span
-            session = self.sessions.get_or_create(
-                request.session_id, outcome.flushed_at
-            )
+            session = self.sessions.peek(request.session_id)
+            if session is None:
+                # The session was evicted or preempted while this window
+                # was in flight.  Deliver to a detached stand-in: the
+                # result stays well-formed (and accounted), but nothing
+                # here may resurrect table state the eviction dropped.
+                session = self.sessions.detached(
+                    request.session_id, outcome.flushed_at
+                )
+                obs.inc("serve.orphaned_results")
             entry = self.cache.peek(request.key)
             if isinstance(entry, CacheEntry) and entry.features is None:
                 # Backfill the flush's DSP output even on degraded

@@ -24,7 +24,7 @@ from typing import Callable
 from repro.core.controller import AffectDrivenSystemManager
 from repro.errors import SessionEvictedError
 from repro.hw.power import DeviceBattery
-from repro.obs import get_registry
+from repro.obs import get_registry, labeled
 
 
 @dataclass
@@ -120,6 +120,7 @@ class SessionManager:
         self.created = 0
         self.evicted_idle = 0
         self.evicted_lru = 0
+        self.preempted = 0
         # Ordered least- to most-recently-active.
         self._sessions: OrderedDict[str, Session] = OrderedDict()
         self._lock = threading.Lock()
@@ -145,6 +146,54 @@ class SessionManager:
         session = self._sessions.get(session_id)
         if session is None:
             raise SessionEvictedError(session_id)
+        return session
+
+    def peek(self, session_id: str) -> Session | None:
+        """The live session without touching recency, or ``None``.
+
+        This is the fan-out path's lookup: completion of an in-flight
+        window must *observe* the table, never mutate it, so a session
+        evicted (or preempted by the daemon) while its window was in
+        flight stays evicted.
+        """
+        with self._lock:
+            return self._sessions.get(session_id)
+
+    def detached(self, session_id: str, now: float) -> Session:
+        """A throwaway session that is **not** registered in the table.
+
+        Used to deliver results whose session was evicted mid-flight:
+        the caller still gets a well-formed result (neutral fallback,
+        default decoder mode) without resurrecting any table state.
+        """
+        return Session(
+            session_id=session_id,
+            manager=self._manager_factory(),
+            created_at=now,
+            last_active=now,
+            neutral_label=self.neutral_label,
+        )
+
+    def evict(self, session_id: str, reason: str = "preempted") -> Session | None:
+        """Forcibly drop one session; returns it, or ``None`` if absent.
+
+        The public preemption API (the network daemon's LRU/idle gate,
+        admin kill switches): removal happens under the lock, and the
+        eviction is accounted per reason
+        (``serve.sessions.preempted{reason=...}``) alongside the shared
+        ``serve.sessions.evicted`` total.  An in-flight window of the
+        evicted session still completes — its result is delivered to a
+        :meth:`detached` stand-in, never back into the table.
+        """
+        obs = get_registry()
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+            if session is None:
+                return None
+            self.preempted += 1
+            obs.inc(labeled("serve.sessions.preempted", reason=reason))
+            obs.inc("serve.sessions.evicted")
+            obs.set_gauge("serve.sessions.active", len(self._sessions))
         return session
 
     def get_or_create(self, session_id: str, now: float) -> Session:

@@ -351,6 +351,10 @@ class TestAdaptiveServer:
         assert server.dropped == 0
         assert len(results) == 48
         assert all(r.tier is not None for r in results)
+        # Terminal-rung instant answers carry the structured outcome the
+        # daemon serializes over the wire.
+        assert sum(1 for r in results
+                   if r.outcome == "absorbed") == server.absorbed
         counters = get_registry().snapshot()["counters"]
         tiered = {k: v for k, v in counters.items()
                   if k.startswith("serve.tier_windows")}

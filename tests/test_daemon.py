@@ -1,0 +1,422 @@
+"""The network daemon: handshake, gates, preemption, reaping, admin plane."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.affect.pipeline import AffectClassifierPipeline
+from repro.daemon import protocol
+from repro.daemon.bench import _http_get, run_daemon_bench
+from repro.daemon.server import DaemonConfig, ReproDaemon
+from repro.datasets import emovo_like
+from repro.datasets.speech import synthesize_utterance
+from repro.obs import get_registry, labeled
+from repro.serve import AffectServer, ServeConfig
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    corpus = emovo_like(n_per_class=4, seed=0)
+    p = AffectClassifierPipeline("mlp", seed=0)
+    p.train(corpus, epochs=3)
+    return p
+
+
+@pytest.fixture(scope="module")
+def wave(pipeline):
+    return synthesize_utterance(pipeline.classifier.label_names[0],
+                                actor=0, sentence=0, take=0)
+
+
+def make_daemon(pipeline, tmp_path, *, serve: dict | None = None,
+                **daemon_kwargs) -> ReproDaemon:
+    server = AffectServer(pipeline, ServeConfig(**(serve or {})))
+    daemon_kwargs.setdefault("port", 0)
+    daemon_kwargs.setdefault("admin_port", 0)
+    daemon_kwargs.setdefault("bundle_dir", str(tmp_path / "incidents"))
+    return ReproDaemon(server, DaemonConfig(**daemon_kwargs))
+
+
+class Client:
+    """Minimal test client over a real loopback socket."""
+
+    def __init__(self) -> None:
+        self.decoder = protocol.FrameDecoder()
+        self.frames: list[dict] = []
+
+    async def connect(self, daemon: ReproDaemon, session_id: str) -> None:
+        self.reader, self.writer = await asyncio.open_connection(
+            daemon.config.host, daemon.port
+        )
+        self.send(protocol.hello_frame(session_id))
+        welcome = await self.expect("welcome")
+        assert welcome["session"] == session_id
+
+    def send(self, frame: dict) -> None:
+        self.writer.write(protocol.encode_frame(frame))
+
+    async def recv(self, timeout: float = 5.0) -> dict | None:
+        while not self.frames:
+            data = await asyncio.wait_for(self.reader.read(65536), timeout)
+            if not data:
+                return None
+            self.frames.extend(self.decoder.feed(data))
+        return self.frames.pop(0)
+
+    async def expect(self, kind: str, timeout: float = 5.0) -> dict:
+        frame = await self.recv(timeout)
+        assert frame is not None, f"connection closed awaiting {kind!r}"
+        assert frame["type"] == kind, frame
+        return frame
+
+    def close(self) -> None:
+        try:
+            self.writer.close()
+        except (ConnectionError, RuntimeError, OSError):
+            pass
+
+
+class TestIngest:
+    def test_window_round_trip(self, pipeline, wave, tmp_path):
+        async def run():
+            daemon = make_daemon(pipeline, tmp_path, monitor=False)
+            await daemon.start()
+            try:
+                client = Client()
+                await client.connect(daemon, "u-1")
+                client.send(protocol.window_frame(0, wave))
+                result = await client.expect("result")
+                assert result["seq"] == 0
+                assert result["outcome"] in (
+                    "completed", "cached", "absorbed", "shed"
+                )
+                assert result["label"] in pipeline.classifier.label_names
+                client.send({"type": "ping", "t": 1.0})
+                pong = await client.expect("pong")
+                assert pong["t"] == 1.0
+                client.send({"type": "bye"})
+                await client.expect("goodbye")
+                client.close()
+            finally:
+                await daemon.stop()
+
+        asyncio.run(run())
+
+    def test_seq_mapping_across_pipelined_windows(self, pipeline, wave,
+                                                  tmp_path):
+        # Client-chosen seqs (not 0..n) must come back on the replies
+        # even when windows pend across deadline flushes.
+        async def run():
+            daemon = make_daemon(pipeline, tmp_path, monitor=False,
+                                 serve={"max_batch": 64, "max_wait_s": 0.05})
+            await daemon.start()
+            try:
+                client = Client()
+                await client.connect(daemon, "u-seq")
+                seqs = [7, 3, 99]
+                for seq in seqs:
+                    client.send(protocol.window_frame(seq, wave))
+                got = []
+                for _ in seqs:
+                    got.append((await client.expect("result"))["seq"])
+                assert got == seqs
+                client.close()
+            finally:
+                await daemon.stop()
+
+        asyncio.run(run())
+
+    def test_inflight_gate_sheds_explicitly(self, pipeline, wave, tmp_path):
+        async def run():
+            # A huge deadline keeps the first window pending, so the
+            # second trips the in-flight gate and must be answered NOW.
+            daemon = make_daemon(
+                pipeline, tmp_path, monitor=False, max_inflight=1,
+                serve={"max_batch": 64, "max_wait_s": 60.0},
+            )
+            await daemon.start()
+            try:
+                client = Client()
+                await client.connect(daemon, "u-gate")
+                client.send(protocol.window_frame(0, wave))
+                client.send(protocol.window_frame(1, wave))
+                shed = await client.expect("result")
+                assert shed["seq"] == 1
+                assert shed["outcome"] == "shed"
+                assert shed["shed"] is True
+                assert daemon.daemon_shed == 1
+                client.close()
+            finally:
+                await daemon.stop()
+
+        asyncio.run(run())
+
+    def test_malformed_frame_gets_error_and_close(self, pipeline, tmp_path):
+        async def run():
+            daemon = make_daemon(pipeline, tmp_path, monitor=False)
+            await daemon.start()
+            try:
+                client = Client()
+                await client.connect(daemon, "u-bad")
+                client.writer.write(b"this is not json\n")
+                error = await client.expect("error")
+                assert "frame" in error["error"] or "error" in error
+                assert await client.recv() is None  # closed after error
+                client.close()
+            finally:
+                await daemon.stop()
+
+        asyncio.run(run())
+
+
+class TestAdmissionAndReaping:
+    def test_capacity_preemption_is_explicit_lru(self, pipeline, wave,
+                                                 tmp_path):
+        async def run():
+            daemon = make_daemon(pipeline, tmp_path, monitor=False,
+                                 max_connections=1)
+            await daemon.start()
+            try:
+                first = Client()
+                await first.connect(daemon, "u-old")
+                first.send(protocol.window_frame(0, wave))
+                await first.expect("result")
+                assert "u-old" in daemon.server.sessions
+
+                second = Client()
+                await second.connect(daemon, "u-new")
+                bounced = await first.expect("preempted")
+                assert bounced["reason"] == "capacity"
+                # The preempted peer's session is reaped with it.
+                assert "u-old" not in daemon.server.sessions
+                assert daemon.route_ids() == ["u-new"]
+                preempted = get_registry().counter(
+                    labeled("serve.sessions.preempted", reason="preempted")
+                )
+                assert preempted.value >= 1
+                first.close()
+                second.close()
+            finally:
+                await daemon.stop()
+
+        asyncio.run(run())
+
+    def test_same_session_takeover(self, pipeline, tmp_path):
+        async def run():
+            daemon = make_daemon(pipeline, tmp_path, monitor=False)
+            await daemon.start()
+            try:
+                first = Client()
+                await first.connect(daemon, "u-dup")
+                second = Client()
+                await second.connect(daemon, "u-dup")
+                bounced = await first.expect("preempted")
+                assert bounced["reason"] == "takeover"
+                assert daemon.route_ids() == ["u-dup"]
+                first.close()
+                second.close()
+            finally:
+                await daemon.stop()
+
+        asyncio.run(run())
+
+    def test_refusal_when_preemption_disabled(self, pipeline, tmp_path):
+        async def run():
+            daemon = make_daemon(pipeline, tmp_path, monitor=False,
+                                 max_connections=1, preempt=False)
+            await daemon.start()
+            try:
+                first = Client()
+                await first.connect(daemon, "u-a")
+                second = Client()
+                second.reader, second.writer = await asyncio.open_connection(
+                    daemon.config.host, daemon.port
+                )
+                second.send(protocol.hello_frame("u-b"))
+                error = await second.expect("error")
+                assert "capacity" in error["error"]
+                assert daemon.route_ids() == ["u-a"]
+                first.close()
+                second.close()
+            finally:
+                await daemon.stop()
+
+        asyncio.run(run())
+
+    def test_abrupt_disconnect_reaps_session(self, pipeline, wave, tmp_path):
+        async def run():
+            daemon = make_daemon(pipeline, tmp_path, monitor=False)
+            await daemon.start()
+            try:
+                client = Client()
+                await client.connect(daemon, "u-gone")
+                client.send(protocol.window_frame(0, wave))
+                await client.expect("result")
+                assert "u-gone" in daemon.server.sessions
+                client.writer.transport.abort()  # no FIN-drain, no bye
+                for _ in range(100):
+                    if "u-gone" not in daemon.server.sessions:
+                        break
+                    await asyncio.sleep(0.02)
+                assert "u-gone" not in daemon.server.sessions
+                assert daemon.route_ids() == []
+            finally:
+                await daemon.stop()
+
+        asyncio.run(run())
+
+    def test_inflight_window_of_preempted_session_is_unroutable(
+            self, pipeline, wave, tmp_path):
+        # A window pending in the batcher when its session is preempted
+        # completes against a detached stand-in; the daemon counts the
+        # reply unroutable instead of resurrecting the session.
+        async def run():
+            daemon = make_daemon(
+                pipeline, tmp_path, monitor=False, max_connections=1,
+                serve={"max_batch": 64, "max_wait_s": 60.0},
+            )
+            await daemon.start()
+            try:
+                first = Client()
+                await first.connect(daemon, "u-flight")
+                first.send(protocol.window_frame(0, wave))
+                await asyncio.sleep(0.1)  # let the window reach the batcher
+                assert daemon.server.pending == 1
+
+                second = Client()
+                await second.connect(daemon, "u-evictor")
+                await first.expect("preempted")
+                drained = await daemon._run(
+                    daemon.server.drain, daemon.now()
+                )
+                daemon._dispatch(drained)
+                assert "u-flight" not in daemon.server.sessions
+                assert daemon.unroutable >= 1
+                assert daemon.server.dropped == 0
+                first.close()
+                second.close()
+            finally:
+                await daemon.stop()
+
+        asyncio.run(run())
+
+
+class TestAdminPlane:
+    def test_healthz_metrics_bundles(self, pipeline, wave, tmp_path):
+        async def run():
+            daemon = make_daemon(pipeline, tmp_path)
+            await daemon.start()
+            try:
+                client = Client()
+                await client.connect(daemon, "u-admin")
+                client.send(protocol.window_frame(0, wave))
+                await client.expect("result")
+
+                status, body = await _http_get(
+                    daemon.config.host, daemon.admin_port, "/healthz"
+                )
+                assert status == 200
+                health = json.loads(body)
+                assert health["ok"] is True
+                assert health["connections"] == 1
+                assert health["server"]["submitted"] >= 1
+
+                status, body = await _http_get(
+                    daemon.config.host, daemon.admin_port, "/metrics"
+                )
+                assert status == 200
+                text = body.decode("utf-8")
+                assert "repro_serve_requests" in text
+                assert "repro_daemon_connections" in text
+
+                status, body = await _http_get(
+                    daemon.config.host, daemon.admin_port, "/bundles"
+                )
+                assert status == 200
+                assert json.loads(body) == {"bundles": []}
+
+                status, _ = await _http_get(
+                    daemon.config.host, daemon.admin_port,
+                    "/bundles/../etc/passwd"
+                )
+                assert status == 404
+                status, _ = await _http_get(
+                    daemon.config.host, daemon.admin_port, "/nope"
+                )
+                assert status == 404
+                client.close()
+            finally:
+                await daemon.stop()
+
+        asyncio.run(run())
+
+    def test_bundle_endpoint_serves_recorded_incident(self, pipeline,
+                                                      tmp_path):
+        async def run():
+            daemon = make_daemon(pipeline, tmp_path)
+            await daemon.start()
+            try:
+                # Force an incident bundle through the recorder rather
+                # than simulating a real page: the admin plane serves
+                # whatever the recorder wrote.
+                daemon.recorder.record(get_registry(), now=1.0)
+                bundle_path = daemon.recorder.dump(
+                    reason="test-incident", at=1.0
+                )
+                bundle_id = bundle_path.replace("\\", "/").rsplit("/", 1)[-1]
+                status, body = await _http_get(
+                    daemon.config.host, daemon.admin_port, "/bundles"
+                )
+                assert status == 200
+                assert bundle_id in json.loads(body)["bundles"]
+                status, body = await _http_get(
+                    daemon.config.host, daemon.admin_port,
+                    f"/bundles/{bundle_id}"
+                )
+                assert status == 200
+                payload = json.loads(body)
+                assert payload["id"] == bundle_id
+                assert payload["incident"]["reason"] == "test-incident"
+                assert isinstance(payload["snapshots"], list)
+            finally:
+                await daemon.stop()
+
+        asyncio.run(run())
+
+    def test_post_is_rejected(self, pipeline, tmp_path):
+        async def run():
+            daemon = make_daemon(pipeline, tmp_path, monitor=False)
+            await daemon.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    daemon.config.host, daemon.admin_port
+                )
+                writer.write(b"POST /healthz HTTP/1.1\r\n\r\n")
+                raw = await asyncio.wait_for(reader.read(), 5.0)
+                writer.close()
+                assert b"405" in raw.split(b"\r\n", 1)[0]
+            finally:
+                await daemon.stop()
+
+        asyncio.run(run())
+
+
+class TestDaemonBenchSmoke:
+    def test_small_bench_passes_gates(self, pipeline, tmp_path):
+        report = run_daemon_bench(
+            sessions=6, seconds=1.0, seed=0, chaos_sessions=2,
+            period_s=0.2, pipeline=pipeline,
+            bundle_dir=str(tmp_path / "incidents"),
+        )
+        gates = report["gates"]
+        assert gates["ok"], gates
+        traffic = report["traffic"]
+        assert traffic["silent_drops"] == 0
+        assert traffic["peak_concurrent"] >= 6
+        assert report["chaos"]["aborted"] == 2
+        assert report["chaos"]["leaked_sessions"] == []
+        assert report["preemption"]["preempted_frames"] == 2

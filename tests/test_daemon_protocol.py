@@ -1,0 +1,209 @@
+"""Wire-protocol coverage: framing, reassembly, codecs, hostile input."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.daemon import protocol
+from repro.errors import FrameTooLargeError, ProtocolError
+
+
+class TestEncodeFrame:
+    def test_one_compact_json_line(self):
+        encoded = protocol.encode_frame({"type": "ping", "t": 1.5})
+        assert encoded.endswith(b"\n")
+        assert encoded.count(b"\n") == 1
+        assert json.loads(encoded) == {"type": "ping", "t": 1.5}
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(FrameTooLargeError):
+            protocol.encode_frame({"blob": "x" * 64}, max_frame_bytes=32)
+
+
+class TestFrameDecoder:
+    def test_round_trip(self):
+        decoder = protocol.FrameDecoder()
+        frames = [{"type": "ping", "t": float(i)} for i in range(5)]
+        data = b"".join(protocol.encode_frame(f) for f in frames)
+        assert decoder.feed(data) == frames
+        assert decoder.frames_decoded == 5
+        assert decoder.buffered == 0
+
+    def test_partial_read_reassembly_byte_at_a_time(self):
+        # TCP has no message boundaries: a frame split at every byte —
+        # including mid-UTF-8-codepoint — must reassemble identically.
+        frame = protocol.hello_frame("sessión-42")
+        data = protocol.encode_frame(frame)
+        decoder = protocol.FrameDecoder()
+        out = []
+        for i in range(len(data)):
+            out.extend(decoder.feed(data[i:i + 1]))
+        assert out == [frame]
+
+    def test_split_across_arbitrary_chunks(self):
+        frames = [{"seq": i, "type": "x"} for i in range(7)]
+        data = b"".join(protocol.encode_frame(f) for f in frames)
+        decoder = protocol.FrameDecoder()
+        out = []
+        for start in range(0, len(data), 11):
+            out.extend(decoder.feed(data[start:start + 11]))
+        assert out == frames
+
+    def test_blank_lines_tolerated(self):
+        decoder = protocol.FrameDecoder()
+        assert decoder.feed(b"\n \n{\"type\":\"bye\"}\n\n") == [
+            {"type": "bye"}
+        ]
+
+    def test_bad_json_raises_protocol_error(self):
+        decoder = protocol.FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(b"{nope\n")
+
+    def test_non_object_raises_protocol_error(self):
+        decoder = protocol.FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(b"[1,2,3]\n")
+
+    def test_bad_utf8_raises_protocol_error(self):
+        decoder = protocol.FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(b"\xff\xfe\n")
+
+    def test_oversized_terminated_line_rejected(self):
+        decoder = protocol.FrameDecoder(max_frame_bytes=16)
+        with pytest.raises(FrameTooLargeError):
+            decoder.feed(b"x" * 20 + b"\n")
+
+    def test_unterminated_flood_rejected_and_buffer_dropped(self):
+        # An attacker streaming bytes with no newline must not grow the
+        # buffer without bound.
+        decoder = protocol.FrameDecoder(max_frame_bytes=16)
+        with pytest.raises(FrameTooLargeError):
+            decoder.feed(b"y" * 64)
+        assert decoder.buffered == 0
+
+    def test_usable_after_error(self):
+        decoder = protocol.FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(b"not json\n")
+        assert decoder.feed(b'{"type":"bye"}\n') == [{"type": "bye"}]
+
+    def test_reset_drops_partial(self):
+        decoder = protocol.FrameDecoder()
+        decoder.feed(b'{"type":')
+        assert decoder.buffered > 0
+        decoder.reset()
+        assert decoder.buffered == 0
+        assert decoder.feed(b'{"a":1}\n') == [{"a": 1}]
+
+
+class TestSignalCodec:
+    def test_round_trip_is_float32_exact(self):
+        signal = np.linspace(-1.0, 1.0, 513)
+        decoded = protocol.decode_signal(protocol.encode_signal(signal))
+        assert decoded.dtype == np.float64
+        np.testing.assert_array_equal(
+            decoded, signal.astype(np.float32).astype(np.float64)
+        )
+
+    @pytest.mark.parametrize("payload", [
+        None, 7, "", "!!!not-base64!!!", "YQ==",  # 1 raw byte: not /4
+    ])
+    def test_malformed_payloads_raise(self, payload):
+        with pytest.raises(ProtocolError):
+            protocol.decode_signal(payload)
+
+    def test_non_finite_samples_rejected(self):
+        bad = np.array([0.0, np.nan, 1.0])
+        with pytest.raises(ProtocolError):
+            protocol.decode_signal(protocol.encode_signal(bad))
+
+
+class TestParsers:
+    def test_hello_round_trip(self):
+        frame = protocol.hello_frame("user-1")
+        assert protocol.parse_hello(frame) == "user-1"
+
+    @pytest.mark.parametrize("frame", [
+        {"type": "window"},
+        {"type": "hello"},
+        {"type": "hello", "session": ""},
+        {"type": "hello", "session": 5},
+        {"type": "hello", "session": "u", "proto": 99},
+    ])
+    def test_bad_hello_raises(self, frame):
+        with pytest.raises(ProtocolError):
+            protocol.parse_hello(frame)
+
+    def test_window_round_trip(self):
+        signal = np.ones(32)
+        frame = protocol.window_frame(7, signal)
+        seq, decoded = protocol.parse_window(frame)
+        assert seq == 7
+        np.testing.assert_array_equal(decoded, signal)
+
+    @pytest.mark.parametrize("seq", [-1, None, "3", True, 1.5])
+    def test_bad_seq_raises(self, seq):
+        frame = {"type": "window", "seq": seq,
+                 "signal": protocol.encode_signal(np.ones(8))}
+        with pytest.raises(ProtocolError):
+            protocol.parse_window(frame)
+
+
+class TestFuzz:
+    """Hostile-bytes fuzzing, mirroring ``test_resilience_fuzz.py``."""
+
+    @given(chunks=st.lists(st.binary(max_size=64), max_size=16))
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_bytes_never_crash_the_decoder(self, chunks):
+        decoder = protocol.FrameDecoder(max_frame_bytes=256)
+        for chunk in chunks:
+            try:
+                frames = decoder.feed(chunk)
+            except ProtocolError:
+                continue  # typed rejection is the contract
+            assert all(isinstance(f, dict) for f in frames)
+        # The decoder survives whatever it saw: drop any partial line
+        # (what the daemon's teardown does) and it still speaks JSON.
+        decoder.reset()
+        assert decoder.feed(b'{"ok":1}\n') == [{"ok": 1}]
+
+    @given(
+        frames=st.lists(
+            st.dictionaries(
+                st.text(max_size=6),
+                st.one_of(st.integers(), st.text(max_size=8),
+                          st.booleans(), st.none()),
+                max_size=4,
+            ),
+            min_size=1, max_size=8,
+        ),
+        chunk=st.integers(min_value=1, max_value=23),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_any_chunking_decodes_identically(self, frames, chunk):
+        data = b"".join(protocol.encode_frame(f) for f in frames)
+        decoder = protocol.FrameDecoder()
+        out = []
+        for start in range(0, len(data), chunk):
+            out.extend(decoder.feed(data[start:start + chunk]))
+        assert out == frames
+
+    @given(st.lists(
+        st.floats(min_value=-1e6, max_value=1e6,
+                  allow_nan=False, allow_infinity=False, width=32),
+        min_size=1, max_size=128,
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_signal_codec_round_trips(self, values):
+        signal = np.asarray(values, dtype=np.float64)
+        decoded = protocol.decode_signal(protocol.encode_signal(signal))
+        np.testing.assert_array_equal(
+            decoded, signal.astype(np.float32).astype(np.float64)
+        )

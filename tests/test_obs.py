@@ -180,7 +180,17 @@ class TestRegistryLifecycle:
         reg.inc("c")
         reg.observe("h", 1.0)
         reg.reset()
-        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert snap["histograms"] == {}
+        # uptime_s is freshened by every snapshot; reset rebases it.
+        assert set(snap["gauges"]) == {"uptime_s"}
+
+    def test_uptime_gauge_freshens_on_snapshot(self):
+        reg = MetricsRegistry()
+        first = reg.snapshot()["gauges"]["uptime_s"]
+        second = reg.snapshot()["gauges"]["uptime_s"]
+        assert 0.0 <= first <= second
 
     def test_json_roundtrip(self):
         reg = MetricsRegistry()

@@ -568,3 +568,113 @@ class TestServeBenchSmoke:
         assert parity["dsp_max_abs_diff"] == 0.0
         assert parity["int8_vs_float_ok"]
         assert parity["ok"]
+
+
+class TestEvictionAndOutcomes:
+    """The daemon-facing serve surface: evict(), outcomes, no resurrection."""
+
+    def _server(self, pipeline, **overrides) -> AffectServer:
+        defaults = dict(max_batch=64, max_wait_s=60.0, max_queue=64,
+                        idle_ttl_s=100.0, stale_ttl_s=None)
+        defaults.update(overrides)
+        return AffectServer(pipeline, ServeConfig(**defaults))
+
+    def test_evict_drops_session_and_counts_reason(self, pipeline, waves):
+        from repro.obs import get_registry, labeled
+
+        server = self._server(pipeline)
+        server.submit("u-a", waves[0], now=0.0)
+        before = get_registry().counter(
+            labeled("serve.sessions.preempted", reason="ops-kill")
+        ).value
+        session = server.sessions.evict("u-a", reason="ops-kill")
+        assert session is not None and session.session_id == "u-a"
+        assert "u-a" not in server.sessions
+        assert server.sessions.preempted >= 1
+        after = get_registry().counter(
+            labeled("serve.sessions.preempted", reason="ops-kill")
+        ).value
+        assert after == before + 1
+        # Absent sessions are a no-op, not an error.
+        assert server.sessions.evict("u-a") is None
+
+    def test_peek_does_not_create_or_touch(self, pipeline, waves):
+        server = self._server(pipeline)
+        assert server.sessions.peek("ghost") is None
+        assert "ghost" not in server.sessions
+        server.submit("u-b", waves[0], now=0.0)
+        assert server.sessions.peek("u-b") is not None
+
+    def test_preemption_during_inflight_submit_never_resurrects(
+            self, pipeline, waves):
+        # The daemon's race: a window is in flight (pending in the
+        # batcher) when the session is preempted from another thread.
+        # The flush must deliver a well-formed result to a detached
+        # stand-in -- and must NOT recreate the session table entry.
+        from repro.obs import get_registry
+
+        server = self._server(pipeline)
+        assert server.submit("u-race", waves[0], now=0.0) == []
+        assert server.pending == 1
+
+        orphans_before = get_registry().counter(
+            "serve.orphaned_results"
+        ).value
+        evicted = threading.Event()
+        results: list = []
+
+        def drainer():
+            evicted.wait(timeout=5.0)
+            results.extend(server.drain(now=1.0))
+
+        thread = threading.Thread(target=drainer)
+        thread.start()
+        assert server.sessions.evict("u-race", reason="preempted")
+        evicted.set()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+
+        assert len(results) == 1
+        assert results[0].session_id == "u-race"
+        assert results[0].label  # well-formed, accounted answer
+        assert "u-race" not in server.sessions  # never resurrected
+        assert server.dropped == 0
+        assert get_registry().counter(
+            "serve.orphaned_results"
+        ).value == orphans_before + 1
+
+    def test_repeated_evict_submit_race_never_leaks(self, pipeline, waves):
+        server = self._server(pipeline, max_batch=1)
+        stop = threading.Event()
+
+        def evictor():
+            while not stop.is_set():
+                server.sessions.evict("u-hammer")
+
+        thread = threading.Thread(target=evictor)
+        thread.start()
+        try:
+            for i in range(50):
+                server.submit("u-hammer", waves[i % len(waves)],
+                              now=0.01 * i)
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+        server.drain(now=10.0)
+        server.sessions.evict("u-hammer")
+        assert "u-hammer" not in server.sessions
+        assert server.dropped == 0
+
+    def test_outcome_field_for_each_path(self, pipeline, waves):
+        server = self._server(pipeline, max_batch=1)
+        completed = server.submit("u-o1", waves[0], now=0.0)
+        assert completed[0].outcome == "completed"
+        cached = server.submit("u-o2", waves[0], now=0.1)
+        assert cached[0].outcome == "cached"
+
+        slow = self._server(pipeline, max_queue=1)
+        assert slow.submit("u-p", waves[1], now=0.0) == []
+        shed = slow.submit("u-q", waves[2], now=0.1)
+        assert shed[0].outcome == "shed" and shed[0].shed
+        flushed = slow.drain(now=1.0)
+        assert [r.outcome for r in flushed] == ["completed"]
