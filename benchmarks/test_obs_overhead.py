@@ -121,3 +121,46 @@ def test_monitor_overhead():
     assert result["overhead_frac"] < 0.02, (
         f"monitoring overhead {result['overhead_frac']:.1%} >= 2%"
     )
+
+
+def test_profile_overhead():
+    """Continuous profiling stays under 2% of the default serve bench.
+
+    The gated configuration is the one the daemon runs resident: a
+    100 Hz :class:`~repro.obs.prof.StackSampler` with stage tracking on
+    and no heap profiler (``tracemalloc`` is an explicit opt-in and
+    priced separately in DESIGN.md §13).  The gated figure is the
+    sampler's self-accounted pass time as a share of profiled runtime;
+    the A/B wall median is recorded but not gated — scheduler noise on
+    shared CI boxes dwarfs a 2% differential (see
+    ``measure_profile_overhead``'s docstring).
+    """
+    from repro.obs.prof import measure_profile_overhead
+
+    result = measure_profile_overhead()
+
+    payload = (
+        json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    )
+    payload["profile"] = result
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    report(
+        "Profiling overhead (serve bench, 100 Hz stack sampler)",
+        ["arm", f"best of {result['repeats']}x{result['inner']} (s)"],
+        [
+            ["default (traced)", f"{result['default_wall_s']:.3f}"],
+            ["profiled", f"{result['profiled_wall_s']:.3f}"],
+            ["self-accounted overhead",
+             f"{result['overhead_frac'] * 100:.2f}%"],
+            ["A/B wall median (noisy)",
+             f"{result['overhead_frac_ab'] * 100:+.2f}%"],
+            ["samples", f"{result['samples_total']:.0f}"],
+        ],
+    )
+
+    assert result["overhead_frac"] < 0.02, (
+        f"profiling overhead {result['overhead_frac']:.1%} >= 2%"
+    )
+    # The sampler must actually have been sampling during the bench.
+    assert result["samples_total"] > 0

@@ -21,7 +21,7 @@ from repro.android.monkey import LaunchEvent
 from repro.android.policies import FifoKillPolicy, KillPolicy
 from repro.android.process import ProcessRecord, ProcessState
 from repro.android.tracer import Tracer
-from repro.obs import Timer, get_registry
+from repro.obs import Timer, get_registry, get_tracer
 
 
 @dataclass(frozen=True)
@@ -135,8 +135,15 @@ class AndroidEmulator:
         loaded_before = self.flash.total_loaded_bytes
         kills_before = sum(p.kills for p in self.processes.values())
         end_time = events[-1].time_s if events else 0.0
+        # stage(): nests the replay under any in-flight trace and feeds
+        # the profiler's per-stage attribution; standalone runs stay
+        # span-free (no root trace per simulation).
         with Timer("android.emulator.run_s", span=True,
-                   attrs={"policy": self.policy.name, "events": len(events)}):
+                   attrs={"policy": self.policy.name,
+                          "events": len(events)}), \
+                get_tracer().stage("android.emulator.run",
+                                   attrs={"policy": self.policy.name,
+                                          "events": len(events)}):
             for event in events:
                 if event.app not in self.processes:
                     raise KeyError(f"launch of uninstalled app {event.app!r}")

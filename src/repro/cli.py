@@ -520,6 +520,51 @@ def _monitor(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _profile(args: argparse.Namespace) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.obs.export import chrome_trace_json
+    from repro.obs.prof import (
+        profile_counter_events,
+        render_flame_summary,
+        run_profile_workload,
+    )
+
+    print(f"profiling serve workload ({args.sessions} sessions, "
+          f"{args.seconds:g} s, seed {args.seed}, "
+          f"heap {'off' if args.no_heap else 'on'})...")
+    result = run_profile_workload(
+        sessions=args.sessions, seconds=args.seconds, seed=args.seed,
+        max_batch=args.batch, heap=not args.no_heap,
+    )
+    sampler = result.pop("_sampler")
+    heap = result.pop("_heap")
+    spans = result.pop("_spans")
+    outdir = Path(args.output or "profile_out")
+    outdir.mkdir(parents=True, exist_ok=True)
+    collapsed_path = outdir / "profile.collapsed"
+    collapsed_path.write_text(sampler.collapsed())
+    perfetto_path = outdir / "profile.perfetto.json"
+    perfetto_path.write_text(chrome_trace_json(
+        spans, counter_events=profile_counter_events(sampler, heap),
+    ))
+    json_path = outdir / "profile.json"
+    json_path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(render_flame_summary(sampler, heap))
+    print(f"wrote {collapsed_path}  (flamegraph.pl / speedscope)")
+    print(f"wrote {perfetto_path}  (https://ui.perfetto.dev)")
+    print(f"wrote {json_path}")
+    fraction = result["attribution"]["fraction"]
+    samples = result["attribution"]["samples"]
+    print(f"attribution: {fraction * 100:.1f}% of {samples} samples "
+          "carry a stage (gate: >= 90%)")
+    if fraction < 0.90:
+        # The attribution contract: continuous profiling is only useful
+        # if nearly every sample maps to a named pipeline stage.
+        raise SystemExit(1)
+
+
 def _daemon(args: argparse.Namespace) -> None:
     import asyncio
 
@@ -641,6 +686,7 @@ _COMMANDS = {
     "adaptive-bench": _adaptive_bench,
     "trace": _trace,
     "monitor": _monitor,
+    "profile": _profile,
     "daemon": _daemon,
     "daemon-bench": _daemon_bench,
 }
@@ -659,7 +705,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--output", "--out", type=str, default=None, dest="output",
-        help="output path for export-trace / stats / trace",
+        help="output path for export-trace / stats / trace, or the "
+             "artifact directory for profile (default profile_out/)",
+    )
+    parser.add_argument(
+        "--no-heap", action="store_true",
+        help="profile: skip tracemalloc allocation tracking (CPU only)",
     )
     parser.add_argument(
         "--json", action="store_true",

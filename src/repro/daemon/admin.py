@@ -13,7 +13,15 @@ owns):
 - ``/bundles`` and ``/bundles/<id>`` — the flight recorder's incident
   bundles, inlined as JSON (``incident.json`` + ``snapshots.jsonl`` +
   ``trace.json``), so an operator can pull the black box of a page
-  straight off the box that fired it.
+  straight off the box that fired it;
+- ``/debug/prof/cpu[?seconds=N]`` — a collapsed-stack CPU profile
+  (flamegraph.pl/speedscope format): the resident sampler's cumulative
+  profile by default, or a fresh ``N``-second window (clamped to
+  :data:`PROF_MAX_SECONDS`) collected without blocking the plane —
+  the wait is an ``await``, so ``/metrics`` keeps serving meanwhile;
+- ``/debug/prof/heap`` — the allocation profile as JSON (top sites,
+  per-stage net bytes, growth rate); the first hit lazily starts
+  ``tracemalloc``, which is deliberately not always-on.
 
 Bundle ids are matched against the recorder's own bundle list (never
 joined into a path from user input), which makes path traversal
@@ -29,6 +37,8 @@ from typing import TYPE_CHECKING
 
 from repro.obs import get_registry
 from repro.obs.export import prometheus_text
+from repro.obs.prof import StackSampler
+from repro.obs.registry import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.daemon.server import ReproDaemon
@@ -36,6 +46,31 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Budget for reading one request head (line + headers).
 _READ_TIMEOUT_S = 5.0
 _MAX_HEADER_LINES = 64
+
+#: Ceiling on a ``/debug/prof/cpu?seconds=N`` window.  Admin clients
+#: (curl, probes) time out in single-digit seconds; anything longer
+#: belongs in the resident sampler's cumulative profile anyway.
+PROF_MAX_SECONDS = 5.0
+
+
+def clamp_prof_seconds(seconds: float) -> float:
+    """A requested profiling window clamped to ``[0, PROF_MAX_SECONDS]``."""
+    if not seconds > 0.0:  # also normalises NaN to 0
+        return 0.0
+    return min(seconds, PROF_MAX_SECONDS)
+
+
+def _parse_prof_seconds(target: str) -> float | None:
+    """The clamped ``seconds`` query value; 0 if absent, None if malformed."""
+    query = target.partition("?")[2]
+    for part in query.split("&"):
+        key, _, value = part.partition("=")
+        if key == "seconds":
+            try:
+                return clamp_prof_seconds(float(value))
+            except ValueError:
+                return None
+    return 0.0
 
 
 def _response(status: str, content_type: str, body: bytes) -> bytes:
@@ -126,6 +161,55 @@ def route(daemon: "ReproDaemon", method: str, target: str) -> bytes:
     return _json_response("404 Not Found", {"error": f"no route {path}"})
 
 
+async def _route_prof(daemon: "ReproDaemon", path: str,
+                      target: str) -> bytes:
+    """One ``/debug/prof/<kind>`` request to a wire-ready response."""
+    if daemon.profiler is None:
+        return _json_response(
+            "503 Service Unavailable",
+            {"error": "profiling disabled (DaemonConfig.profile=False)"},
+        )
+    kind = path[len("/debug/prof/"):]
+    if kind == "cpu":
+        seconds = _parse_prof_seconds(target)
+        if seconds is None:
+            return _json_response(
+                "400 Bad Request", {"error": "malformed seconds parameter"}
+            )
+        if seconds == 0.0:
+            sampler = daemon.profiler
+        else:
+            # A fresh window: a second sampler (private registry, so the
+            # scrape gauges stay the resident sampler's) runs alongside
+            # the resident one while this handler awaits — other admin
+            # connections, /metrics included, keep being served.
+            sampler = StackSampler(
+                interval_s=daemon.profiler.interval_s,
+                registry=MetricsRegistry(),
+            )
+            sampler.start()
+            try:
+                await asyncio.sleep(seconds)
+            finally:
+                sampler.stop()
+        body = sampler.collapsed().encode("utf-8")
+        return _response("200 OK", "text/plain; charset=utf-8", body)
+    if kind == "heap":
+        return _json_response("200 OK", daemon.heap_profiler().report())
+    return _json_response(
+        "404 Not Found", {"error": f"no profile kind {kind!r}"}
+    )
+
+
+async def route_async(daemon: "ReproDaemon", method: str,
+                      target: str) -> bytes:
+    """Async routing front door: prof endpoints await, the rest delegate."""
+    path = target.split("?", 1)[0]
+    if method == "GET" and path.startswith("/debug/prof/"):
+        return await _route_prof(daemon, path, target)
+    return route(daemon, method, target)
+
+
 async def handle_admin(daemon: "ReproDaemon", reader: asyncio.StreamReader,
                        writer: asyncio.StreamWriter) -> None:
     """Serve one admin HTTP exchange, then close (Connection: close)."""
@@ -143,7 +227,7 @@ async def handle_admin(daemon: "ReproDaemon", reader: asyncio.StreamReader,
             line = await asyncio.wait_for(reader.readline(), _READ_TIMEOUT_S)
             if line in (b"\r\n", b"\n", b""):
                 break
-        writer.write(route(daemon, parts[0], parts[1]))
+        writer.write(await route_async(daemon, parts[0], parts[1]))
         await writer.drain()
     except (asyncio.TimeoutError, ConnectionError, OSError):
         pass

@@ -36,7 +36,12 @@ Architecture — one event loop, one worker thread, one clock:
   :func:`~repro.obs.monitor.make_monitor` stack as ``repro monitor``:
   burn-rate alert rules sampled every tick, with the flight recorder
   dumping an incident bundle (served by the admin plane) when a page
-  fires.
+  fires — and, since the profiler landed, a profile snapshot captured
+  into that same bundle.
+- **Profiling.**  A resident :class:`~repro.obs.prof.StackSampler`
+  (100 Hz) runs for the daemon's lifetime; ``/debug/prof/cpu`` serves
+  its cumulative collapsed-stack profile (or a fresh window), and
+  ``/debug/prof/heap`` lazily starts allocation tracking.
 """
 
 from __future__ import annotations
@@ -51,6 +56,12 @@ from repro.daemon import protocol
 from repro.errors import ProtocolError
 from repro.obs import get_registry, labeled
 from repro.obs.monitor import make_monitor
+from repro.obs.prof import (
+    DEFAULT_INTERVAL_S,
+    HeapProfiler,
+    ProfileRecorder,
+    StackSampler,
+)
 from repro.serve.runtime import AffectServer, ServeResult
 
 
@@ -82,6 +93,12 @@ class DaemonConfig:
     #: Attach the burn-rate alerting + flight-recorder stack.
     monitor: bool = True
     bundle_dir: str = "incidents"
+    #: Attach the resident continuous profiler (stack sampler + the
+    #: admin plane's ``/debug/prof/*`` endpoints).
+    profile: bool = True
+    #: Sampling interval of the resident profiler (default 100 Hz —
+    #: the rate the <2% overhead gate in BENCH_obs.json covers).
+    profile_interval_s: float = DEFAULT_INTERVAL_S
 
     def __post_init__(self) -> None:
         if self.max_connections < 1:
@@ -90,6 +107,8 @@ class DaemonConfig:
             raise ValueError("max_inflight must be >= 1")
         if self.poll_period_s <= 0:
             raise ValueError("poll_period_s must be positive")
+        if self.profile_interval_s <= 0:
+            raise ValueError("profile_interval_s must be positive")
 
 
 class _Connection:
@@ -141,6 +160,25 @@ class ReproDaemon:
             )
         else:
             self.manager, self.recorder = None, None
+        #: Resident stack sampler; the heap profiler starts lazily on
+        #: the first ``/debug/prof/heap`` hit (tracemalloc is too heavy
+        #: to keep always-on).
+        self.profiler: StackSampler | None = (
+            StackSampler(interval_s=self.config.profile_interval_s)
+            if self.config.profile else None
+        )
+        self._heap: HeapProfiler | None = None
+        self.profile_recorder: ProfileRecorder | None = None
+        if self.manager is not None and self.profiler is not None:
+            # Appended after the flight recorder (make_monitor put it in
+            # sinks first), so by the time this sink sees a page the
+            # incident bundle directory exists and the profile snapshot
+            # lands inside it.
+            self.profile_recorder = ProfileRecorder(
+                self.profiler, recorder=self.recorder,
+                profile_dir=self.config.bundle_dir,
+            )
+            self.manager.sinks.append(self.profile_recorder)
 
     # -- clock -------------------------------------------------------------
 
@@ -164,6 +202,8 @@ class ReproDaemon:
             lambda r, w: handle_admin(self, r, w), cfg.host, cfg.admin_port
         )
         self.admin_port = self._admin.sockets[0].getsockname()[1]
+        if self.profiler is not None:
+            self.profiler.start()
         self._poll_task = asyncio.create_task(self._poll_loop())
 
     async def serve_forever(self) -> None:
@@ -189,6 +229,29 @@ class ReproDaemon:
                 await listener.wait_closed()
         self._ingest = self._admin = None
         self._executor.shutdown(wait=True)
+        if self.profiler is not None:
+            self.profiler.stop()
+        if self._heap is not None:
+            self._heap.stop()
+            self._heap = None
+
+    def heap_profiler(self) -> HeapProfiler:
+        """The allocation profiler, started on first use.
+
+        Lazy on purpose: ``tracemalloc`` instruments every allocation
+        and costs far more than stack sampling, so the daemon only pays
+        for it once an operator actually asks ``/debug/prof/heap``.
+        Once live it is attached to the resident sampler (periodic
+        gauge refresh) and to the profile-capture alert sink.
+        """
+        if self._heap is None:
+            self._heap = HeapProfiler()
+            self._heap.start()
+            if self.profiler is not None:
+                self.profiler.heap = self._heap
+            if self.profile_recorder is not None:
+                self.profile_recorder.heap = self._heap
+        return self._heap
 
     def _run(self, fn, *args):
         """Run one blocking server call on the single worker thread."""

@@ -23,7 +23,13 @@ numbers — and, since PR 5, to *follow one request* through them:
   traces survive head sampling in a separate bounded ring;
 - the flight recorder (:mod:`repro.obs.flight`) — periodic registry
   snapshots plus retained traces, dumped as incident bundles when a
-  page-tier alert fires (``repro monitor`` drives the whole stack).
+  page-tier alert fires (``repro monitor`` drives the whole stack);
+- continuous profiling (:mod:`repro.obs.prof`) — a sampling stack
+  profiler with per-stage attribution and collapsed-stack/flamegraph
+  export, ``tracemalloc``-based allocation tracking whose growth gauge
+  can page through the alert engine, and a :class:`ProfileRecorder`
+  sink that snapshots the live profile into incident bundles
+  (``repro profile`` and the daemon's ``/debug/prof/*`` drive it).
 
 Instrumentation is default-on but cheap: a disabled registry turns every
 ``inc``/``observe``/``Timer``/span into a no-op, and the enabled path is
@@ -38,6 +44,15 @@ from repro.obs.alerts import (
     AlertRule,
 )
 from repro.obs.flight import FlightRecorder
+from repro.obs.prof import (
+    HeapProfiler,
+    ProfileRecorder,
+    StackSampler,
+    heap_growth_objective,
+    heap_growth_rule,
+    parse_collapsed,
+    profile_counter_events,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -71,19 +86,26 @@ __all__ = [
     "DEFAULT_ALERT_RULES",
     "FlightRecorder",
     "Gauge",
+    "HeapProfiler",
     "Histogram",
     "MetricsRegistry",
+    "ProfileRecorder",
     "RetentionPolicy",
     "SnapshotHistory",
     "Span",
     "SpanEvent",
+    "StackSampler",
     "Timer",
     "TraceContext",
     "Tracer",
     "get_registry",
     "get_tracer",
+    "heap_growth_objective",
+    "heap_growth_rule",
     "labeled",
+    "parse_collapsed",
     "process_epoch",
+    "profile_counter_events",
     "timed",
     "wall_time_of",
 ]

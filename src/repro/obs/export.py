@@ -82,20 +82,29 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     emit_family("counter", snap["counters"])
     emit_family("gauge", snap["gauges"])
 
-    families: dict[str, list[tuple[str, dict]]] = {}
+    exemplars = registry.exemplars()
+    families: dict[str, list[tuple[str, dict, str]]] = {}
     for key, summary in snap["histograms"].items():
         name, labels = _split_labels(key)
-        families.setdefault(name, []).append((labels, summary))
+        families.setdefault(name, []).append((labels, summary, key))
     for name in sorted(families):
         prom = _prom_name(name)
         lines.append(f"# TYPE {prom} summary")
-        for labels, summary in sorted(families[name]):
+        for labels, summary, key in sorted(families[name]):
+            exemplar = exemplars.get(key)
             for q_label, q_key in (("0.5", "p50"), ("0.95", "p95"),
                                    ("0.99", "p99")):
                 merged = f'quantile="{q_label}"'
                 if labels:
                     merged = f"{labels},{merged}"
-                lines.append(f"{prom}{{{merged}}} {_fmt(summary[q_key])}")
+                line = f"{prom}{{{merged}}} {_fmt(summary[q_key])}"
+                if q_label == "0.99" and exemplar is not None:
+                    # OpenMetrics-style exemplar on the tail quantile:
+                    # the worst traced sample, so a slow p99 links
+                    # straight to a retained trace.
+                    line += (f' # {{trace_id="{exemplar[0]}"}}'
+                             f" {_fmt(exemplar[1])}")
+                lines.append(line)
             suffix = f"{{{labels}}}" if labels else ""
             lines.append(f"{prom}_sum{suffix} {_fmt(summary['sum'])}")
             lines.append(f"{prom}_count{suffix} {_fmt(summary['count'])}")
@@ -193,10 +202,20 @@ def chrome_trace_events(spans: list[Span]) -> list[dict]:
     return events
 
 
-def chrome_trace_json(spans: list[Span], indent: int | None = None) -> str:
-    """A complete Perfetto-loadable JSON document for ``spans``."""
+def chrome_trace_json(spans: list[Span], indent: int | None = None,
+                      counter_events: list[dict] | None = None) -> str:
+    """A complete Perfetto-loadable JSON document for ``spans``.
+
+    ``counter_events`` (optional) are pre-built ``ph: "C"`` counter-track
+    events — e.g. the profiler's sample-rate and heap gauges from
+    :func:`repro.obs.prof.profile_counter_events` — merged into the same
+    document so resource tracks render alongside the span waterfall.
+    """
+    events = chrome_trace_events(spans)
+    if counter_events:
+        events = events + list(counter_events)
     return json.dumps(
-        {"traceEvents": chrome_trace_events(spans), "displayTimeUnit": "ms"},
+        {"traceEvents": events, "displayTimeUnit": "ms"},
         indent=indent,
     )
 

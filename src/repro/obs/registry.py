@@ -211,7 +211,8 @@ class Histogram:
     are non-negative in practice).
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_buckets", "_zero")
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets", "_zero",
+                 "exemplar")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -221,9 +222,14 @@ class Histogram:
         self.max = -math.inf
         self._buckets: dict[int, int] = {}
         self._zero = 0
+        #: ``(trace_id, value)`` of the largest sample observed with a
+        #: trace id attached — the OpenMetrics-style exemplar the
+        #: Prometheus exposition emits so a slow tail bucket links to a
+        #: retained trace.  ``None`` until a traced sample lands.
+        self.exemplar: tuple[str, float] | None = None
 
-    def observe(self, value: float) -> None:
-        """Record one sample."""
+    def observe(self, value: float, trace_id: str | None = None) -> None:
+        """Record one sample, optionally tagged with its trace id."""
         value = float(value)
         self.count += 1
         self.total += value
@@ -231,6 +237,10 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if trace_id is not None:
+            exemplar = self.exemplar
+            if exemplar is None or value >= exemplar[1]:
+                self.exemplar = (trace_id, value)
         if value <= 0.0:
             self._zero += 1
             return
@@ -380,11 +390,16 @@ class MetricsRegistry:
             return
         self.gauge(name).add(delta)
 
-    def observe(self, name: str, value: float) -> None:
-        """Record ``value`` into histogram ``name``."""
+    def observe(self, name: str, value: float,
+                trace_id: str | None = None) -> None:
+        """Record ``value`` into histogram ``name``.
+
+        ``trace_id`` (optional) tags the sample as an exemplar candidate
+        — see :attr:`Histogram.exemplar`.
+        """
         if not self.enabled:
             return
-        self.histogram(name).observe(value)
+        self.histogram(name).observe(value, trace_id)
 
     def record_span(self, span: SpanEvent) -> None:
         """Append one structured span event (bounded ring buffer)."""
@@ -447,6 +462,13 @@ class MetricsRegistry:
         with self._lock:
             histograms = list(self._histograms.items())
         return {name: (h.state(), h.min, h.max) for name, h in histograms}
+
+    def exemplars(self) -> dict[str, tuple[str, float]]:
+        """``{histogram name: (trace_id, value)}`` for traced samples."""
+        with self._lock:
+            histograms = list(self._histograms.items())
+        return {name: h.exemplar for name, h in histograms
+                if h.exemplar is not None}
 
     def to_json(self, indent: int = 2, include_spans: bool = False) -> str:
         """The snapshot as a JSON string."""

@@ -9,19 +9,23 @@ pass/fail verdicts with budget math, mirroring how latency-bound serving
 benchmarks (MLPerf server scenarios, Clipper's SLO-driven adaptation)
 report compliance instead of bare averages.
 
-Two objective kinds cover the stack:
+Three objective kinds cover the stack:
 
 - ``latency`` — at least ``target`` of samples in histogram ``metric``
   must fall at or under ``threshold`` seconds (uses
   :meth:`~repro.obs.registry.Histogram.fraction_below`);
 - ``ratio`` — the ratio of counter ``metric`` over counter
-  ``denominator`` must stay at or under ``threshold``.
+  ``denominator`` must stay at or under ``threshold``;
+- ``gauge`` — the gauge ``metric`` must stay at or under ``threshold``
+  (a ceiling; e.g. the heap profiler's growth-rate gauge, so a memory
+  leak pages through the same burn-rate machinery as an SLO burn).
 
-Both express an **error budget**: the tolerated bad fraction
-(``1 - target`` for latency, ``threshold`` for ratios).  ``burn_rate``
-is the observed bad fraction divided by that budget — 1.0 means the
-window exactly spent its budget, above 1.0 means the objective is being
-violated.
+All express an **error budget**: the tolerated bad fraction
+(``1 - target`` for latency, ``threshold`` for ratios, the ceiling
+itself for gauges).  ``burn_rate`` is the observed bad fraction divided
+by that budget — 1.0 means the window exactly spent its budget (for a
+gauge: the value sits exactly at the ceiling), above 1.0 means the
+objective is being violated.
 """
 
 from __future__ import annotations
@@ -70,11 +74,15 @@ class SLObjective:
     name:
         Short identifier (``serve-p95-latency``).
     kind:
-        ``"latency"`` or ``"ratio"`` (see module docstring).
+        ``"latency"``, ``"ratio"``, or ``"gauge"`` (see module
+        docstring).
     metric:
-        Histogram name (latency) or numerator counter name (ratio).
+        Histogram name (latency), numerator counter name (ratio), or
+        gauge name (gauge).
     threshold:
-        Latency bound in seconds, or the ratio ceiling.
+        Latency bound in seconds, the ratio ceiling, or the gauge
+        ceiling (must be positive for gauges — burn is measured
+        relative to it).
     target:
         Required good fraction for latency objectives (e.g. ``0.95``);
         unused for ratios (their budget *is* the threshold).
@@ -93,13 +101,16 @@ class SLObjective:
     description: str = ""
 
     def __post_init__(self) -> None:
-        if self.kind not in ("latency", "ratio"):
+        if self.kind not in ("latency", "ratio", "gauge"):
             raise ValueError(f"unknown SLO kind: {self.kind!r}")
         if self.kind == "ratio" and self.denominator is None:
             raise ValueError("ratio objectives need a denominator counter")
         if self.kind == "latency" and not 0.0 < self.target <= 1.0:
             raise ValueError("target must be in (0, 1]")
-        if self.threshold < 0:
+        if self.kind == "gauge":
+            if self.threshold <= 0:
+                raise ValueError("gauge objectives need a positive ceiling")
+        elif self.threshold < 0:
             raise ValueError("threshold must be non-negative")
 
 
@@ -183,6 +194,14 @@ def evaluate_slo(registry: MetricsRegistry,
         ok = good >= objective.target
         value = hist.quantile(objective.target) if hist.count else 0.0
         samples = float(hist.count)
+    elif objective.kind == "gauge":
+        value = registry.gauge(objective.metric).value
+        # The ceiling is the budget: burn 1.0 means the gauge sits
+        # exactly at it.  Negative values (a shrinking heap) burn 0.
+        bad = max(0.0, value) / objective.threshold
+        budget = 1.0
+        ok = value <= objective.threshold
+        samples = 1.0
     else:
         numerator = registry.counter(objective.metric).value
         denominator = registry.counter(objective.denominator or "").value
@@ -273,6 +292,22 @@ def _windowed_verdict(
                         value = bad
         budget = 1.0 - objective.target
         ok = bad <= budget
+    elif objective.kind == "gauge":
+        # A gauge is already a point-in-time value: the windowed verdict
+        # reads the *later* snapshot's value (the freshest evidence the
+        # window holds).  A window captured before the gauge was tracked
+        # yields no evidence.
+        bad = 0.0
+        value = 0.0
+        samples = 0.0
+        if pair is not None:
+            later = pair[1].get(("gauge", objective.metric))
+            if later is not None:
+                value = float(later)  # type: ignore[arg-type]
+                bad = max(0.0, value) / objective.threshold
+                samples = 1.0
+        budget = 1.0
+        ok = bad <= 1.0
     else:
         bad = 0.0
         samples = 0.0
@@ -374,6 +409,8 @@ class SnapshotHistory:
                 if objective.threshold not in known:
                     self._thresholds[objective.metric] = (
                         known + (objective.threshold,))
+            elif objective.kind == "gauge":
+                self._metrics.add(("gauge", objective.metric))
             else:
                 self._metrics.add(("counter", objective.metric))
                 self._metrics.add(("counter", objective.denominator or ""))
@@ -405,6 +442,10 @@ class SnapshotHistory:
                                 if index <= cutoff:
                                     good += n
                     values[(name, threshold)] = (state.count, good)
+            elif kind == "gauge":
+                # Namespaced key: a gauge may legitimately share a name
+                # with a counter (e.g. mirrored totals).
+                values[("gauge", name)] = registry.gauge(name).value
             else:
                 values[name] = registry.counter(name).value
         self._samples.append((now, values))

@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.trace import _CURRENT_SPAN
 
 #: Process epoch: one (wall clock, perf counter) pair captured at import.
 #: Anchoring every monotonic reading to this single pair turns
@@ -97,7 +98,15 @@ class Timer:
         if not self.registry.enabled:
             return
         self.elapsed_s = time.perf_counter() - self._start
-        self.registry.observe(self.name, self.elapsed_s)
+        # Inside a live trace, tag the sample with its trace id so the
+        # Prometheus exposition can emit an exemplar linking the slow
+        # tail of this histogram to a retained trace.  One ContextVar
+        # read; outside any trace it stays None.
+        ambient = _CURRENT_SPAN.get()
+        trace_id = (ambient.trace_id
+                    if ambient is not None and ambient.sampled
+                    and ambient.head_sampled else None)
+        self.registry.observe(self.name, self.elapsed_s, trace_id)
         if self.span:
             self.registry.record_span(
                 SpanEvent(

@@ -303,6 +303,80 @@ _CURRENT_SPAN: ContextVar[Span | None] = ContextVar("repro_current_span",
                                                     default=None)
 
 
+# -- per-thread stage attribution (consumed by repro.obs.prof) --------------
+#
+# The sampling profiler runs on its own daemon thread and cannot read
+# another thread's ContextVar, but ``sys._current_frames()`` keys the
+# frames it walks by thread id — so while at least one profiler is
+# attached, span scopes mirror the ambient span *name* into this table
+# keyed by ``threading.get_ident()``.  Maintenance costs two dict/list
+# operations per scope boundary and is skipped entirely (one module
+# global check) when nothing is attached, which keeps the untraced and
+# unprofiled hot paths at their existing cost.
+#
+# Thread safety: each stack is only ever mutated by its own thread; the
+# sampler reads other threads' stacks, which under the GIL sees either
+# the pre- or post-mutation list — both are valid attributions.
+_STAGE_STACKS: dict[int, list[str]] = {}
+_STAGE_TRACKING = False
+_STAGE_ATTACHED = 0
+_STAGE_LOCK = threading.Lock()
+
+#: Optional allocation hook installed by ``repro.obs.prof.HeapProfiler``:
+#: an object with ``stage_bytes() -> int`` and
+#: ``record_stage(name, delta_bytes)``.  Tracked scopes read traced
+#: bytes at entry and report the net delta to the innermost stage at
+#: exit, which is what "per-stage net bytes" means in the heap profile.
+_HEAP_HOOK: Any | None = None
+
+
+def enable_stage_tracking() -> None:
+    """Attach one stage-table consumer (refcounted; profiler start)."""
+    global _STAGE_TRACKING, _STAGE_ATTACHED
+    with _STAGE_LOCK:
+        _STAGE_ATTACHED += 1
+        _STAGE_TRACKING = True
+
+
+def disable_stage_tracking() -> None:
+    """Detach one consumer; the last detach clears the table."""
+    global _STAGE_TRACKING, _STAGE_ATTACHED
+    with _STAGE_LOCK:
+        _STAGE_ATTACHED = max(0, _STAGE_ATTACHED - 1)
+        if _STAGE_ATTACHED == 0:
+            _STAGE_TRACKING = False
+            _STAGE_STACKS.clear()
+
+
+def push_thread_stage(name: str) -> None:
+    """Mark the calling thread as inside ``name`` for the profiler.
+
+    Span scopes call this automatically; workload drivers without a
+    span of their own (the daemon poll loop, a bench schedule loop) use
+    it directly so their samples land under a named stage too.
+    """
+    ident = threading.get_ident()
+    stack = _STAGE_STACKS.get(ident)
+    if stack is None:
+        stack = _STAGE_STACKS[ident] = []
+    stack.append(name)
+
+
+def pop_thread_stage() -> None:
+    """Undo the matching :func:`push_thread_stage` (LIFO per thread)."""
+    stack = _STAGE_STACKS.get(threading.get_ident())
+    if stack:
+        stack.pop()
+
+
+def current_stage_of(ident: int) -> str | None:
+    """Innermost active stage of thread ``ident``, or ``None``."""
+    stack = _STAGE_STACKS.get(ident)
+    if stack:
+        return stack[-1]
+    return None
+
+
 class _SpanScope:
     """``with``-body for one open span: install as ambient, end on exit.
 
@@ -311,18 +385,34 @@ class _SpanScope:
     tracing budget when three scopes open per request.
     """
 
-    __slots__ = ("span", "_token")
+    __slots__ = ("span", "_token", "_tracked", "_heap0")
 
     def __init__(self, span: Span) -> None:
         self.span = span
 
     def __enter__(self) -> Span:
         self._token = _CURRENT_SPAN.set(self.span)
+        # The tracked flag is per-scope so a profiler attaching or
+        # detaching mid-scope never unbalances the stage stack: each
+        # scope pops exactly what it pushed.
+        if _STAGE_TRACKING:
+            self._tracked = True
+            push_thread_stage(self.span.name)
+            hook = _HEAP_HOOK
+            self._heap0 = None if hook is None else hook.stage_bytes()
+        else:
+            self._tracked = False
         return self.span
 
     def __exit__(self, exc_type: object, exc: BaseException | None,
                  tb: object) -> bool:
         _CURRENT_SPAN.reset(self._token)
+        if self._tracked:
+            hook = _HEAP_HOOK
+            if hook is not None and self._heap0 is not None:
+                hook.record_stage(self.span.name,
+                                  hook.stage_bytes() - self._heap0)
+            pop_thread_stage()
         self.span.end(error=exc)
         return False
 
@@ -330,18 +420,25 @@ class _SpanScope:
 class _ActivateScope:
     """Install an already-open span as ambient; never ends it."""
 
-    __slots__ = ("span", "_token")
+    __slots__ = ("span", "_token", "_tracked")
 
     def __init__(self, span: Span) -> None:
         self.span = span
 
     def __enter__(self) -> Span:
         self._token = _CURRENT_SPAN.set(self.span)
+        if _STAGE_TRACKING:
+            self._tracked = True
+            push_thread_stage(self.span.name)
+        else:
+            self._tracked = False
         return self.span
 
     def __exit__(self, exc_type: object, exc: BaseException | None,
                  tb: object) -> bool:
         _CURRENT_SPAN.reset(self._token)
+        if self._tracked:
+            pop_thread_stage()
         return False
 
 

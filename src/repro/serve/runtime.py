@@ -420,7 +420,11 @@ class AffectServer:
                                     degraded, root)
             self.completed += 1
             latency = outcome.flushed_at - request.submitted_at
-            obs.observe("serve.latency_s", latency)
+            obs.observe(
+                "serve.latency_s", latency,
+                root.trace_id if root is not None and root.sampled
+                and root.head_sampled else None,
+            )
             if root is not None:
                 root.set_attr("label", label)
                 root.set_attr("latency_s", latency)

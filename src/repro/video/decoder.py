@@ -28,7 +28,7 @@ from repro.video.deblocking import deblock_frame
 from repro.video.encoder import build_strength_maps
 from repro.video.entropy import EntropyCoder, ExpGolombCoder, coder_from_mode_id
 from repro.video.frames import Frame
-from repro.obs import Timer, get_registry
+from repro.obs import Timer, get_registry, get_tracer
 from repro.video.nal import NalType, split_nal_units
 from repro.video.slice_coding import (
     MB,
@@ -117,8 +117,13 @@ class Decoder:
         are skipped, counted, and concealed by last-frame repeat.
         """
         try:
+            # stage(): nests under whatever request is in flight (and
+            # feeds the profiler's per-stage attribution) without
+            # minting a root trace for every standalone decode.
             with Timer("video.decoder.decode_s", span=True,
-                       attrs={"input_bytes": len(stream)}):
+                       attrs={"input_bytes": len(stream)}), \
+                    get_tracer().stage("video.decode",
+                                       attrs={"input_bytes": len(stream)}):
                 result = self._decode(stream)
         except DecodeError:
             get_registry().inc("video.decoder.decode_errors")

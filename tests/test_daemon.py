@@ -420,3 +420,159 @@ class TestDaemonBenchSmoke:
         assert report["chaos"]["aborted"] == 2
         assert report["chaos"]["leaked_sessions"] == []
         assert report["preemption"]["preempted_frames"] == 2
+
+
+class TestProfPlane:
+    def test_cumulative_cpu_profile_parses(self, pipeline, wave, tmp_path):
+        from repro.obs.prof import parse_collapsed
+
+        async def run():
+            daemon = make_daemon(pipeline, tmp_path, monitor=False)
+            await daemon.start()
+            try:
+                assert daemon.profiler is not None
+                assert daemon.profiler.running
+                client = Client()
+                await client.connect(daemon, "u-prof")
+                client.send(protocol.window_frame(0, wave))
+                await client.expect("result")
+                await asyncio.sleep(0.1)  # let the resident sampler tick
+                status, body = await _http_get(
+                    daemon.config.host, daemon.admin_port, "/debug/prof/cpu"
+                )
+                assert status == 200
+                stacks = parse_collapsed(body.decode("utf-8"))
+                assert stacks, "resident sampler recorded nothing"
+                assert sum(stacks.values()) >= 1
+                client.close()
+            finally:
+                await daemon.stop()
+            assert not daemon.profiler.running  # stop() joined the sampler
+
+        asyncio.run(run())
+
+    def test_windowed_profile_does_not_block_metrics(self, pipeline,
+                                                     tmp_path):
+        from repro.obs.prof import parse_collapsed
+
+        async def run():
+            daemon = make_daemon(pipeline, tmp_path, monitor=False)
+            await daemon.start()
+            try:
+                window = asyncio.create_task(_http_get(
+                    daemon.config.host, daemon.admin_port,
+                    "/debug/prof/cpu?seconds=1.5", timeout=10.0,
+                ))
+                await asyncio.sleep(0.05)
+                # The plane keeps serving while the window collects.
+                status, body = await _http_get(
+                    daemon.config.host, daemon.admin_port, "/metrics"
+                )
+                assert status == 200
+                assert b"repro_" in body
+                assert not window.done(), "window returned implausibly fast"
+                status, body = await window
+                assert status == 200
+                parse_collapsed(body.decode("utf-8"))  # may be empty, parses
+            finally:
+                await daemon.stop()
+
+        asyncio.run(run())
+
+    def test_seconds_clamp(self):
+        from repro.daemon.admin import (
+            PROF_MAX_SECONDS,
+            _parse_prof_seconds,
+            clamp_prof_seconds,
+        )
+
+        assert clamp_prof_seconds(-5.0) == 0.0
+        assert clamp_prof_seconds(0.0) == 0.0
+        assert clamp_prof_seconds(2.5) == 2.5
+        assert clamp_prof_seconds(999.0) == PROF_MAX_SECONDS
+        assert clamp_prof_seconds(float("nan")) == 0.0
+        assert _parse_prof_seconds("/debug/prof/cpu") == 0.0
+        assert _parse_prof_seconds("/debug/prof/cpu?seconds=2") == 2.0
+        assert _parse_prof_seconds("/debug/prof/cpu?seconds=1e9") \
+            == PROF_MAX_SECONDS
+        assert _parse_prof_seconds("/debug/prof/cpu?seconds=abc") is None
+
+    def test_malformed_seconds_is_400(self, pipeline, tmp_path):
+        async def run():
+            daemon = make_daemon(pipeline, tmp_path, monitor=False)
+            await daemon.start()
+            try:
+                status, _ = await _http_get(
+                    daemon.config.host, daemon.admin_port,
+                    "/debug/prof/cpu?seconds=abc"
+                )
+                assert status == 400
+            finally:
+                await daemon.stop()
+
+        asyncio.run(run())
+
+    def test_unknown_prof_kind_is_404(self, pipeline, tmp_path):
+        async def run():
+            daemon = make_daemon(pipeline, tmp_path, monitor=False)
+            await daemon.start()
+            try:
+                status, _ = await _http_get(
+                    daemon.config.host, daemon.admin_port, "/debug/prof/wat"
+                )
+                assert status == 404
+            finally:
+                await daemon.stop()
+
+        asyncio.run(run())
+
+    def test_profiling_disabled_is_503(self, pipeline, tmp_path):
+        async def run():
+            daemon = make_daemon(pipeline, tmp_path, monitor=False,
+                                 profile=False)
+            await daemon.start()
+            try:
+                assert daemon.profiler is None
+                for path in ("/debug/prof/cpu", "/debug/prof/heap"):
+                    status, _ = await _http_get(
+                        daemon.config.host, daemon.admin_port, path
+                    )
+                    assert status == 503, path
+            finally:
+                await daemon.stop()
+
+        asyncio.run(run())
+
+    def test_heap_endpoint_starts_lazily(self, pipeline, wave, tmp_path):
+        async def run():
+            daemon = make_daemon(pipeline, tmp_path, monitor=False)
+            await daemon.start()
+            try:
+                assert daemon._heap is None  # tracemalloc not yet paid for
+                status, body = await _http_get(
+                    daemon.config.host, daemon.admin_port, "/debug/prof/heap"
+                )
+                assert status == 200
+                report = json.loads(body)
+                assert report["tracing"] is True
+                assert daemon._heap is not None
+                first = daemon._heap
+                # The live heap profiler is now wired into the sampler.
+                assert daemon.profiler.heap is first
+                client = Client()
+                await client.connect(daemon, "u-heap")
+                client.send(protocol.window_frame(0, wave))
+                await client.expect("result")
+                status, body = await _http_get(
+                    daemon.config.host, daemon.admin_port, "/debug/prof/heap"
+                )
+                assert status == 200
+                report = json.loads(body)
+                assert daemon._heap is first  # reused, not restarted
+                assert report["current_bytes"] >= 0
+                client.close()
+            finally:
+                await daemon.stop()
+            assert daemon._heap is None  # stop() tore tracemalloc down
+
+        asyncio.run(run())
